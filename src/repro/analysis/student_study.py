@@ -1,0 +1,247 @@
+"""The §2.1 student-implementation study as a fault-injection experiment.
+
+The paper examined 39 student ICMP implementations: 24 interoperated with
+Linux ping, 1 failed to compile, and 14 exhibited six (non-exclusive) error
+classes (Table 2) including seven distinct misreadings of the checksum-range
+sentence (Table 3).  We reproduce the study by *injecting* each misreading
+into the reference implementation and measuring the identical failure
+signals — ping's rejection reasons and tcpdump warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from ..framework import icmp
+from ..framework.byteorder import swap16
+from ..framework.checksum import incremental_update, internet_checksum
+from ..framework.ip import PROTO_ICMP, IPv4Header, make_ip_packet
+from ..netsim.icmp_impl import ReferenceICMP
+from ..netsim.ping import Ping
+from ..netsim.topologies import course_topology
+
+# Table 2 error classes.
+ERROR_IP_HEADER = "IP header related"
+ERROR_ICMP_HEADER = "ICMP header related"
+ERROR_BYTE_ORDER = "Network byte order and host byte order conversion"
+ERROR_PAYLOAD = "Incorrect ICMP payload content"
+ERROR_LENGTH = "Incorrect echo reply packet length"
+ERROR_CHECKSUM = "Incorrect checksum or dropped by kernel"
+
+TABLE2_PAPER_FREQUENCIES = {
+    ERROR_IP_HEADER: 0.57,
+    ERROR_ICMP_HEADER: 0.57,
+    ERROR_BYTE_ORDER: 0.29,
+    ERROR_PAYLOAD: 0.43,
+    ERROR_LENGTH: 0.29,
+    ERROR_CHECKSUM: 0.36,
+}
+
+
+class FaultyICMP(ReferenceICMP):
+    """The reference implementation with injected misreadings.
+
+    ``faults`` is a set of fault names; each perturbs the echo-reply path
+    the way a specific student misreading would.
+    """
+
+    CHECKSUM_INTERPRETATIONS = {
+        # Table 3: students' readings of "the one's complement sum of the
+        # ICMP message starting with the ICMP Type".
+        1: "size of a specific type of ICMP header",  # 8 fixed bytes
+        2: "size of a partial ICMP header",  # first 4 bytes only
+        3: "size of the ICMP header and payload",  # the correct reading
+        4: "size of the IP header",  # checksums the wrong header entirely
+        5: "header and payload plus any IP options",
+        6: "incremental update from the request checksum",
+        7: "magic constant length",
+    }
+
+    def __init__(self, faults: set[str] | None = None,
+                 checksum_interpretation: int = 3) -> None:
+        super().__init__()
+        self.faults = faults or set()
+        self.checksum_interpretation = checksum_interpretation
+
+    def echo_reply(self, request: IPv4Header, responder_address: int) -> bytes | None:
+        try:
+            echo = icmp.ICMPHeader.unpack(request.data)
+        except ValueError:
+            return None
+        if echo.type != icmp.ECHO or not echo.checksum_ok():
+            return None
+
+        payload = echo.payload
+        if "payload_content" in self.faults:
+            payload = bytes(reversed(payload))  # echoed the wrong bytes
+        if "payload_length" in self.faults:
+            payload = payload[: len(payload) // 2]  # wrong reply length
+
+        reply = icmp.ICMPHeader(type=icmp.ECHO_REPLY, code=0, payload=payload)
+        reply.rest = echo.rest
+        if "icmp_header" in self.faults:
+            reply.identifier = 0  # mangled the identifier field
+        if "byte_order" in self.faults:
+            reply.identifier = swap16(reply.identifier)
+            reply.sequence = swap16(reply.sequence)
+
+        raw = bytearray(reply.pack())
+        checksum = self._checksum_for(raw, request, echo)
+        raw[2:4] = checksum.to_bytes(2, "big")
+
+        destination = request.src
+        if "ip_header" in self.faults:
+            destination = request.dst  # replied to itself: IP fields confused
+        packet = make_ip_packet(
+            src=responder_address, dst=destination,
+            protocol=PROTO_ICMP, data=bytes(raw),
+        )
+        return packet.pack()
+
+    def _checksum_for(self, message: bytearray, request: IPv4Header,
+                      echo: icmp.ICMPHeader) -> int:
+        """Apply the selected Table 3 checksum-range interpretation."""
+        message[2:4] = b"\x00\x00"
+        interpretation = self.checksum_interpretation
+        if "checksum" in self.faults and interpretation == 3:
+            interpretation = 2  # a checksum fault defaults to a partial range
+        if interpretation == 1:
+            return internet_checksum(bytes(message[:8]))
+        if interpretation == 2:
+            return internet_checksum(bytes(message[:4]))
+        if interpretation == 3:
+            return internet_checksum(bytes(message))
+        if interpretation == 4:
+            return internet_checksum(request.header_bytes())
+        if interpretation == 5:
+            return internet_checksum(request.options + bytes(message))
+        if interpretation == 6:
+            # Incremental update of the request checksum for the type change
+            # (0x0800 -> 0x0000); correct ONLY if the sender checksummed the
+            # full message — interoperates by accident, which is why some
+            # students "passed" with it.
+            return incremental_update(echo.checksum, 0x0800, 0x0000)
+        if interpretation == 7:
+            return internet_checksum(bytes(message[:36]))
+        raise ValueError(f"unknown interpretation {interpretation}")
+
+
+@dataclass
+class StudentOutcome:
+    """One simulated implementation's result against ping."""
+
+    label: str
+    faults: set[str]
+    checksum_interpretation: int
+    passed: bool
+    rejection_reasons: list[str] = dataclass_field(default_factory=list)
+    error_classes: set[str] = dataclass_field(default_factory=set)
+
+
+def evaluate_implementation(implementation: FaultyICMP, label: str = "") -> StudentOutcome:
+    """Run simulated Linux ping against one implementation."""
+    topology = course_topology(implementation=implementation)
+    prober = Ping(topology.client, payload_len=56)
+    result = prober.run(topology.router.interface("eth0").address, count=3)
+    outcome = StudentOutcome(
+        label=label,
+        faults=set(implementation.faults),
+        checksum_interpretation=implementation.checksum_interpretation,
+        passed=result.success,
+        rejection_reasons=list(result.rejections),
+    )
+    outcome.error_classes = classify(outcome)
+    return outcome
+
+
+def classify(outcome: StudentOutcome) -> set[str]:
+    """Map observed failures back onto the Table 2 error classes."""
+    classes: set[str] = set()
+    if outcome.passed:
+        return classes
+    reasons = " ".join(outcome.rejection_reasons)
+    if "ip_header" in outcome.faults:
+        classes.add(ERROR_IP_HEADER)
+    if "icmp_header" in outcome.faults or "identifier mismatch" in reasons:
+        classes.add(ERROR_ICMP_HEADER)
+    if "byte_order" in outcome.faults:
+        classes.add(ERROR_BYTE_ORDER)
+    if "payload_content" in outcome.faults or "corrupted" in reasons:
+        classes.add(ERROR_PAYLOAD)
+    if "payload_length" in outcome.faults or "length" in reasons:
+        classes.add(ERROR_LENGTH)
+    if "bad ICMP checksum" in reasons or outcome.checksum_interpretation not in (3, 6):
+        classes.add(ERROR_CHECKSUM)
+    return classes
+
+
+def faulty_cohort() -> list[FaultyICMP]:
+    """The 14 faulty implementations, mixing Table 2 fault classes at the
+    paper's frequencies (each class appears in ≥4 of the 14)."""
+    specs: list[tuple[set[str], int]] = [
+        ({"ip_header", "icmp_header"}, 3),
+        ({"ip_header", "checksum"}, 2),
+        ({"ip_header", "payload_content"}, 3),
+        ({"ip_header", "byte_order"}, 3),
+        ({"ip_header", "icmp_header", "payload_length"}, 3),
+        ({"ip_header", "icmp_header"}, 1),
+        ({"ip_header", "icmp_header", "payload_content"}, 3),
+        ({"ip_header", "icmp_header", "payload_content", "payload_length"}, 3),
+        ({"icmp_header", "byte_order"}, 3),
+        ({"icmp_header", "checksum"}, 7),
+        ({"byte_order", "payload_length", "payload_content"}, 3),
+        ({"payload_content"}, 4),
+        ({"payload_content", "payload_length"}, 7),
+        ({"byte_order", "checksum", "icmp_header"}, 2),
+    ]
+    return [FaultyICMP(faults=faults, checksum_interpretation=ci)
+            for faults, ci in specs]
+
+
+@dataclass
+class StudyResult:
+    """The full Table 2 reproduction."""
+
+    total: int
+    correct: int
+    non_compiling: int
+    outcomes: list[StudentOutcome]
+
+    def frequencies(self) -> dict[str, float]:
+        failed = [o for o in self.outcomes if not o.passed]
+        if not failed:
+            return {}
+        counts: dict[str, int] = {}
+        for outcome in failed:
+            for error_class in outcome.error_classes:
+                counts[error_class] = counts.get(error_class, 0) + 1
+        return {name: count / len(failed) for name, count in counts.items()}
+
+    def parse_rate(self) -> float:
+        return self.correct / self.total
+
+
+def run_study() -> StudyResult:
+    """Simulate the class of 39: 24 correct, 1 non-compiling, 14 faulty."""
+    outcomes: list[StudentOutcome] = []
+    for index in range(24):
+        outcome = evaluate_implementation(FaultyICMP(), label=f"correct-{index}")
+        outcomes.append(outcome)
+    for index, implementation in enumerate(faulty_cohort()):
+        outcomes.append(
+            evaluate_implementation(implementation, label=f"faulty-{index}")
+        )
+    correct = sum(1 for o in outcomes if o.passed)
+    return StudyResult(
+        total=39, correct=correct, non_compiling=1, outcomes=outcomes
+    )
+
+
+def checksum_interpretation_study() -> dict[int, bool]:
+    """Table 3: does each checksum-range interpretation interoperate?"""
+    results: dict[int, bool] = {}
+    for interpretation in FaultyICMP.CHECKSUM_INTERPRETATIONS:
+        implementation = FaultyICMP(checksum_interpretation=interpretation)
+        outcome = evaluate_implementation(implementation)
+        results[interpretation] = outcome.passed
+    return results

@@ -1,0 +1,125 @@
+"""CCG syntactic categories.
+
+Primitive categories (S, NP, N, PP, CONJ) and complex categories built with
+the two slashes: ``X/Y`` (seeks Y to the right) and ``X\\Y`` (seeks Y to the
+left).  Category strings parse with left association, so ``S\\NP/NP`` reads
+``(S\\NP)/NP`` — a transitive verb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+FORWARD = "/"
+BACKWARD = "\\"
+
+
+class Category:
+    """Base class; use :func:`parse_category` or the helpers to build."""
+
+    def is_function(self) -> bool:
+        return isinstance(self, Func)
+
+
+@dataclass(frozen=True)
+class Prim(Category):
+    """A primitive category such as S or NP."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Func(Category):
+    """A function category ``result/arg`` or ``result\\arg``."""
+
+    result: Category
+    slash: str
+    arg: Category
+
+    def __post_init__(self) -> None:
+        if self.slash not in (FORWARD, BACKWARD):
+            raise ValueError(f"bad slash {self.slash!r}")
+
+    def __str__(self) -> str:
+        result = str(self.result)
+        if isinstance(self.result, Func):
+            result = f"({result})"
+        arg = str(self.arg)
+        if isinstance(self.arg, Func):
+            arg = f"({arg})"
+        return f"{result}{self.slash}{arg}"
+
+
+S = Prim("S")
+NP = Prim("NP")
+N = Prim("N")
+PP = Prim("PP")
+CONJ = Prim("CONJ")
+
+
+def forward(result: Category, arg: Category) -> Func:
+    """``result/arg``: combines with ``arg`` on the right."""
+    return Func(result, FORWARD, arg)
+
+
+def backward(result: Category, arg: Category) -> Func:
+    """``result\\arg``: combines with ``arg`` on the left."""
+    return Func(result, BACKWARD, arg)
+
+
+def parse_category(text: str) -> Category:
+    """Parse a category string, e.g. ``"(S\\NP)/NP"``.
+
+    Slashes associate left: ``S\\NP/NP`` means ``(S\\NP)/NP``.
+    """
+    tokens = _lex(text)
+    category, rest = _parse_tokens(tokens)
+    if rest:
+        raise ValueError(f"trailing tokens in category {text!r}: {rest}")
+    return category
+
+
+def _lex(text: str) -> list[str]:
+    tokens = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char.isspace():
+            index += 1
+        elif char in "()/\\":
+            tokens.append(char)
+            index += 1
+        elif char.isalpha():
+            start = index
+            while index < len(text) and text[index].isalnum():
+                index += 1
+            tokens.append(text[start:index])
+        else:
+            raise ValueError(f"bad character {char!r} in category {text!r}")
+    return tokens
+
+
+def _parse_tokens(tokens: list[str]) -> tuple[Category, list[str]]:
+    left, rest = _parse_atom(tokens)
+    while rest and rest[0] in (FORWARD, BACKWARD):
+        slash = rest[0]
+        right, rest = _parse_atom(rest[1:])
+        left = Func(left, slash, right)
+    return left, rest
+
+
+def _parse_atom(tokens: list[str]) -> tuple[Category, list[str]]:
+    if not tokens:
+        raise ValueError("unexpected end of category")
+    head = tokens[0]
+    if head == "(":
+        inner, rest = _parse_tokens(tokens[1:])
+        if not rest or rest[0] != ")":
+            raise ValueError("unbalanced parenthesis in category")
+        return inner, rest[1:]
+    if head in (FORWARD, BACKWARD, ")"):
+        raise ValueError(f"unexpected token {head!r} in category")
+    return Prim(head), tokens[1:]

@@ -1,0 +1,585 @@
+"""The CCG lexicon: general English glue plus domain-specific entries.
+
+Mirrors §3 of the paper: a small hand-crafted lexicon encodes how RFCs use
+words ("is" as assignment, "of" as field access, "starting with" as a range
+anchor).  Entries are grouped (``core``/``icmp``/``igmp``/``ntp``/``bfd``)
+so the incremental-lexicon accounting of §6.3-6.4 can be reported from the
+live registry.
+
+Entries flagged ``overgen=True`` deliberately over-generate, reproducing the
+CCG behaviours §4.1 blames for multiple logical forms:
+
+* the swapped-argument conditional (``@If(B,A)``) — CCG's "order-sensitive
+  predicate arguments";
+* the reversed assignment (``@Is(value, target)``);
+* ``of`` taking a sentential complement (``A of (B is C)``) — "predicate
+  order-sensitivity";
+* swapped adverbial advice (``@AdvBefore(main, advice)``).
+
+The disambiguation checks (§4.2) must remove every LF these entries create.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .categories import Category, parse_category
+from .semantics import App, Call, Const, Lam, Sem, Var
+
+
+def _lam(*params: str, body: Sem) -> Sem:
+    for param in reversed(params):
+        body = Lam(param, body)
+    return body
+
+
+def _call(pred: str, *args: Sem, flags: frozenset[str] = frozenset()) -> Call:
+    return Call(pred, tuple(args), flags=flags)
+
+
+x, y, z, f, v, d, m, s, a = (Var("x"), Var("y"), Var("z"), Var("f"), Var("v"),
+                             Var("d"), Var("m"), Var("s"), Var("a"))
+
+IDENTITY = Lam("x", x)
+VP_IDENTITY = Lam("f", f)
+
+
+@dataclass(frozen=True)
+class LexEntry:
+    """One lexical entry: a phrase, its category, and its semantics."""
+
+    phrase: str
+    category: Category
+    sem: Sem
+    group: str = "core"
+    overgen: bool = False
+
+    @property
+    def words(self) -> tuple[str, ...]:
+        return tuple(self.phrase.lower().split())
+
+
+class Lexicon:
+    """Phrase → entries lookup with multiword support."""
+
+    def __init__(self, entries: list[LexEntry] | None = None) -> None:
+        self._by_words: dict[tuple[str, ...], list[LexEntry]] = {}
+        self.max_phrase_words = 1
+        for entry in entries or []:
+            self.add(entry)
+
+    def add(self, entry: LexEntry) -> None:
+        self._by_words.setdefault(entry.words, []).append(entry)
+        self.max_phrase_words = max(self.max_phrase_words, len(entry.words))
+
+    def extend(self, entries: list[LexEntry]) -> None:
+        for entry in entries:
+            self.add(entry)
+
+    def lookup(self, words: list[str]) -> list[LexEntry]:
+        return list(self._by_words.get(tuple(word.lower() for word in words), []))
+
+    def entries(self) -> list[LexEntry]:
+        return [entry for bucket in self._by_words.values() for entry in bucket]
+
+    def count_by_group(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for entry in self.entries():
+            counts[entry.group] = counts.get(entry.group, 0) + 1
+        return counts
+
+    def without_overgen(self) -> "Lexicon":
+        return Lexicon([entry for entry in self.entries() if not entry.overgen])
+
+
+def _entry(phrase: str, category: str, sem: Sem, group: str = "core",
+           overgen: bool = False) -> LexEntry:
+    return LexEntry(phrase, parse_category(category), sem, group, overgen)
+
+
+def core_entries() -> list[LexEntry]:
+    """General English glue shared by every RFC."""
+    entries: list[LexEntry] = []
+
+    # Determiners are semantically vacuous.
+    for det in ("the", "a", "an", "this", "that", "these", "those", "its",
+                "their", "any", "each", "such"):
+        entries.append(_entry(det, "NP/NP", IDENTITY))
+
+    # Copulas: assignment (the RFC reading of "is") plus the auxiliary
+    # reading used by passives ("is reversed").
+    for copula in ("is", "are", "was", "were", "be"):
+        entries.append(
+            _entry(copula, "(S\\NP)/NP", _lam("x", "y", body=_call("Is", y, x)))
+        )
+        entries.append(_entry(copula, "(S\\NP)/(S\\NP)", VP_IDENTITY))
+        # Over-generation: the reversed assignment.
+        entries.append(
+            _entry(copula, "(S\\NP)/NP", _lam("x", "y", body=_call("Is", x, y)),
+                   overgen=True)
+        )
+
+    # Modal + copula idioms.  "may be" is the optional assignment whose
+    # naive reading creates the paper's under-specification bug.
+    for modal in ("must be", "should be", "shall be", "will be"):
+        entries.append(
+            _entry(modal, "(S\\NP)/NP", _lam("x", "y", body=_call("Is", y, x)))
+        )
+        entries.append(_entry(modal, "(S\\NP)/(S\\NP)", VP_IDENTITY))
+    entries.append(
+        _entry("may be", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("May", _call("Is", y, x))))
+    )
+    # "may be <participle>": optionality wraps the action too.
+    entries.append(
+        _entry("may be", "(S\\NP)/(S\\NP)",
+               _lam("f", "y", body=_call("May", App(f, y))))
+    )
+    entries.append(_entry("can be", "(S\\NP)/(S\\NP)", VP_IDENTITY))
+    # Bare modals before verb phrases: "MUST cease", "may generate".  "may"
+    # always contributes @May so optional behaviour stays visible to codegen
+    # and unit testing (the §6.5 under-specification discovery).
+    for modal in ("must", "should", "shall", "will", "can"):
+        entries.append(_entry(modal, "(S\\NP)/(S\\NP)", VP_IDENTITY))
+    entries.append(
+        _entry("may", "(S\\NP)/(S\\NP)",
+               _lam("f", "y", body=_call("May", App(f, y))))
+    )
+
+    # Prepositions as noun-phrase modifiers.
+    entries.append(
+        _entry("of", "(NP\\NP)/NP", _lam("x", "y", body=_call("Of", y, x)))
+    )
+    # Over-generation: "of" with a sentential complement lets @Is nest
+    # beneath @Of — the "A of (B is C)" reading of §4.1.
+    entries.append(
+        _entry("of", "(NP\\NP)/S", _lam("x", "y", body=_call("Of", y, x)),
+               overgen=True)
+    )
+    entries.append(
+        _entry("in", "(NP\\NP)/NP", _lam("x", "y", body=_call("In", y, x)))
+    )
+    entries.append(
+        _entry("from", "(NP\\NP)/NP", _lam("x", "y", body=_call("From", y, x)))
+    )
+    entries.append(
+        _entry("for", "(NP\\NP)/NP", _lam("x", "y", body=_call("For", y, x)))
+    )
+    entries.append(
+        _entry("with", "(NP\\NP)/NP", _lam("x", "y", body=_call("With", y, x)))
+    )
+
+    # "to" heads an argument PP ("set ... to 0") and purpose clauses.
+    entries.append(_entry("to", "PP/NP", IDENTITY))
+    entries.append(
+        _entry("to", "(S/S)/S", _lam("x", "y", body=_call("Goal", x, y)))
+    )
+    entries.append(
+        _entry("to", "(S/S)/S", _lam("x", "y", body=_call("Goal", y, x)),
+               overgen=True)
+    )
+
+    # Sentence-initial adverbial "for": aspect-style advice (@AdvBefore).
+    entries.append(
+        _entry("for", "(S/S)/S", _lam("x", "y", body=_call("AdvBefore", x, y)))
+    )
+    entries.append(
+        _entry("for", "(S/S)/S", _lam("x", "y", body=_call("AdvBefore", y, x)),
+               overgen=True)
+    )
+
+    # Conditionals, with the over-generated swapped argument order of §4.1.
+    for cond in ("if", "when"):
+        entries.append(
+            _entry(cond, "(S/S)/S", _lam("x", "y", body=_call("If", x, y)))
+        )
+        entries.append(
+            _entry(cond, "(S/S)/S", _lam("x", "y", body=_call("If", y, x)),
+                   overgen=True)
+        )
+        # Trailing conditional: "X is done when Y".
+        entries.append(
+            _entry(cond, "(S\\S)/S", _lam("x", "y", body=_call("If", x, y)))
+        )
+
+    # Coordination markers; the chart's coordination rule consumes these.
+    entries.append(_entry("and", "CONJ", Const("and")))
+    entries.append(_entry("or", "CONJ", Const("or")))
+    entries.append(_entry(",", "CONJ", Const("and")))
+    # Comma as pure punctuation: clause separator after S/S, before a VP,
+    # and the Oxford comma absorbing into a following conjunction phrase
+    # ("A, B, and C").
+    entries.append(_entry(",", "(S/S)\\(S/S)", VP_IDENTITY))
+    entries.append(_entry(",", "(S\\NP)/(S\\NP)", VP_IDENTITY))
+    entries.append(_entry(",", "(S\\S)/(S\\S)", VP_IDENTITY))
+    entries.append(_entry(",", "(NP\\NP)/(NP\\NP)", VP_IDENTITY))
+    entries.append(_entry(";", "(S\\S)/S", _lam("x", "y", body=_call("And", y, x))))
+
+    # Field-test idiom "code = 0" and arithmetic "+".
+    entries.append(
+        _entry("=", "(S\\NP)/NP", _lam("x", "y", body=_call("Is", y, x)))
+    )
+    entries.append(
+        _entry("+", "(NP\\NP)/NP", _lam("x", "y", body=_call("And", y, x)))
+    )
+    entries.append(
+        _entry("plus", "(NP\\NP)/NP", _lam("x", "y", body=_call("And", y, x)))
+    )
+
+    # Vacuous adverbs: pre-verbal, pre-nominal, trailing, and modifying a
+    # reduced relative ("fully specified").
+    for adverb in ("simply", "only", "also", "then", "currently", "always",
+                   "actually", "typically", "directly", "fully",
+                   "absolutely", "last"):
+        entries.append(_entry(adverb, "(S\\NP)/(S\\NP)", VP_IDENTITY))
+        entries.append(_entry(adverb, "NP/NP", IDENTITY))
+        entries.append(_entry(adverb, "S\\S", Lam("s", s)))
+        entries.append(_entry(adverb, "(NP\\NP)/(NP\\NP)", VP_IDENTITY))
+
+    # Common constants.
+    entries.append(_entry("zero", "NP", Const("0")))
+    entries.append(_entry("zeros", "NP", Const("0")))
+    entries.append(_entry("one", "NP", Const("1")))
+    entries.append(_entry("nonzero", "NP", Const("nonzero")))
+
+    # Pronouns and demonstratives resolve against context in codegen.
+    for pronoun in ("it", "they", "them", "this", "these"):
+        entries.append(_entry(pronoun, "NP", Const(pronoun)))
+
+    # Negation wraps the clause.
+    entries.append(
+        _entry("not", "(S\\NP)/(S\\NP)",
+               _lam("f", "y", body=_call("Not", App(f, y))))
+    )
+    entries.append(
+        _entry("no", "NP/NP", Lam("x", _call("Not", x)))
+    )
+
+    # Quantifiers are semantically vacuous for code generation.
+    for quantifier in ("every", "all", "some", "several", "both"):
+        entries.append(_entry(quantifier, "NP/NP", IDENTITY))
+
+    # Trailing modifiers that add prose colour but no executable content:
+    # passive agents ("by the host"), routes ("via the message"), manner
+    # ("as a shorter path"), topic ("about messages"), time ("since
+    # midnight"), direction ("to the process", "on receipt").
+    for preposition in ("by", "via", "as", "about", "since", "to", "on", "at",
+                       "before", "after", "during", "for", "with", "within"):
+        entries.append(
+            _entry(preposition, "(S\\S)/NP", _lam("x", "s", body=s))
+        )
+    # The same words as vacuous NP post-modifiers ("messages about messages").
+    for preposition in ("by", "via", "about", "since", "on", "at"):
+        entries.append(
+            _entry(preposition, "(NP\\NP)/NP", _lam("x", "y", body=y))
+        )
+
+    # Trailing purpose clause: "... is used by the host to match ...".
+    entries.append(_entry("to", "(S\\S)/S", _lam("x", "s", body=s)))
+    entries.append(_entry("to", "(S\\S)/(S\\NP)", _lam("x", "s", body=s)))
+
+    # Further vacuous prose glue.
+    entries.append(_entry("in", "(S\\S)/NP", _lam("x", "s", body=s)))
+    entries.append(_entry("using", "(S\\S)/NP", _lam("x", "s", body=s)))
+    entries.append(_entry("as if", "(S\\S)/S", _lam("x", "s", body=s)))
+    entries.append(_entry("processing", "(NP\\NP)/NP", _lam("x", "y", body=y)))
+    entries.append(_entry("to aid in", "(S\\S)/NP", _lam("x", "s", body=s)))
+    # Perception/embedding verbs surface their complement clause: "the
+    # gateway finds the TTL field is zero" means the condition itself;
+    # with a plain object ("finds a problem") it is a detection action.
+    entries.append(_entry("finds", "(S\\NP)/S", _lam("s", "y", body=s)))
+    entries.append(
+        _entry("finds", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("Action", Const("find"), x)))
+    )
+
+    # Possession: "it does not have the buffer space".
+    for verb_form in ("have", "has", "had"):
+        entries.append(
+            _entry(verb_form, "(S\\NP)/NP", _lam("x", "y", body=_call("With", y, x)))
+        )
+    for aux in ("does", "do", "did"):
+        entries.append(_entry(aux, "(S\\NP)/(S\\NP)", VP_IDENTITY))
+
+    # Locative predication: "they are assumed to be in the first 64 bits".
+    entries.append(
+        _entry("be in", "(S\\NP)/NP", _lam("x", "y", body=_call("In", y, x)))
+    )
+
+    # Trailing advice: "... is padded ... for computing the checksum" —
+    # execute the adverbial clause before the main one (@AdvBefore).
+    entries.append(
+        _entry("for", "(S\\S)/S", _lam("x", "s", body=_call("AdvBefore", x, s)))
+    )
+
+    # Relative clauses over full clauses ("that it discards" via raising).
+    entries.append(
+        _entry("that", "(NP\\NP)/(S/NP)", _lam("r", "y", body=y))
+    )
+    entries.append(
+        _entry("which", "(NP\\NP)/(S/NP)", _lam("r", "y", body=y))
+    )
+
+    return entries
+
+
+def icmp_entries() -> list[LexEntry]:
+    """Domain entries added for RFC 792 (the paper's 71-entry increment)."""
+    entries: list[LexEntry] = []
+
+    def verb(phrase: str, action: str) -> None:
+        """An action verb: passive participle, imperative, and gerund."""
+        entries.append(
+            _entry(phrase, "S\\NP", Lam("y", _call("Action", Const(action), y)),
+                   group="icmp")
+        )
+
+    def imperative(phrase: str, action: str) -> None:
+        entries.append(
+            _entry(phrase, "S/NP", Lam("x", _call("Action", Const(action), x)),
+                   group="icmp")
+        )
+        # Active transitive with the (framework-implicit) subject dropped:
+        # "the gateway may send a message" → @Action('send', message).
+        entries.append(
+            _entry(phrase, "(S\\NP)/NP",
+                   _lam("x", "y", body=_call("Action", Const(action), x)),
+                   group="icmp")
+        )
+
+    # Passive participles: "the addresses are reversed", "the checksum
+    # recomputed", "the packet is discarded" ...
+    verb("reversed", "reverse")
+    verb("exchanged", "reverse")
+    verb("recomputed", "recompute")
+    verb("discarded", "discard")
+    verb("sent", "send")
+    verb("detected", "detect")
+    verb("zeroed", "zero")
+    verb("incremented", "increment")
+
+    # Imperatives / infinitives: "To form an echo reply message ...".
+    imperative("form", "form")
+    imperative("compute", "compute")
+    imperative("computing", "compute")
+    imperative("forming", "form")
+    imperative("recompute", "recompute")
+    imperative("reverse", "reverse")
+    imperative("exchange", "reverse")
+    imperative("send", "send")
+    imperative("discard", "discard")
+    imperative("take", "take")
+
+    # Over-generation: an action whose arguments land swapped — the badly
+    # typed @Action('0', 'compute')-style LFs the type check removes.
+    entries.append(
+        _entry("computing", "S/NP", Lam("x", _call("Action", x, Const("compute"))),
+               group="icmp", overgen=True)
+    )
+    entries.append(
+        _entry("set", "S/NP", Lam("x", _call("Action", x, Const("set"))),
+               group="icmp", overgen=True)
+    )
+
+    # "set X to Y" / "the sender sets X to Y" / "X is set to Y" /
+    # "X changed to Y".
+    entries.append(
+        _entry("set", "(S/PP)/NP", _lam("x", "v", body=_call("Is", x, v)),
+               group="icmp")
+    )
+    for set_form in ("set", "sets"):
+        entries.append(
+            _entry(set_form, "((S\\NP)/PP)/NP",
+                   _lam("x", "v", "y", body=_call("Is", x, v)), group="icmp")
+        )
+    entries.append(
+        _entry("set to", "(S\\NP)/NP", _lam("v", "y", body=_call("Is", y, v)),
+               group="icmp")
+    )
+    entries.append(
+        _entry("changed to", "(S\\NP)/NP", _lam("v", "y", body=_call("Is", y, v)),
+               group="icmp")
+    )
+    entries.append(
+        _entry("changed", "(S\\NP)/PP", _lam("v", "y", body=_call("Is", y, v)),
+               group="icmp")
+    )
+
+    # "must be returned in X": copy an object into a destination.
+    entries.append(
+        _entry("returned", "(S\\NP)/PP",
+               _lam("d", "y", body=_call("Action", Const("return"), y, d)),
+               group="icmp")
+    )
+    entries.append(
+        _entry("returned", "S\\NP",
+               Lam("y", _call("Action", Const("return"), y)), group="icmp")
+    )
+    entries.append(_entry("in", "PP/NP", IDENTITY, group="icmp"))
+
+    # "the data received in the echo message": same containment semantics as
+    # the bare "in" modifier, so the two derivations collapse in the chart.
+    entries.append(
+        _entry("received in", "(NP\\NP)/NP",
+               _lam("x", "y", body=_call("In", y, x)), group="icmp")
+    )
+
+    # "the received data is padded with one octet of zeros".
+    entries.append(
+        _entry("padded with", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("Action", Const("pad"), y, x)),
+               group="icmp")
+    )
+
+    # Checksum-range anchor: "... starting with the ICMP Type".
+    entries.append(
+        _entry("starting with", "(S\\S)/NP",
+               _lam("x", "s", body=_call("StartsWith", s, x)), group="icmp")
+    )
+    entries.append(
+        _entry("starting with", "(NP\\NP)/NP",
+               _lam("x", "y", body=_call("StartsWith", y, x)), group="icmp")
+    )
+    entries.append(
+        _entry("starting at", "(NP\\NP)/NP",
+               _lam("x", "y", body=_call("StartsWith", y, x)), group="icmp")
+    )
+
+    # Field-description verbs.
+    entries.append(
+        _entry("identifies", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("Is", y, x)), group="icmp")
+    )
+    entries.append(
+        _entry("indicates", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("Is", y, x)), group="icmp")
+    )
+    entries.append(
+        _entry("contains", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("Is", y, x)), group="icmp")
+    )
+    entries.append(
+        _entry("matches", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("Is", y, x)), group="icmp")
+    )
+
+    # Relative/descriptive clauses.
+    entries.append(
+        _entry("where", "(NP\\NP)/S", _lam("s", "y", body=_call("Where", y, s)),
+               group="icmp")
+    )
+    entries.append(
+        _entry("to aid in", "(NP\\NP)/NP", _lam("x", "y", body=y), group="icmp")
+    )
+    entries.append(
+        _entry("matching", "NP/NP", IDENTITY, group="icmp")
+    )
+
+    # Frequent vacuous glue in RFC 792 prose.
+    entries.append(_entry("value", "NP/NP", IDENTITY, group="icmp"))
+    entries.append(_entry("value of", "NP/NP", IDENTITY, group="icmp"))
+    entries.append(_entry("field", "NP\\NP", Lam("y", y), group="icmp"))
+
+    return entries
+
+
+def igmp_entries() -> list[LexEntry]:
+    """The small increment needed for RFC 1112 (paper: 8 entries)."""
+    return [
+        _entry("sent to", "(S\\NP)/NP",
+               _lam("d", "y", body=_call("Action", Const("send"), y, d)),
+               group="igmp"),
+        _entry("addressed to", "(S\\NP)/NP",
+               _lam("d", "y", body=_call("Action", Const("send"), y, d)),
+               group="igmp"),
+        _entry("joined", "S\\NP",
+               Lam("y", _call("Action", Const("join"), y)), group="igmp"),
+        _entry("reports", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("Action", Const("report"), y, x)),
+               group="igmp"),
+        _entry("responds with", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("Action", Const("respond"), y, x)),
+               group="igmp"),
+        _entry("ignored", "S\\NP",
+               Lam("y", _call("Action", Const("ignore"), y)), group="igmp"),
+        _entry("carries", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("Is", y, x)), group="igmp"),
+        _entry("emitted", "S\\NP",
+               Lam("y", _call("Action", Const("send"), y)), group="igmp"),
+    ]
+
+
+def ntp_entries() -> list[LexEntry]:
+    """The increment for RFC 1059 (paper: 5 entries)."""
+    return [
+        # Table 11: "when the peer timer reaches the value of the timer
+        # threshold variable" — a >= comparison.
+        _entry("reaches", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("Reach", y, x)), group="ntp"),
+        # "The timeout procedure is called in client mode and symmetric mode"
+        _entry("called in", "(S\\NP)/NP",
+               _lam("m", "y", body=_call("CalledIn", y, m)), group="ntp"),
+        _entry("is called in", "(S\\NP)/NP",
+               _lam("m", "y", body=_call("CalledIn", y, m)), group="ntp"),
+        _entry("transmitted as", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("EncapsulatedIn", y, x)), group="ntp"),
+        _entry("encapsulated in", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("EncapsulatedIn", y, x)), group="ntp"),
+    ]
+
+
+def bfd_entries() -> list[LexEntry]:
+    """The increment for RFC 5880 state management (paper: 15 entries)."""
+    return [
+        _entry("used to select", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("Action", Const("select"), x, y)),
+               group="bfd"),
+        _entry("be used to select", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("Action", Const("select"), x, y)),
+               group="bfd"),
+        _entry("associated", "S\\NP",
+               Lam("y", _call("Action", Const("associate"), y)), group="bfd"),
+        _entry("with which", "(NP\\NP)/S",
+               _lam("s", "y", body=_call("Where", y, s)), group="bfd"),
+        _entry("found", "S\\NP",
+               Lam("y", _call("Action", Const("find"), y)), group="bfd"),
+        _entry("no", "NP/NP", Lam("x", _call("Not", x)), group="bfd"),
+        _entry("cease", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("Action", Const("cease"), x)),
+               group="bfd"),
+        _entry("ceases", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("Action", Const("cease"), x)),
+               group="bfd"),
+        _entry("active on", "(S\\NP)/NP",
+               _lam("x", "y", body=_call("ActiveOn", y, x)), group="bfd"),
+        _entry("receipt of", "NP/NP", IDENTITY, group="bfd"),
+        _entry("set", "(S/PP)/NP", _lam("x", "v", body=_call("Is", x, v)),
+               group="bfd"),
+        _entry("update", "(S/NP)", Lam("x", _call("Action", Const("update"), x)),
+               group="bfd"),
+        _entry("initialized to", "(S\\NP)/NP",
+               _lam("v", "y", body=_call("Is", y, v)), group="bfd"),
+        _entry("transitions to", "(S\\NP)/NP",
+               _lam("v", "y", body=_call("Is", y, v)), group="bfd"),
+        _entry("remains", "(S\\NP)/NP",
+               _lam("v", "y", body=_call("Is", y, v)), group="bfd"),
+    ]
+
+
+def build_lexicon(groups: tuple[str, ...] = ("core", "icmp", "igmp", "ntp", "bfd"),
+                  include_overgen: bool = True) -> Lexicon:
+    """Assemble the lexicon from the requested entry groups."""
+    builders = {
+        "core": core_entries,
+        "icmp": icmp_entries,
+        "igmp": igmp_entries,
+        "ntp": ntp_entries,
+        "bfd": bfd_entries,
+    }
+    lexicon = Lexicon()
+    for group in groups:
+        for entry in builders[group]():
+            if entry.overgen and not include_overgen:
+                continue
+            lexicon.add(entry)
+    return lexicon

@@ -1,0 +1,238 @@
+"""Lambda-calculus semantic terms with predicate applications.
+
+A lexical entry pairs its category with one of these terms; combinators
+apply and compose them; beta reduction normalizes the result.  Fully
+reduced sentence semantics contain only :class:`Call` (predicate
+application) and :class:`Const` nodes — the nested-predicate logical forms
+of the paper (Figure 2).
+
+Provenance metadata rides along for the disambiguation checks:
+
+* every :class:`Const` records the token span it came from;
+* every :class:`Call` records the token index of the lexical item that
+  introduced it (``trigger``) and inherits a ``flags`` set (e.g. the
+  distributed-coordination reading is flagged ``distributed``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+_fresh_counter = itertools.count()
+
+
+class Sem:
+    """Base class for semantic terms."""
+
+
+@dataclass(frozen=True)
+class Var(Sem):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Sem):
+    """A grounded constant: a noun phrase, number, or function name."""
+
+    value: str
+    span: tuple[int, int] | None = field(default=None, compare=False)
+
+    def __str__(self) -> str:
+        return f"'{self.value}'"
+
+
+@dataclass(frozen=True)
+class Lam(Sem):
+    param: str
+    body: Sem
+
+    def __str__(self) -> str:
+        return f"λ{self.param}.{self.body}"
+
+
+@dataclass(frozen=True)
+class App(Sem):
+    fn: Sem
+    arg: Sem
+
+    def __str__(self) -> str:
+        return f"({self.fn} {self.arg})"
+
+
+@dataclass(frozen=True)
+class Call(Sem):
+    """A predicate application, e.g. ``@Is('checksum', '0')``."""
+
+    pred: str
+    args: tuple[Sem, ...]
+    trigger: int | None = field(default=None, compare=False)
+    flags: frozenset[str] = field(default=frozenset(), compare=False)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"@{self.pred}({rendered})"
+
+
+# -- substitution and reduction ---------------------------------------------
+
+def free_vars(term: Sem) -> set[str]:
+    if isinstance(term, Var):
+        return {term.name}
+    if isinstance(term, Lam):
+        return free_vars(term.body) - {term.param}
+    if isinstance(term, App):
+        return free_vars(term.fn) | free_vars(term.arg)
+    if isinstance(term, Call):
+        result: set[str] = set()
+        for arg in term.args:
+            result |= free_vars(arg)
+        return result
+    return set()
+
+
+def _fresh_name(base: str) -> str:
+    return f"{base}_{next(_fresh_counter)}"
+
+
+def substitute(term: Sem, name: str, value: Sem) -> Sem:
+    """Capture-avoiding substitution of ``value`` for ``Var(name)``."""
+    if isinstance(term, Var):
+        return value if term.name == name else term
+    if isinstance(term, Const):
+        return term
+    if isinstance(term, Lam):
+        if term.param == name:
+            return term  # the binder shadows the substitution
+        if term.param in free_vars(value):
+            renamed = _fresh_name(term.param)
+            body = substitute(term.body, term.param, Var(renamed))
+            return Lam(renamed, substitute(body, name, value))
+        return Lam(term.param, substitute(term.body, name, value))
+    if isinstance(term, App):
+        return App(substitute(term.fn, name, value), substitute(term.arg, name, value))
+    if isinstance(term, Call):
+        return replace(
+            term, args=tuple(substitute(arg, name, value) for arg in term.args)
+        )
+    raise TypeError(f"unknown term {term!r}")
+
+
+def reduce_term(term: Sem, budget: int = 500) -> Sem:
+    """Normalize by repeated beta reduction (bounded to guarantee halt)."""
+    for _ in range(budget):
+        reduced, changed = _step(term)
+        if not changed:
+            return reduced
+        term = reduced
+    return term
+
+
+def _step(term: Sem) -> tuple[Sem, bool]:
+    if isinstance(term, App):
+        if isinstance(term.fn, Lam):
+            return substitute(term.fn.body, term.fn.param, term.arg), True
+        fn, changed_fn = _step(term.fn)
+        if changed_fn:
+            return App(fn, term.arg), True
+        arg, changed_arg = _step(term.arg)
+        if changed_arg:
+            return App(term.fn, arg), True
+        return term, False
+    if isinstance(term, Lam):
+        body, changed = _step(term.body)
+        return (Lam(term.param, body), changed)
+    if isinstance(term, Call):
+        new_args = []
+        changed_any = False
+        for arg in term.args:
+            new_arg, changed = _step(arg)
+            new_args.append(new_arg)
+            changed_any = changed_any or changed
+        if changed_any:
+            return replace(term, args=tuple(new_args)), True
+        return term, False
+    return term, False
+
+
+# -- provenance stamping and inspection -------------------------------------
+
+def stamp(term: Sem, index: int) -> Sem:
+    """Attach token provenance to a lexical entry's template semantics.
+
+    Constants with no span get span ``(index, index+1)``; calls with no
+    trigger get ``trigger=index``.
+    """
+    if isinstance(term, Const):
+        return term if term.span is not None else replace(term, span=(index, index + 1))
+    if isinstance(term, Lam):
+        return Lam(term.param, stamp(term.body, index))
+    if isinstance(term, App):
+        return App(stamp(term.fn, index), stamp(term.arg, index))
+    if isinstance(term, Call):
+        stamped_args = tuple(stamp(arg, index) for arg in term.args)
+        trigger = term.trigger if term.trigger is not None else index
+        return replace(term, args=stamped_args, trigger=trigger)
+    return term
+
+
+def span_of(term: Sem) -> tuple[int, int] | None:
+    """The token span covered by ``term``: min/max over constant spans."""
+    spans = [const.span for const in iter_consts(term) if const.span is not None]
+    if not spans:
+        return None
+    return (min(start for start, _ in spans), max(end for _, end in spans))
+
+
+def iter_consts(term: Sem) -> Iterator[Const]:
+    if isinstance(term, Const):
+        yield term
+    elif isinstance(term, Lam):
+        yield from iter_consts(term.body)
+    elif isinstance(term, App):
+        yield from iter_consts(term.fn)
+        yield from iter_consts(term.arg)
+    elif isinstance(term, Call):
+        for arg in term.args:
+            yield from iter_consts(arg)
+
+
+def iter_calls(term: Sem) -> Iterator[Call]:
+    if isinstance(term, Call):
+        yield term
+        for arg in term.args:
+            yield from iter_calls(arg)
+    elif isinstance(term, Lam):
+        yield from iter_calls(term.body)
+    elif isinstance(term, App):
+        yield from iter_calls(term.fn)
+        yield from iter_calls(term.arg)
+
+
+def is_grounded(term: Sem) -> bool:
+    """True when the term is fully reduced to calls and constants."""
+    if isinstance(term, Const):
+        return True
+    if isinstance(term, Call):
+        return all(is_grounded(arg) for arg in term.args)
+    return False
+
+
+def signature(term: Sem) -> str:
+    """Structural identity ignoring provenance metadata (for dedup)."""
+    if isinstance(term, Const):
+        return f"'{term.value}'"
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Lam):
+        return f"λ{term.param}.{signature(term.body)}"
+    if isinstance(term, App):
+        return f"({signature(term.fn)} {signature(term.arg)})"
+    if isinstance(term, Call):
+        rendered = ",".join(signature(arg) for arg in term.args)
+        return f"@{term.pred}({rendered})"
+    raise TypeError(f"unknown term {term!r}")

@@ -1,0 +1,42 @@
+"""Code generation: contexts, predicate handlers, emitters, assembly."""
+
+from .context import (
+    AmbiguousReference,
+    ContextResolver,
+    ResolutionError,
+    SentenceContext,
+    StaticContext,
+    Target,
+    UnknownReference,
+)
+from .emitters import CEmitter, PyEmitter
+from .generator import (
+    CodeUnit,
+    MessageProgram,
+    SentenceCode,
+    assemble_message_program,
+    builder_role,
+    function_name,
+)
+from .handlers import HandlerRegistry, HandlerResult, NonActionable
+
+__all__ = [
+    "AmbiguousReference",
+    "CEmitter",
+    "CodeUnit",
+    "ContextResolver",
+    "HandlerRegistry",
+    "HandlerResult",
+    "MessageProgram",
+    "NonActionable",
+    "PyEmitter",
+    "ResolutionError",
+    "SentenceCode",
+    "SentenceContext",
+    "StaticContext",
+    "Target",
+    "UnknownReference",
+    "assemble_message_program",
+    "builder_role",
+    "function_name",
+]

@@ -1,0 +1,27 @@
+"""The SAGE pipeline: the paper's primary contribution, end to end."""
+
+from .pipeline import (
+    STATUS_AMBIGUOUS_LF,
+    STATUS_AMBIGUOUS_REF,
+    STATUS_NON_ACTIONABLE,
+    STATUS_OK,
+    STATUS_REWRITTEN,
+    STATUS_UNPARSED,
+    Sage,
+    SageRun,
+    SentenceResult,
+    modal_sentences,
+)
+
+__all__ = [
+    "STATUS_AMBIGUOUS_LF",
+    "STATUS_AMBIGUOUS_REF",
+    "STATUS_NON_ACTIONABLE",
+    "STATUS_OK",
+    "STATUS_REWRITTEN",
+    "STATUS_UNPARSED",
+    "Sage",
+    "SageRun",
+    "SentenceResult",
+    "modal_sentences",
+]

@@ -1,0 +1,35 @@
+"""The §4.2 disambiguation stage: five checks plus the winnowing driver."""
+
+from .checks import (
+    ArgumentOrderingCheck,
+    AssociativityCheck,
+    Check,
+    CheckSuite,
+    DistributivityCheck,
+    PredicateOrderingCheck,
+    TypeCheck,
+)
+from .winnow import (
+    IsolatedEffect,
+    WinnowSummary,
+    WinnowTrace,
+    isolated_effects,
+    summarize,
+    winnow,
+)
+
+__all__ = [
+    "ArgumentOrderingCheck",
+    "AssociativityCheck",
+    "Check",
+    "CheckSuite",
+    "DistributivityCheck",
+    "IsolatedEffect",
+    "PredicateOrderingCheck",
+    "TypeCheck",
+    "WinnowSummary",
+    "WinnowTrace",
+    "isolated_effects",
+    "summarize",
+    "winnow",
+]

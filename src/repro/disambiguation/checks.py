@@ -1,0 +1,262 @@
+"""The five winnowing checks of §4.2.
+
+Each check filters a sentence's logical-form set:
+
+* **Type** — predicate argument types (allowlist; e.g. @Action's first
+  argument must be a function name, @Is cannot assign to a constant).
+* **Argument ordering** — order-sensitive predicates must take their
+  arguments in source order (@If's condition must be the clause adjacent to
+  the "if" token; @Is's target precedes its value).
+* **Predicate ordering** — blocklisted nestings are removed (@Is may not
+  appear beneath @Of: the "(A of B) is C" vs "A of (B is C)" case).
+* **Distributivity** — when both the grouped "(A and B) is C" and the
+  distributed "(A is C) and (B is C)" survive, keep the grouped form.
+* **Associativity** — logical forms equal up to associative regrouping
+  (graph-isomorphic after flattening, Figure 3) collapse to one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ccg.semantics import Call, Sem, iter_calls, span_of
+from ..lf.graph import canonical_signature, isomorphic
+from ..lf.predicates import (
+    LEFT_TO_RIGHT_PREDICATES,
+    TRIGGER_ADJACENT_PREDICATES,
+    ConstantClasses,
+    TypeRule,
+    default_type_rules,
+    rules_by_predicate,
+)
+
+
+class Check:
+    """Base winnowing check: filters a list of LFs."""
+
+    name = "check"
+
+    def filter(self, forms: list[Sem]) -> list[Sem]:
+        raise NotImplementedError
+
+
+class TypeCheck(Check):
+    """Remove LFs with ill-typed predicate arguments."""
+
+    name = "Type"
+
+    def __init__(self, rules: list[TypeRule] | None = None,
+                 classes: ConstantClasses | None = None) -> None:
+        self.rules = rules if rules is not None else default_type_rules()
+        self.classes = classes or ConstantClasses()
+        self._by_predicate = rules_by_predicate(self.rules)
+
+    def well_typed(self, form: Sem) -> bool:
+        for call in iter_calls(form):
+            for rule in self._by_predicate.get(call.pred, []):
+                if not rule.check(call, self.classes):
+                    return False
+        return True
+
+    def filter(self, forms: list[Sem]) -> list[Sem]:
+        return [form for form in forms if self.well_typed(form)]
+
+
+class ArgumentOrderingCheck(Check):
+    """Remove LFs whose order-sensitive arguments violate source order.
+
+    For trigger-adjacent predicates (@If, @AdvBefore, @Goal) the first
+    argument must be the clause that immediately follows the trigger word.
+    For left-to-right predicates (@Is, @Reach) the target's source span must
+    begin before the value's.
+    """
+
+    name = "Argument Ordering"
+
+    def ordered(self, form: Sem) -> bool:
+        for call in iter_calls(form):
+            if call.pred in TRIGGER_ADJACENT_PREDICATES:
+                if not self._trigger_adjacent(call):
+                    return False
+            if call.pred in LEFT_TO_RIGHT_PREDICATES:
+                if not self._left_to_right(call):
+                    return False
+        return True
+
+    @staticmethod
+    def _trigger_adjacent(call: Call) -> bool:
+        """The first argument owns the tokens right of the trigger word.
+
+        For "If A, B" (trigger sentence-initial) the condition A must start
+        after the trigger and the consequent B must follow A.  For "B if A"
+        (trailing trigger) A still follows the trigger while B sits wholly
+        before it.  A violating LF has B's material between the trigger and
+        A — the swapped-argument over-generation.
+        """
+        if call.trigger is None or len(call.args) < 2:
+            return True
+        first_span = span_of(call.args[0])
+        second_span = span_of(call.args[1])
+        if first_span is None or second_span is None:
+            return True
+        if first_span[0] <= call.trigger:
+            return False  # the trigger's clause must follow the trigger
+        return second_span[1] <= call.trigger or second_span[0] >= first_span[0]
+
+    @staticmethod
+    def _left_to_right(call: Call) -> bool:
+        if len(call.args) < 2:
+            return True
+        left_span = span_of(call.args[0])
+        right_span = span_of(call.args[1])
+        if left_span is None or right_span is None:
+            return True
+        return left_span[0] < right_span[0]
+
+    def filter(self, forms: list[Sem]) -> list[Sem]:
+        return [form for form in forms if self.ordered(form)]
+
+
+@dataclass(frozen=True)
+class NestingRule:
+    """``inner`` may not appear as a direct argument of ``outer``.
+
+    ``position`` restricts the rule to one argument slot (None = any slot).
+    ``transitive`` widens it to "anywhere beneath ``outer``".
+    """
+
+    outer: str
+    inner: str
+    position: int | None = None
+    transitive: bool = False
+
+
+# The blocklist: structural nestings RFC prose never means.
+DEFAULT_ORDERING_BLOCKLIST: tuple[NestingRule, ...] = (
+    # "(A of B) is C" is the only reading of "A of B is C" (§4.1).
+    NestingRule("Of", "Is", transitive=True),
+    # The checksum-range anchor scopes over the whole @Of chain (sentence H).
+    NestingRule("Of", "StartsWith"),
+    # ... and an assignment never nests inside the range expression.
+    NestingRule("StartsWith", "Is", transitive=True),
+    # A conditional cannot live inside a field path.
+    NestingRule("Of", "If", transitive=True),
+    # "A and B of C": of-attachment binds low ("A and (B of C)").
+    NestingRule("Of", "And", position=0),
+    # "A of B in C" / "A in B of C": prepositional attachment binds low.
+    NestingRule("In", "Of", position=0),
+    NestingRule("Of", "In", position=0),
+    # "A and B from C": the source modifier scopes over the conjunction.
+    NestingRule("And", "From"),
+    # Advice attaches to its nearest clause, not over a whole conditional.
+    NestingRule("AdvBefore", "If", position=1),
+)
+
+
+class PredicateOrderingCheck(Check):
+    """Remove LFs containing blocklisted predicate nestings."""
+
+    name = "Predicate Ordering"
+
+    def __init__(self, blocklist: tuple[NestingRule, ...] = DEFAULT_ORDERING_BLOCKLIST):
+        self.blocklist = blocklist
+
+    def ordered(self, form: Sem) -> bool:
+        return not any(self._violates(call) for call in iter_calls(form))
+
+    def _violates(self, call: Call) -> bool:
+        for rule in self.blocklist:
+            if call.pred != rule.outer:
+                continue
+            for position, arg in enumerate(call.args):
+                if rule.position is not None and position != rule.position:
+                    continue
+                if rule.transitive:
+                    if any(sub.pred == rule.inner for sub in iter_calls(arg)):
+                        return True
+                elif isinstance(arg, Call) and arg.pred == rule.inner:
+                    return True
+        return False
+
+    def filter(self, forms: list[Sem]) -> list[Sem]:
+        return [form for form in forms if self.ordered(form)]
+
+
+class DistributivityCheck(Check):
+    """Prefer the non-distributed coordination reading.
+
+    The chart flags LFs built from the distributed coordination rule; when
+    any unflagged LF survives, all flagged ones are dropped (§4.2: "sage
+    always selects the non-distributive logical form version").
+    """
+
+    name = "Distributivity"
+
+    @staticmethod
+    def _is_distributed(form: Sem) -> bool:
+        return any("distributed" in call.flags for call in iter_calls(form))
+
+    def filter(self, forms: list[Sem]) -> list[Sem]:
+        non_distributed = [form for form in forms if not self._is_distributed(form)]
+        return non_distributed if non_distributed else forms
+
+
+class AssociativityCheck(Check):
+    """Collapse LFs that differ only by associative regrouping.
+
+    LFs are bucketed by a regrouping-invariant signature and each bucket is
+    confirmed with VF2 graph isomorphism over the flattened trees, keeping
+    one representative per equivalence class.
+    """
+
+    name = "Associativity"
+
+    def filter(self, forms: list[Sem]) -> list[Sem]:
+        buckets: dict[str, list[Sem]] = {}
+        order: list[str] = []
+        for form in forms:
+            key = canonical_signature(form)
+            if key not in buckets:
+                buckets[key] = []
+                order.append(key)
+            buckets[key].append(form)
+        representatives: list[Sem] = []
+        for key in order:
+            bucket = buckets[key]
+            kept: list[Sem] = []
+            for form in bucket:
+                if any(isomorphic(form, existing) for existing in kept):
+                    continue
+                kept.append(form)
+            representatives.extend(kept)
+        return representatives
+
+
+@dataclass
+class CheckSuite:
+    """The ordered battery of §4.2 checks (Figure 5's x-axis)."""
+
+    type_check: TypeCheck
+    argument_ordering: ArgumentOrderingCheck
+    predicate_ordering: PredicateOrderingCheck
+    distributivity: DistributivityCheck
+    associativity: AssociativityCheck
+
+    @classmethod
+    def default(cls) -> "CheckSuite":
+        return cls(
+            type_check=TypeCheck(),
+            argument_ordering=ArgumentOrderingCheck(),
+            predicate_ordering=PredicateOrderingCheck(),
+            distributivity=DistributivityCheck(),
+            associativity=AssociativityCheck(),
+        )
+
+    def in_order(self) -> list[Check]:
+        return [
+            self.type_check,
+            self.argument_ordering,
+            self.predicate_ordering,
+            self.distributivity,
+            self.associativity,
+        ]

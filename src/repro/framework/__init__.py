@@ -1,0 +1,63 @@
+"""The SAGE *static framework*: protocol codecs and OS services.
+
+Paper §5.1: "sage requires a pre-defined static framework that provides such
+functionality along with an API to access and manipulate headers of other
+protocols, and to interface with the OS."  Everything generated code calls
+lives here: one's-complement arithmetic, byte-order conversion, IPv4/ICMP/
+UDP/IGMP/NTP/BFD codecs, interface/clock/buffer services, and the pcap +
+tcpdump tooling used to verify emitted packets.
+"""
+
+from .addressing import Subnet, int_to_ip, ip_to_int
+from .byteorder import htonl, htons, ntohl, ntohs, swap16, swap32
+from .checksum import (
+    incremental_update,
+    internet_checksum,
+    ones_complement_sum,
+    verify_checksum,
+)
+from .netdev import BufferPool, Clock, Interface, OSServices
+from .packet import FieldSpec, Header, HeaderLayout, LayoutField
+from .pcap import (
+    CapturedPacket,
+    packets_to_pcap_bytes,
+    read_pcap,
+    read_pcap_file,
+    write_pcap,
+    write_pcap_file,
+)
+from .tcpdump import DecodedPacket, decode_capture, decode_packet, verify_clean
+
+__all__ = [
+    "BufferPool",
+    "CapturedPacket",
+    "Clock",
+    "DecodedPacket",
+    "FieldSpec",
+    "Header",
+    "HeaderLayout",
+    "Interface",
+    "LayoutField",
+    "OSServices",
+    "Subnet",
+    "decode_capture",
+    "decode_packet",
+    "htonl",
+    "htons",
+    "incremental_update",
+    "int_to_ip",
+    "internet_checksum",
+    "ip_to_int",
+    "ntohl",
+    "ntohs",
+    "ones_complement_sum",
+    "packets_to_pcap_bytes",
+    "read_pcap",
+    "read_pcap_file",
+    "swap16",
+    "swap32",
+    "verify_checksum",
+    "verify_clean",
+    "write_pcap",
+    "write_pcap_file",
+]

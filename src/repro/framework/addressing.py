@@ -1,0 +1,73 @@
+"""IPv4 address parsing, formatting, and subnet arithmetic.
+
+Implemented from scratch (rather than via :mod:`ipaddress`) so that the
+static framework presented to generated code is self-contained and so the
+network simulator can do longest-prefix matching on plain integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def ip_to_int(dotted: str) -> int:
+    """Parse a dotted-quad IPv4 address into a 32-bit integer.
+
+    Raises ValueError for anything that is not exactly four octets in range.
+    """
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted-quad IPv4 address: {dotted!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"non-numeric octet in {dotted!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"octet out of range in {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format a 32-bit integer as a dotted-quad IPv4 address."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"not a 32-bit value: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True)
+class Subnet:
+    """An IPv4 subnet in CIDR form, e.g. ``Subnet.parse("10.0.1.0/24")``."""
+
+    network: int
+    prefix_len: int
+
+    @classmethod
+    def parse(cls, cidr: str) -> "Subnet":
+        address, _, prefix = cidr.partition("/")
+        if not prefix:
+            raise ValueError(f"missing prefix length in {cidr!r}")
+        prefix_len = int(prefix)
+        if not 0 <= prefix_len <= 32:
+            raise ValueError(f"prefix length out of range in {cidr!r}")
+        mask = cls._mask(prefix_len)
+        return cls(network=ip_to_int(address) & mask, prefix_len=prefix_len)
+
+    @staticmethod
+    def _mask(prefix_len: int) -> int:
+        if prefix_len == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
+
+    @property
+    def mask(self) -> int:
+        return self._mask(self.prefix_len)
+
+    def contains(self, address: int | str) -> bool:
+        if isinstance(address, str):
+            address = ip_to_int(address)
+        return (address & self.mask) == self.network
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.prefix_len}"

@@ -1,0 +1,57 @@
+"""Network/host byte-order conversion helpers.
+
+The static framework exposes these to generated code.  They also let the
+student-study fault injector (Table 2: "Network byte order and host byte
+order conversion", 29% of faulty implementations) express the byte-order bug
+class precisely: a buggy implementation simply *omits* these conversions, and
+on a little-endian host the wire bytes come out swapped.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+
+HOST_IS_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+def htons(value: int) -> int:
+    """Host-to-network conversion of a 16-bit value."""
+    return struct.unpack("=H", struct.pack("!H", value & 0xFFFF))[0]
+
+
+def htonl(value: int) -> int:
+    """Host-to-network conversion of a 32-bit value."""
+    return struct.unpack("=I", struct.pack("!I", value & 0xFFFFFFFF))[0]
+
+
+def ntohs(value: int) -> int:
+    """Network-to-host conversion of a 16-bit value (involution of htons)."""
+    return htons(value)
+
+
+def ntohl(value: int) -> int:
+    """Network-to-host conversion of a 32-bit value (involution of htonl)."""
+    return htonl(value)
+
+
+def swap16(value: int) -> int:
+    """Unconditionally byte-swap a 16-bit value.
+
+    This is what a missing htons *looks like on the wire* when packing with
+    host order on a little-endian machine; the fault injector uses it to
+    produce byte-order bugs deterministically regardless of host endianness.
+    """
+    value &= 0xFFFF
+    return ((value & 0xFF) << 8) | (value >> 8)
+
+
+def swap32(value: int) -> int:
+    """Unconditionally byte-swap a 32-bit value (see :func:`swap16`)."""
+    value &= 0xFFFFFFFF
+    return (
+        ((value & 0x000000FF) << 24)
+        | ((value & 0x0000FF00) << 8)
+        | ((value & 0x00FF0000) >> 8)
+        | ((value & 0xFF000000) >> 24)
+    )

@@ -1,0 +1,56 @@
+"""IGMP version 1 codec (RFC 1112, Appendix I).
+
+The paper parses the packet-header description in RFC 1112's Appendix I and
+generates host-membership query/report senders; the netsim IGMP switch model
+consumes these messages to verify interoperability (§6.3).
+"""
+
+from __future__ import annotations
+
+from .checksum import internet_checksum, verify_checksum
+from .packet import FieldSpec, Header
+
+HOST_MEMBERSHIP_QUERY = 1
+HOST_MEMBERSHIP_REPORT = 2
+
+TYPE_NAMES = {
+    HOST_MEMBERSHIP_QUERY: "host membership query",
+    HOST_MEMBERSHIP_REPORT: "host membership report",
+}
+
+ALL_HOSTS_GROUP = 0xE0000001  # 224.0.0.1
+
+
+class IGMPHeader(Header):
+    """IGMP v1: version/type nibbles, unused byte, checksum, group address."""
+
+    FIELDS = (
+        FieldSpec("version", 4, default=1),
+        FieldSpec("type", 4),
+        FieldSpec("unused", 8),
+        FieldSpec("checksum", 16),
+        FieldSpec("group_address", 32),
+    )
+
+    def finalize(self) -> "IGMPHeader":
+        """Checksum is "the 16-bit one's complement of the one's complement
+        sum of the 8-octet IGMP message" (RFC 1112)."""
+        self.checksum = 0
+        self.checksum = internet_checksum(self.pack())
+        return self
+
+    def checksum_ok(self) -> bool:
+        return verify_checksum(self.pack())
+
+    def type_name(self) -> str:
+        return TYPE_NAMES.get(self.type, f"type {self.type}")
+
+
+def make_query() -> IGMPHeader:
+    """Host membership query: sent to the all-hosts group, group field 0."""
+    return IGMPHeader(type=HOST_MEMBERSHIP_QUERY, group_address=0).finalize()
+
+
+def make_report(group_address: int) -> IGMPHeader:
+    """Host membership report for ``group_address``."""
+    return IGMPHeader(type=HOST_MEMBERSHIP_REPORT, group_address=group_address).finalize()

@@ -1,0 +1,98 @@
+"""NTP version 1 codec (RFC 1059, Appendix B) and peer state variables.
+
+The paper parses RFC 1059's appendices: Appendix A (encapsulation of NTP in
+UDP) and Appendix B (packet format and field descriptions), and §6.3/Table 11
+parse the peer-variable timeout sentence into nested conditional code.  This
+module supplies the packet format plus the peer-variable record the generated
+timeout procedure manipulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .packet import FieldSpec, Header
+from .udp import UDPHeader, make_udp
+
+NTP_PORT = 123
+
+# Association modes (RFC 1059).
+MODE_SYMMETRIC_ACTIVE = 1
+MODE_SYMMETRIC_PASSIVE = 2
+MODE_CLIENT = 3
+MODE_SERVER = 4
+MODE_BROADCAST = 5
+
+MODE_NAMES = {
+    MODE_SYMMETRIC_ACTIVE: "symmetric active",
+    MODE_SYMMETRIC_PASSIVE: "symmetric passive",
+    MODE_CLIENT: "client",
+    MODE_SERVER: "server",
+    MODE_BROADCAST: "broadcast",
+}
+
+
+class NTPHeader(Header):
+    """NTP v1 48-byte header with 64-bit fixed-point timestamps."""
+
+    FIELDS = (
+        FieldSpec("leap_indicator", 2),
+        FieldSpec("version", 3, default=1),
+        FieldSpec("mode", 3),
+        FieldSpec("stratum", 8),
+        FieldSpec("poll", 8),
+        FieldSpec("precision", 8),
+        FieldSpec("root_delay", 32),
+        FieldSpec("root_dispersion", 32),
+        FieldSpec("reference_id", 32),
+        FieldSpec("reference_timestamp", 64),
+        FieldSpec("originate_timestamp", 64),
+        FieldSpec("receive_timestamp", 64),
+        FieldSpec("transmit_timestamp", 64),
+    )
+
+    def mode_name(self) -> str:
+        return MODE_NAMES.get(self.mode, f"mode {self.mode}")
+
+
+def encapsulate(message: NTPHeader, src_ip: int, dst_ip: int,
+                src_port: int = NTP_PORT, dst_port: int = NTP_PORT) -> UDPHeader:
+    """Wrap an NTP message in UDP per RFC 1059 Appendix A.
+
+    "NTP data are transmitted as UDP datagrams with source and destination
+    port fields of 123" — the well-known NTP port is used on both ends.
+    """
+    return make_udp(src_ip, dst_ip, src_port, dst_port, message.pack())
+
+
+@dataclass
+class PeerVariables:
+    """The per-peer state RFC 1059 §3.2.2 calls the "peer variables".
+
+    The Table 11 sentence — "The timeout procedure is called in client mode
+    and symmetric mode when the peer timer reaches the value of the timer
+    threshold variable" — reads and compares ``timer`` and ``threshold``
+    and dispatches on ``mode``.
+    """
+
+    mode: int = MODE_CLIENT
+    timer: int = 0
+    threshold: int = 64
+    stratum: int = 0
+    poll_interval: int = 6
+    timeouts_fired: int = field(default=0)
+
+    def in_client_mode(self) -> bool:
+        return self.mode == MODE_CLIENT
+
+    def in_symmetric_mode(self) -> bool:
+        return self.mode in (MODE_SYMMETRIC_ACTIVE, MODE_SYMMETRIC_PASSIVE)
+
+    def tick(self, seconds: int = 1) -> None:
+        self.timer += seconds
+
+    def timeout_procedure(self) -> NTPHeader:
+        """Reference timeout: reset the timer and emit a fresh NTP poll."""
+        self.timer = 0
+        self.timeouts_fired += 1
+        return NTPHeader(mode=self.mode, stratum=self.stratum, poll=self.poll_interval)

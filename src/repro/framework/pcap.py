@@ -1,0 +1,107 @@
+"""Minimal pcap (libpcap classic format) writer and reader.
+
+The paper's packet-capture verification (§6.2) stores sender- and
+receiver-side packets in pcap files and checks them with tcpdump.  We write
+standard little-endian pcap with LINKTYPE_RAW (packets begin with the IPv4
+header), which keeps captures loadable by real tcpdump/wireshark while
+avoiding a synthetic Ethernet layer the simulator does not model.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Iterator
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION = (2, 4)
+LINKTYPE_RAW = 101  # packets start at the IP header
+SNAPLEN = 65535
+
+
+@dataclass(frozen=True)
+class CapturedPacket:
+    """One record from a pcap file."""
+
+    timestamp_sec: int
+    timestamp_usec: int
+    data: bytes
+    original_length: int
+
+    @property
+    def truncated(self) -> bool:
+        return len(self.data) < self.original_length
+
+
+def write_pcap(stream: BinaryIO, packets: Iterable[bytes],
+               timestamps: Iterable[tuple[int, int]] | None = None) -> int:
+    """Write ``packets`` (raw IP datagrams) to ``stream``; returns count."""
+    stream.write(
+        struct.pack(
+            "<IHHiIII",
+            PCAP_MAGIC,
+            PCAP_VERSION[0],
+            PCAP_VERSION[1],
+            0,  # timezone offset
+            0,  # timestamp accuracy
+            SNAPLEN,
+            LINKTYPE_RAW,
+        )
+    )
+    count = 0
+    stamps = iter(timestamps) if timestamps is not None else None
+    for index, packet in enumerate(packets):
+        if stamps is not None:
+            sec, usec = next(stamps)
+        else:
+            sec, usec = index, 0
+        captured = packet[:SNAPLEN]
+        stream.write(struct.pack("<IIII", sec, usec, len(captured), len(packet)))
+        stream.write(captured)
+        count += 1
+    return count
+
+
+def write_pcap_file(path: str, packets: Iterable[bytes]) -> int:
+    with open(path, "wb") as stream:
+        return write_pcap(stream, packets)
+
+
+def read_pcap(stream: BinaryIO) -> Iterator[CapturedPacket]:
+    """Parse a pcap stream; handles both byte orders of the magic number."""
+    header = stream.read(24)
+    if len(header) < 24:
+        raise ValueError("truncated pcap global header")
+    magic = struct.unpack("<I", header[:4])[0]
+    if magic == PCAP_MAGIC:
+        endian = "<"
+    elif magic == struct.unpack(">I", struct.pack("<I", PCAP_MAGIC))[0]:
+        endian = ">"
+    else:
+        raise ValueError(f"not a pcap file (magic {magic:#x})")
+    linktype = struct.unpack(endian + "I", header[20:24])[0]
+    if linktype != LINKTYPE_RAW:
+        raise ValueError(f"unsupported linktype {linktype}; expected raw IP")
+    while True:
+        record = stream.read(16)
+        if not record:
+            return
+        if len(record) < 16:
+            raise ValueError("truncated pcap record header")
+        sec, usec, caplen, origlen = struct.unpack(endian + "IIII", record)
+        data = stream.read(caplen)
+        if len(data) < caplen:
+            raise ValueError("truncated pcap record body")
+        yield CapturedPacket(sec, usec, data, origlen)
+
+
+def read_pcap_file(path: str) -> list[CapturedPacket]:
+    with open(path, "rb") as stream:
+        return list(read_pcap(stream))
+
+
+def packets_to_pcap_bytes(packets: Iterable[bytes]) -> bytes:
+    buffer = io.BytesIO()
+    write_pcap(buffer, packets)
+    return buffer.getvalue()

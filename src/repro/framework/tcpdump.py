@@ -1,0 +1,182 @@
+"""A tcpdump-like decoder used to verify generated packets (§6.2).
+
+The paper's first end-to-end experiment feeds every generated packet through
+tcpdump and requires the output to "list packet types ... with no warnings
+or errors" — warnings fire for truncated packets, bad checksums, and
+inconsistent lengths.  This module reproduces that checking discipline: it
+decodes raw IP datagrams (or pcap captures) into one summary line per packet
+and collects the same classes of warnings tcpdump prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import icmp
+from .addressing import int_to_ip
+from .ip import PROTO_ICMP, PROTO_IGMP, PROTO_UDP, IPv4Header
+from .igmp import IGMPHeader
+from .ntp import NTP_PORT, NTPHeader
+from .pcap import CapturedPacket
+from .udp import UDPHeader
+
+_ICMP_SUMMARY = {
+    icmp.ECHO: "ICMP echo request",
+    icmp.ECHO_REPLY: "ICMP echo reply",
+    icmp.DEST_UNREACHABLE: "ICMP destination unreachable",
+    icmp.SOURCE_QUENCH: "ICMP source quench",
+    icmp.REDIRECT: "ICMP redirect",
+    icmp.TIME_EXCEEDED: "ICMP time exceeded",
+    icmp.PARAMETER_PROBLEM: "ICMP parameter problem",
+    icmp.TIMESTAMP: "ICMP timestamp request",
+    icmp.TIMESTAMP_REPLY: "ICMP timestamp reply",
+    icmp.INFO_REQUEST: "ICMP information request",
+    icmp.INFO_REPLY: "ICMP information reply",
+}
+
+# ICMP types whose payload quotes the offending datagram.
+_QUOTING_TYPES = {
+    icmp.DEST_UNREACHABLE,
+    icmp.SOURCE_QUENCH,
+    icmp.REDIRECT,
+    icmp.TIME_EXCEEDED,
+    icmp.PARAMETER_PROBLEM,
+}
+
+
+@dataclass
+class DecodedPacket:
+    """One packet's decode: a human-readable line plus any warnings."""
+
+    summary: str
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.warnings
+
+
+def decode_packet(data: bytes) -> DecodedPacket:
+    """Decode one raw IP datagram, mimicking ``tcpdump -v`` checking."""
+    warnings: list[str] = []
+    try:
+        ip_header = IPv4Header.unpack(data)
+    except ValueError as exc:
+        return DecodedPacket(summary="[malformed IP packet]", warnings=[str(exc)])
+
+    if ip_header.version != 4:
+        warnings.append(f"bad IP version {ip_header.version}")
+    if ip_header.ihl < 5:
+        warnings.append(f"bad header length {ip_header.ihl}")
+    if not ip_header.checksum_ok():
+        warnings.append("bad IP header checksum")
+    if ip_header.total_length != len(data):
+        warnings.append(
+            f"IP total length {ip_header.total_length} != capture length {len(data)}"
+        )
+    if ip_header.ttl == 0:
+        warnings.append("TTL is zero")
+
+    src = int_to_ip(ip_header.src)
+    dst = int_to_ip(ip_header.dst)
+    prefix = f"IP {src} > {dst}:"
+
+    if ip_header.protocol == PROTO_ICMP:
+        body, extra = _decode_icmp(ip_header.data)
+        warnings.extend(extra)
+    elif ip_header.protocol == PROTO_UDP:
+        body, extra = _decode_udp(ip_header)
+        warnings.extend(extra)
+    elif ip_header.protocol == PROTO_IGMP:
+        body, extra = _decode_igmp(ip_header.data)
+        warnings.extend(extra)
+    else:
+        body = f"proto {ip_header.protocol}, length {len(ip_header.data)}"
+
+    return DecodedPacket(summary=f"{prefix} {body}", warnings=warnings)
+
+
+def _decode_icmp(data: bytes) -> tuple[str, list[str]]:
+    warnings: list[str] = []
+    try:
+        header = icmp.ICMPHeader.unpack(data)
+    except ValueError as exc:
+        return "[truncated ICMP]", [str(exc)]
+    summary = _ICMP_SUMMARY.get(header.type, f"ICMP type {header.type}")
+    if not header.checksum_ok():
+        warnings.append("bad ICMP checksum")
+    if header.type in (icmp.ECHO, icmp.ECHO_REPLY):
+        summary += f", id {header.identifier}, seq {header.sequence}"
+    if header.type in _QUOTING_TYPES:
+        if len(header.payload) < 20:
+            warnings.append("ICMP error payload too short to hold inner IP header")
+        else:
+            try:
+                inner = IPv4Header.unpack(header.payload)
+                summary += f" (inner proto {inner.protocol_name()})"
+                expected = 20 + inner.options_len + 8
+                if len(header.payload) < expected:
+                    warnings.append(
+                        "ICMP error payload shorter than inner header + 64 bits"
+                    )
+            except ValueError:
+                warnings.append("ICMP error payload does not parse as IP")
+    summary += f", length {len(data)}"
+    return summary, warnings
+
+
+def _decode_udp(ip_header: IPv4Header) -> tuple[str, list[str]]:
+    warnings: list[str] = []
+    try:
+        header = UDPHeader.unpack(ip_header.data)
+    except ValueError as exc:
+        return "[truncated UDP]", [str(exc)]
+    if header.length != len(ip_header.data):
+        warnings.append(
+            f"UDP length {header.length} != IP payload length {len(ip_header.data)}"
+        )
+    if not header.checksum_ok(ip_header.src, ip_header.dst):
+        warnings.append("bad UDP checksum")
+    summary = f"UDP {header.src_port} > {header.dst_port}, length {len(header.payload)}"
+    if NTP_PORT in (header.src_port, header.dst_port):
+        try:
+            ntp = NTPHeader.unpack(header.payload)
+            summary += f" NTPv{ntp.version} {ntp.mode_name()}, stratum {ntp.stratum}"
+        except ValueError:
+            warnings.append("NTP port but payload shorter than an NTP header")
+    return summary, warnings
+
+
+def _decode_igmp(data: bytes) -> tuple[str, list[str]]:
+    warnings: list[str] = []
+    try:
+        header = IGMPHeader.unpack(data)
+    except ValueError as exc:
+        return "[truncated IGMP]", [str(exc)]
+    if not header.checksum_ok():
+        warnings.append("bad IGMP checksum")
+    summary = f"IGMP {header.type_name()}, group {int_to_ip(header.group_address)}"
+    return summary, warnings
+
+
+def decode_capture(packets: list[CapturedPacket]) -> list[DecodedPacket]:
+    """Decode a pcap capture, adding truncation warnings like tcpdump."""
+    decoded = []
+    for captured in packets:
+        result = decode_packet(captured.data)
+        if captured.truncated:
+            result.warnings.append(
+                f"packet truncated in capture ({len(captured.data)} of "
+                f"{captured.original_length} bytes)"
+            )
+        decoded.append(result)
+    return decoded
+
+
+def verify_clean(packets: list[bytes]) -> tuple[bool, list[str]]:
+    """The §6.2 acceptance check: every packet decodes warning-free."""
+    all_warnings: list[str] = []
+    for index, packet in enumerate(packets):
+        decoded = decode_packet(packet)
+        all_warnings.extend(f"packet {index}: {w}" for w in decoded.warnings)
+    return not all_warnings, all_warnings

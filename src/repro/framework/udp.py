@@ -1,0 +1,52 @@
+"""UDP header codec (RFC 768) with the IPv4 pseudo-header checksum.
+
+NTP messages are "transmitted as UDP datagrams" (RFC 1059 Appendix A), and
+traceroute probes are UDP datagrams to improbable ports; both substrates
+need a real UDP layer.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .checksum import internet_checksum, ones_complement_sum
+from .ip import PROTO_UDP
+from .packet import FieldSpec, Header
+
+
+class UDPHeader(Header):
+    FIELDS = (
+        FieldSpec("src_port", 16),
+        FieldSpec("dst_port", 16),
+        FieldSpec("length", 16),
+        FieldSpec("checksum", 16),
+    )
+
+    def pseudo_header(self, src_ip: int, dst_ip: int) -> bytes:
+        """RFC 768 pseudo-header: addresses, zero, protocol, UDP length."""
+        return struct.pack("!IIBBH", src_ip, dst_ip, 0, PROTO_UDP, self.length)
+
+    def finalize(self, src_ip: int, dst_ip: int) -> "UDPHeader":
+        """Fill length and the pseudo-header checksum; returns self.
+
+        Per RFC 768 a computed checksum of zero is transmitted as 0xFFFF
+        (zero means "no checksum").
+        """
+        self.length = 8 + len(self.payload)
+        self.checksum = 0
+        value = internet_checksum(self.pseudo_header(src_ip, dst_ip) + self.pack())
+        self.checksum = value if value != 0 else 0xFFFF
+        return self
+
+    def checksum_ok(self, src_ip: int, dst_ip: int) -> bool:
+        if self.checksum == 0:  # checksum not used by sender
+            return True
+        covered = self.pseudo_header(src_ip, dst_ip) + self.pack()
+        return ones_complement_sum(covered) == 0xFFFF
+
+
+def make_udp(
+    src_ip: int, dst_ip: int, src_port: int, dst_port: int, data: bytes
+) -> UDPHeader:
+    header = UDPHeader(src_port=src_port, dst_port=dst_port, payload=data)
+    return header.finalize(src_ip, dst_ip)

@@ -1,0 +1,54 @@
+"""Logical forms: predicate registry, type system, graphs, isomorphism."""
+
+from .graph import (
+    canonical_signature,
+    flatten_associative,
+    isomorphic,
+    to_graph,
+)
+from .logical_form import LogicalForm, SentenceLFs
+from .predicates import (
+    ASSOCIATIVE_PREDICATES,
+    CLAUSE,
+    CONCEPT,
+    EXPR,
+    FIELD,
+    FUNCTION,
+    LEFT_TO_RIGHT_PREDICATES,
+    MESSAGE,
+    OPERATION,
+    STATEMENT_PREDICATES,
+    STATEVAR,
+    TRIGGER_ADJACENT_PREDICATES,
+    VALUE,
+    ConstantClasses,
+    TypeRule,
+    default_type_rules,
+    rules_by_predicate,
+)
+
+__all__ = [
+    "ASSOCIATIVE_PREDICATES",
+    "CLAUSE",
+    "CONCEPT",
+    "ConstantClasses",
+    "EXPR",
+    "FIELD",
+    "FUNCTION",
+    "LEFT_TO_RIGHT_PREDICATES",
+    "LogicalForm",
+    "MESSAGE",
+    "OPERATION",
+    "STATEMENT_PREDICATES",
+    "STATEVAR",
+    "SentenceLFs",
+    "TRIGGER_ADJACENT_PREDICATES",
+    "TypeRule",
+    "VALUE",
+    "canonical_signature",
+    "default_type_rules",
+    "flatten_associative",
+    "isomorphic",
+    "rules_by_predicate",
+    "to_graph",
+]

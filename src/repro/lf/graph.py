@@ -1,0 +1,107 @@
+"""Logical forms as graphs: conversion, canonicalization, isomorphism.
+
+§4.2 Associativity: "If predicates are associative, their logical form trees
+(Figure 3) will be isomorphic.  sage detects associativity using a standard
+graph isomorphism algorithm."  We flatten chains of associative predicates
+(@Of, @And, @Or) into n-ary nodes, convert to labeled networkx DiGraphs, and
+test isomorphism with the VF2 matcher.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..ccg.semantics import Call, Const, Sem
+from .predicates import ASSOCIATIVE_PREDICATES
+
+# Associative AND commutative: argument order is semantically irrelevant.
+COMMUTATIVE_PREDICATES = {"And", "Or"}
+
+
+def flatten_associative(term: Sem) -> Sem:
+    """Collapse nested chains of associative predicates into n-ary calls.
+
+    ``@Of(@Of(a,b),c)`` and ``@Of(a,@Of(b,c))`` both become ``@Of(a,b,c)``,
+    making the two Figure 3 readings identical.
+    """
+    if not isinstance(term, Call):
+        return term
+    flattened_args = [flatten_associative(arg) for arg in term.args]
+    if term.pred in ASSOCIATIVE_PREDICATES:
+        merged: list[Sem] = []
+        for arg in flattened_args:
+            if isinstance(arg, Call) and arg.pred == term.pred:
+                merged.extend(arg.args)
+            else:
+                merged.append(arg)
+        flattened_args = merged
+    return Call(
+        term.pred, tuple(flattened_args), trigger=term.trigger, flags=term.flags
+    )
+
+
+def to_graph(term: Sem) -> nx.DiGraph:
+    """Convert a logical form into a labeled DiGraph (Figure 3's trees).
+
+    Internal nodes are predicates, leaves are constants; edges carry the
+    argument position (dropped for associative predicates, where order does
+    not matter).
+    """
+    graph = nx.DiGraph()
+    counter = [0]
+
+    def add(node: Sem) -> int:
+        node_id = counter[0]
+        counter[0] += 1
+        if isinstance(node, Call):
+            graph.add_node(node_id, label=f"@{node.pred}")
+            ordered = node.pred not in COMMUTATIVE_PREDICATES
+            for position, arg in enumerate(node.args):
+                child = add(arg)
+                graph.add_edge(node_id, child, position=position if ordered else -1)
+        elif isinstance(node, Const):
+            graph.add_node(node_id, label=node.value)
+        else:
+            graph.add_node(node_id, label=str(node))
+        return node_id
+
+    add(term)
+    return graph
+
+
+def isomorphic(a: Sem, b: Sem) -> bool:
+    """True when two LFs are equal up to associative regrouping.
+
+    Flattens associative chains, then runs VF2 isomorphism over the labeled
+    graphs (matching both node labels and argument positions).
+    """
+    graph_a = to_graph(flatten_associative(a))
+    graph_b = to_graph(flatten_associative(b))
+    return nx.is_isomorphic(
+        graph_a,
+        graph_b,
+        node_match=lambda n1, n2: n1["label"] == n2["label"],
+        edge_match=lambda e1, e2: e1["position"] == e2["position"],
+    )
+
+
+def canonical_signature(term: Sem) -> str:
+    """A string invariant under associative regrouping (fast iso bucketing).
+
+    Associative predicates' argument lists are sorted by their own canonical
+    signatures, so any regrouping/reordering of an @And/@Of chain produces
+    the same string.  Used to bucket LFs before the (exact) VF2 check.
+    """
+    flat = flatten_associative(term)
+
+    def render(node: Sem) -> str:
+        if isinstance(node, Call):
+            parts = [render(arg) for arg in node.args]
+            if node.pred in COMMUTATIVE_PREDICATES:
+                parts = sorted(parts)  # commutative: order irrelevant
+            return f"@{node.pred}({','.join(parts)})"
+        if isinstance(node, Const):
+            return f"'{node.value}'"
+        return str(node)
+
+    return render(flat)

@@ -1,0 +1,59 @@
+"""Convenience wrapper over semantic terms as sentence logical forms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ccg.semantics import Call, Const, Sem, iter_calls, signature
+
+
+@dataclass
+class LogicalForm:
+    """One logical form plus derived views (tree rendering, predicates)."""
+
+    sem: Sem
+
+    def __str__(self) -> str:
+        return signature(self.sem)
+
+    def predicates(self) -> list[str]:
+        return [call.pred for call in iter_calls(self.sem)]
+
+    def has_flag(self, flag: str) -> bool:
+        return any(flag in call.flags for call in iter_calls(self.sem))
+
+    def pretty(self, indent: int = 0) -> str:
+        """Render the LF as the tree drawing of Figure 2."""
+        return _pretty(self.sem, indent)
+
+
+def _pretty(term: Sem, indent: int) -> str:
+    pad = "  " * indent
+    if isinstance(term, Call):
+        lines = [f"{pad}@{term.pred}"]
+        for arg in term.args:
+            lines.append(_pretty(arg, indent + 1))
+        return "\n".join(lines)
+    if isinstance(term, Const):
+        return f"{pad}'{term.value}'"
+    return f"{pad}{term}"
+
+
+@dataclass
+class SentenceLFs:
+    """All logical forms for one sentence at one pipeline stage."""
+
+    sentence: str
+    forms: list[Sem] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.forms)
+
+    @property
+    def ambiguous(self) -> bool:
+        return self.count > 1
+
+    @property
+    def unparsed(self) -> bool:
+        return self.count == 0

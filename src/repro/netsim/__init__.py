@@ -1,0 +1,47 @@
+"""A Mininet-like network simulator for interoperability testing.
+
+Hosts, routers, and links move raw IPv4 datagrams; Linux-faithful `ping`
+and `traceroute` tools judge implementations exactly the way the paper's
+end-to-end evaluation (§6.2) and student study (§2.1) do.  IGMP switches,
+BFD sessions, and NTP peers cover the generality experiments (§6.3-6.4).
+"""
+
+from .bfd_session import BFDSession, run_handshake
+from .core import Link, Network, Node, Transmission
+from .host import Host
+from .icmp_impl import ICMPImplementation, ReferenceICMP
+from .igmp_switch import IGMPSwitch
+from .ntp_peer import NTPPeer, reference_timeout_predicate
+from .ping import Ping, PingResult, ping
+from .router import Router, fill_buffer
+from .routing import Route, RoutingTable
+from .topologies import CourseTopology, add_redirect_route, course_topology
+from .traceroute import Traceroute, TracerouteResult, traceroute
+
+__all__ = [
+    "BFDSession",
+    "CourseTopology",
+    "Host",
+    "ICMPImplementation",
+    "IGMPSwitch",
+    "Link",
+    "NTPPeer",
+    "Network",
+    "Node",
+    "Ping",
+    "PingResult",
+    "ReferenceICMP",
+    "Route",
+    "Router",
+    "RoutingTable",
+    "Traceroute",
+    "TracerouteResult",
+    "Transmission",
+    "add_redirect_route",
+    "course_topology",
+    "fill_buffer",
+    "ping",
+    "reference_timeout_predicate",
+    "run_handshake",
+    "traceroute",
+]

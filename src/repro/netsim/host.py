@@ -1,0 +1,94 @@
+"""End hosts: send datagrams via a default gateway, deliver to listeners."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..framework import icmp
+from ..framework.ip import PROTO_ICMP, PROTO_UDP, IPv4Header
+from ..framework.udp import UDPHeader
+from .core import Node
+from .icmp_impl import ICMPImplementation, ReferenceICMP
+
+Listener = Callable[[IPv4Header, str], None]
+
+
+class Host(Node):
+    """A host with one interface, a default gateway, and protocol listeners.
+
+    Tools (ping, traceroute, NTP peers, IGMP members) register listeners;
+    every valid received datagram is fanned out to all of them.  Datagrams
+    rejected before delivery (malformed, bad IP checksum, wrong length) are
+    recorded in ``dropped`` — the simulator's version of "dropped by kernel".
+
+    Like a Linux host, the "kernel" answers echo/timestamp/info requests and
+    sends port unreachable for UDP datagrams nobody listens on; both behaviours
+    route through the pluggable ICMP implementation so a host can also run
+    SAGE-generated code.
+    """
+
+    def __init__(self, name: str, implementation: ICMPImplementation | None = None,
+                 kernel_responder: bool = True) -> None:
+        super().__init__(name)
+        self.listeners: list[Listener] = []
+        self.dropped: list[tuple[bytes, str]] = []
+        self.implementation = implementation or ReferenceICMP(self.os.clock)
+        self.kernel_responder = kernel_responder
+        self.udp_listeners: set[int] = set()
+
+    def add_listener(self, listener: Listener) -> None:
+        self.listeners.append(listener)
+
+    def send(self, packet: IPv4Header | bytes, interface: str | None = None) -> None:
+        """Transmit a datagram out of ``interface`` (default: only interface)."""
+        if interface is None:
+            if len(self.os.interfaces) != 1:
+                raise ValueError(f"{self.name}: interface must be named explicitly")
+            interface = self.os.interfaces[0].name
+        data = packet if isinstance(packet, bytes) else packet.pack()
+        self.transmit(interface, data)
+
+    def receive(self, data: bytes, interface: str) -> None:
+        try:
+            packet = IPv4Header.unpack(data)
+        except ValueError:
+            self.dropped.append((data, "malformed"))
+            return
+        if not packet.checksum_ok():
+            self.dropped.append((data, "bad ip checksum"))
+            return
+        if packet.total_length != len(data):
+            self.dropped.append((data, "length mismatch"))
+            return
+        is_multicast = packet.dst >= 0xE0000000
+        if packet.dst not in self.os.own_addresses() and not is_multicast:
+            # Linux drops unicast datagrams not addressed to the host.
+            self.dropped.append((data, "not addressed to this host"))
+            return
+        for listener in list(self.listeners):
+            listener(packet, interface)
+        if self.kernel_responder and packet.dst in self.os.own_addresses():
+            self._kernel_respond(packet, interface)
+
+    def _kernel_respond(self, packet: IPv4Header, interface: str) -> None:
+        responder = self.interface(interface).address
+        reply: bytes | None = None
+        if packet.protocol == PROTO_ICMP and packet.data[:1]:
+            message_type = packet.data[0]
+            if message_type == icmp.ECHO:
+                reply = self.implementation.echo_reply(packet, responder)
+            elif message_type == icmp.TIMESTAMP:
+                reply = self.implementation.timestamp_reply(packet, responder)
+            elif message_type == icmp.INFO_REQUEST:
+                reply = self.implementation.info_reply(packet, responder)
+        elif packet.protocol == PROTO_UDP:
+            try:
+                datagram = UDPHeader.unpack(packet.data)
+            except ValueError:
+                return
+            if datagram.dst_port not in self.udp_listeners:
+                reply = self.implementation.destination_unreachable(
+                    packet, icmp.PORT_UNREACHABLE, responder
+                )
+        if reply is not None:
+            self.transmit(interface, reply)

@@ -1,0 +1,134 @@
+"""The pluggable ICMP implementation boundary.
+
+Three kinds of implementation sit behind this interface:
+
+* :class:`ReferenceICMP` — the hand-written ground truth (what a careful
+  developer ships);
+* the student-study fault injectors (`repro.analysis.student_study`), which
+  wrap the reference with the Table 2/3 bug classes;
+* SAGE-generated code (`repro.runtime.harness`), compiled from the RFC text.
+
+Routers and hosts in the simulator call only this interface, so the paper's
+comparisons ("generated code interoperates where faulty code does not") are
+pure substitutions.
+"""
+
+from __future__ import annotations
+
+from ..framework import icmp
+from ..framework.ip import PROTO_ICMP, IPv4Header, make_ip_packet
+from ..framework.netdev import Clock
+
+
+class ICMPImplementation:
+    """Interface the simulator expects from an ICMP message factory.
+
+    Every method receives the *offending/request* IP datagram (as parsed by
+    the receiving node) plus whatever scenario parameters apply, and returns
+    a complete IP datagram (bytes) to transmit, or None to stay silent.
+    ``responder_address`` is the IP address the reply is sourced from.
+    """
+
+    def echo_reply(self, request: IPv4Header, responder_address: int) -> bytes | None:
+        raise NotImplementedError
+
+    def destination_unreachable(
+        self, original: IPv4Header, code: int, responder_address: int
+    ) -> bytes | None:
+        raise NotImplementedError
+
+    def time_exceeded(self, original: IPv4Header, responder_address: int) -> bytes | None:
+        raise NotImplementedError
+
+    def parameter_problem(
+        self, original: IPv4Header, pointer: int, responder_address: int
+    ) -> bytes | None:
+        raise NotImplementedError
+
+    def source_quench(self, original: IPv4Header, responder_address: int) -> bytes | None:
+        raise NotImplementedError
+
+    def redirect(
+        self, original: IPv4Header, gateway: int, responder_address: int
+    ) -> bytes | None:
+        raise NotImplementedError
+
+    def timestamp_reply(self, request: IPv4Header, responder_address: int) -> bytes | None:
+        raise NotImplementedError
+
+    def info_reply(self, request: IPv4Header, responder_address: int) -> bytes | None:
+        raise NotImplementedError
+
+
+class ReferenceICMP(ICMPImplementation):
+    """The correct, interoperable implementation built on the framework."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock or Clock()
+
+    @staticmethod
+    def _wrap(original: IPv4Header, responder_address: int, message_bytes: bytes) -> bytes:
+        packet = make_ip_packet(
+            src=responder_address,
+            dst=original.src,
+            protocol=PROTO_ICMP,
+            data=message_bytes,
+        )
+        return packet.pack()
+
+    def echo_reply(self, request: IPv4Header, responder_address: int) -> bytes | None:
+        try:
+            echo = icmp.ICMPHeader.unpack(request.data)
+        except ValueError:
+            return None
+        if echo.type != icmp.ECHO or not echo.checksum_ok():
+            return None
+        reply = icmp.make_echo_reply(echo)
+        return self._wrap(request, responder_address, reply.pack())
+
+    def destination_unreachable(
+        self, original: IPv4Header, code: int, responder_address: int
+    ) -> bytes | None:
+        message = icmp.make_dest_unreachable(code, original)
+        return self._wrap(original, responder_address, message.pack())
+
+    def time_exceeded(self, original: IPv4Header, responder_address: int) -> bytes | None:
+        message = icmp.make_time_exceeded(icmp.TTL_EXCEEDED, original)
+        return self._wrap(original, responder_address, message.pack())
+
+    def parameter_problem(
+        self, original: IPv4Header, pointer: int, responder_address: int
+    ) -> bytes | None:
+        message = icmp.make_parameter_problem(pointer, original)
+        return self._wrap(original, responder_address, message.pack())
+
+    def source_quench(self, original: IPv4Header, responder_address: int) -> bytes | None:
+        message = icmp.make_source_quench(original)
+        return self._wrap(original, responder_address, message.pack())
+
+    def redirect(
+        self, original: IPv4Header, gateway: int, responder_address: int
+    ) -> bytes | None:
+        message = icmp.make_redirect(1, gateway, original)  # code 1: host redirect
+        return self._wrap(original, responder_address, message.pack())
+
+    def timestamp_reply(self, request: IPv4Header, responder_address: int) -> bytes | None:
+        try:
+            ts_request = icmp.ICMPTimestampHeader.unpack(request.data)
+        except ValueError:
+            return None
+        if ts_request.type != icmp.TIMESTAMP or not ts_request.checksum_ok():
+            return None
+        now = self.clock.now_ms()
+        reply = icmp.make_timestamp_reply(ts_request, receive=now, transmit=now)
+        return self._wrap(request, responder_address, reply.pack())
+
+    def info_reply(self, request: IPv4Header, responder_address: int) -> bytes | None:
+        try:
+            info = icmp.ICMPHeader.unpack(request.data)
+        except ValueError:
+            return None
+        if info.type != icmp.INFO_REQUEST or not info.checksum_ok():
+            return None
+        reply = icmp.make_info_reply(info)
+        return self._wrap(request, responder_address, reply.pack())

@@ -1,0 +1,71 @@
+"""IGMP v1 group members and the commodity-switch model (§6.3).
+
+The paper's IGMP experiment: "our generated code sends a host membership
+query to a commodity switch. We verified, using packet captures, that the
+switch's response is correct."  The switch here performs IGMP snooping the
+way RFC 1112 hosts behave: on a query to the all-hosts group, every member
+reports each group it belongs to (we model the report-suppression timer as
+already expired, so reports are deterministic).
+"""
+
+from __future__ import annotations
+
+from ..framework.igmp import (
+    ALL_HOSTS_GROUP,
+    HOST_MEMBERSHIP_QUERY,
+    IGMPHeader,
+    make_report,
+)
+from ..framework.ip import PROTO_IGMP, IPv4Header, make_ip_packet
+from .core import Node
+
+
+class IGMPSwitch(Node):
+    """A switch with attached (modelled) group members.
+
+    ``memberships`` maps member address → set of multicast groups joined.
+    Replies are emitted back out the interface the query arrived on, one
+    membership report per (member, group), with IP TTL 1 as RFC 1112
+    requires for reports.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.memberships: dict[int, set[int]] = {}
+        self.queries_seen: list[IGMPHeader] = []
+
+    def join(self, member_address: int, group: int) -> None:
+        self.memberships.setdefault(member_address, set()).add(group)
+
+    def receive(self, data: bytes, interface: str) -> None:
+        try:
+            packet = IPv4Header.unpack(data)
+        except ValueError:
+            return
+        if packet.protocol != PROTO_IGMP or not packet.checksum_ok():
+            return
+        try:
+            message = IGMPHeader.unpack(packet.data)
+        except ValueError:
+            return
+        if not message.checksum_ok():
+            return
+        if message.version != 1 or message.type != HOST_MEMBERSHIP_QUERY:
+            return
+        if packet.dst != ALL_HOSTS_GROUP:
+            return  # queries must be addressed to 224.0.0.1
+        self.queries_seen.append(message)
+        self._send_reports(interface)
+
+    def _send_reports(self, interface: str) -> None:
+        for member, groups in sorted(self.memberships.items()):
+            for group in sorted(groups):
+                report = make_report(group)
+                packet = make_ip_packet(
+                    src=member,
+                    dst=group,  # reports go to the group being reported
+                    protocol=PROTO_IGMP,
+                    data=report.pack(),
+                    ttl=1,
+                )
+                self.transmit(interface, packet.pack())

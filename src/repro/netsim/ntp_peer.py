@@ -1,0 +1,82 @@
+"""NTP peers with the RFC 1059 timeout procedure (§6.3 and Table 11).
+
+The paper's NTP experiment "generated packets for the timeout procedure
+containing both NTP and UDP headers."  An :class:`NTPPeer` keeps the peer
+variables, ticks its timer, and — exactly as the Table 11 sentence says —
+calls the timeout procedure in client and symmetric modes when the peer
+timer reaches the timer threshold.  The dispatch predicate is pluggable so
+SAGE-generated code can replace the reference one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..framework.ntp import (
+    MODE_CLIENT,
+    NTP_PORT,
+    NTPHeader,
+    PeerVariables,
+    encapsulate,
+)
+from ..framework.ip import PROTO_UDP, make_ip_packet
+
+TimeoutPredicate = Callable[[PeerVariables], bool]
+
+
+def reference_timeout_predicate(peer: PeerVariables) -> bool:
+    """Reference reading of the Table 11 sentence.
+
+    "The timeout procedure is called in client mode and symmetric mode when
+    the peer timer reaches the value of the timer threshold variable" — with
+    the RFC's separate clarification that the mode conjunction is an OR.
+    """
+    if peer.timer < peer.threshold:
+        return False
+    return peer.in_client_mode() or peer.in_symmetric_mode()
+
+
+@dataclass
+class NTPPeer:
+    """One NTP association with its peer variables and an address pair."""
+
+    local_address: int
+    remote_address: int
+    peer: PeerVariables = field(default_factory=lambda: PeerVariables(mode=MODE_CLIENT))
+    timeout_predicate: TimeoutPredicate = reference_timeout_predicate
+    emitted_packets: list[bytes] = field(default_factory=list)
+
+    def tick(self, seconds: int = 1) -> bytes | None:
+        """Advance the peer timer; fire the timeout procedure when due.
+
+        Returns the raw IP packet (NTP in UDP in IP) emitted on timeout,
+        or None when no timeout fired.
+        """
+        self.peer.tick(seconds)
+        if not self.timeout_predicate(self.peer):
+            return None
+        message = self.peer.timeout_procedure()
+        packet = self._encapsulate(message)
+        self.emitted_packets.append(packet)
+        return packet
+
+    def _encapsulate(self, message: NTPHeader) -> bytes:
+        datagram = encapsulate(
+            message, self.local_address, self.remote_address, NTP_PORT, NTP_PORT
+        )
+        return make_ip_packet(
+            src=self.local_address,
+            dst=self.remote_address,
+            protocol=PROTO_UDP,
+            data=datagram.pack(),
+        ).pack()
+
+    def run_for(self, seconds: int) -> list[bytes]:
+        """Tick second-by-second; collect every packet emitted."""
+        emitted = []
+        for _ in range(seconds):
+            packet = self.tick()
+            if packet is not None:
+                emitted.append(packet)
+        return emitted

@@ -1,0 +1,147 @@
+"""A Linux-faithful `traceroute` for the simulator.
+
+Classic UDP traceroute: probes with increasing TTL to high, unlistened
+ports.  Each hop answers with ICMP time exceeded; the destination answers
+with ICMP port unreachable.  The tool validates that the quoted datagram
+inside each ICMP error matches the probe it sent (the "Internet Header + 64
+bits of Original Data Datagram" the RFC requires), so a router that quotes
+the wrong bytes fails traceroute even if the ICMP envelope is fine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..framework import icmp
+from ..framework.ip import PROTO_ICMP, PROTO_UDP, IPv4Header, make_ip_packet
+from ..framework.udp import UDPHeader, make_udp
+from .host import Host
+
+BASE_PORT = 33434  # traceroute's traditional first destination port
+MAX_TTL = 30
+
+
+@dataclass
+class Hop:
+    """One hop in the discovered path."""
+
+    ttl: int
+    address: int | None  # None when the probe went unanswered
+    reached_destination: bool = False
+
+
+@dataclass
+class TracerouteResult:
+    hops: list[Hop] = field(default_factory=list)
+    rejections: list[str] = field(default_factory=list)
+
+    @property
+    def destination_reached(self) -> bool:
+        return bool(self.hops) and self.hops[-1].reached_destination
+
+    def path(self) -> list[int | None]:
+        return [hop.address for hop in self.hops]
+
+
+class Traceroute:
+    """Runs UDP traceroute from ``host`` toward a destination."""
+
+    def __init__(self, host: Host, src_port: int = 51234) -> None:
+        self.host = host
+        self.src_port = src_port
+        self.result = TracerouteResult()
+        self._last_probe: bytes | None = None
+        self._answer: tuple[int, bool] | None = None
+        host.add_listener(self._on_packet)
+
+    def run(self, destination: int, max_ttl: int = MAX_TTL) -> TracerouteResult:
+        for ttl in range(1, max_ttl + 1):
+            self._answer = None
+            probe = self._make_probe(destination, ttl)
+            self._last_probe = probe.pack()
+            self.host.send(probe)
+            assert self.host.network is not None
+            self.host.network.run()
+            if self._answer is None:
+                self.result.hops.append(Hop(ttl=ttl, address=None))
+                continue
+            address, reached = self._answer
+            self.result.hops.append(
+                Hop(ttl=ttl, address=address, reached_destination=reached)
+            )
+            if reached:
+                break
+        return self.result
+
+    def _make_probe(self, destination: int, ttl: int) -> IPv4Header:
+        source = self.host.os.interfaces[0].address
+        datagram = make_udp(
+            src_ip=source,
+            dst_ip=destination,
+            src_port=self.src_port,
+            dst_port=BASE_PORT + ttl - 1,
+            data=b"SUPERMAN",  # 8 bytes, the traditional probe filler
+        )
+        return make_ip_packet(
+            src=source, dst=destination, protocol=PROTO_UDP, data=datagram.pack(), ttl=ttl
+        )
+
+    # -- receiving ------------------------------------------------------------
+    def _on_packet(self, packet: IPv4Header, _interface: str) -> None:
+        if packet.protocol != PROTO_ICMP:
+            return
+        try:
+            message = icmp.ICMPHeader.unpack(packet.data)
+        except ValueError:
+            self.result.rejections.append("truncated ICMP message")
+            return
+        if message.type == icmp.TIME_EXCEEDED:
+            reached = False
+        elif message.type == icmp.DEST_UNREACHABLE and message.code == icmp.PORT_UNREACHABLE:
+            reached = True
+        else:
+            return
+        if not message.checksum_ok():
+            self.result.rejections.append("bad ICMP checksum in error message")
+            return
+        if not self._quotes_my_probe(message):
+            self.result.rejections.append("ICMP error does not quote my probe")
+            return
+        self._answer = (packet.src, reached)
+
+    def _quotes_my_probe(self, message: icmp.ICMPHeader) -> bool:
+        """Check the quoted datagram matches the most recent probe.
+
+        Routers decrement TTL before quoting, so the quoted IP header may
+        differ in TTL and checksum; src/dst/protocol and the first 8 UDP
+        bytes (the port pair) must match exactly.
+        """
+        if self._last_probe is None:
+            return False
+        try:
+            quoted = IPv4Header.unpack(message.payload)
+            original = IPv4Header.unpack(self._last_probe)
+        except ValueError:
+            return False
+        if (quoted.src, quoted.dst, quoted.protocol) != (
+            original.src,
+            original.dst,
+            original.protocol,
+        ):
+            return False
+        if len(quoted.data) < 8:
+            return False
+        try:
+            quoted_udp = UDPHeader.unpack(quoted.data[:8])
+            original_udp = UDPHeader.unpack(original.data)
+        except ValueError:
+            return False
+        return (quoted_udp.src_port, quoted_udp.dst_port) == (
+            original_udp.src_port,
+            original_udp.dst_port,
+        )
+
+
+def traceroute(host: Host, destination: int, max_ttl: int = MAX_TTL) -> TracerouteResult:
+    """Convenience wrapper mirroring the shell command."""
+    return Traceroute(host).run(destination, max_ttl=max_ttl)

@@ -1,0 +1,42 @@
+"""NLP substrate: tokenizer, POS tagger, NP chunker, term dictionary.
+
+Replaces the spaCy dependency of the paper's pipeline (§3): sentences are
+tokenized with RFC idioms preserved, noun phrases are fused into single NP
+tokens via the domain dictionary plus a rule-based tagger, and the result
+feeds the CCG parser.
+"""
+
+from .chunker import ChunkerConfig, NounPhraseChunker, chunk_counts
+from .tagger import tag_word
+from .terms import TermDictionary, load_default_dictionary
+from .tokenizer import (
+    KIND_NOUN_PHRASE,
+    KIND_NUMBER,
+    KIND_OP,
+    KIND_PUNCT,
+    KIND_STATEVAR,
+    KIND_WORD,
+    Token,
+    normalize_term,
+    split_sentences,
+    tokenize,
+)
+
+__all__ = [
+    "ChunkerConfig",
+    "KIND_NOUN_PHRASE",
+    "KIND_NUMBER",
+    "KIND_OP",
+    "KIND_PUNCT",
+    "KIND_STATEVAR",
+    "KIND_WORD",
+    "NounPhraseChunker",
+    "TermDictionary",
+    "Token",
+    "chunk_counts",
+    "load_default_dictionary",
+    "normalize_term",
+    "split_sentences",
+    "tag_word",
+    "tokenize",
+]

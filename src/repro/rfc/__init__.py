@@ -1,0 +1,45 @@
+"""RFC document processing: structure, diagrams, corpora."""
+
+from .corpus import (
+    Corpus,
+    Rewrite,
+    SpecSentence,
+    bfd_corpus,
+    extract_sentences,
+    find_rewrite,
+    icmp_corpus,
+    igmp_corpus,
+    load_rewrites,
+    ntp_corpus,
+)
+from .document import (
+    FieldDescription,
+    IntroSection,
+    MessageSection,
+    RFCDocument,
+    ValueBinding,
+)
+from .header_diagram import DiagramParse, extract_layout, is_diagram_line
+from .preprocess import parse_rfc_text
+
+__all__ = [
+    "Corpus",
+    "DiagramParse",
+    "FieldDescription",
+    "IntroSection",
+    "MessageSection",
+    "RFCDocument",
+    "Rewrite",
+    "SpecSentence",
+    "ValueBinding",
+    "bfd_corpus",
+    "extract_layout",
+    "extract_sentences",
+    "find_rewrite",
+    "icmp_corpus",
+    "igmp_corpus",
+    "is_diagram_line",
+    "load_rewrites",
+    "ntp_corpus",
+    "parse_rfc_text",
+]

@@ -1,0 +1,146 @@
+"""Bundled RFC corpora and the sentence/context extraction.
+
+Loads the curated RFC excerpts shipped in ``repro/data`` (see DESIGN.md for
+the substitution rationale), producing :class:`SpecSentence` records — each
+sentence paired with the dynamic context (protocol, message, field) that the
+document structure implies, exactly the context dictionary of Table 4.
+
+Also loads ``rewrites.json``: the human-in-the-loop record of every sentence
+the paper reports rewriting (ambiguous, unparseable, or under-specified),
+used by the pipeline's ``revised`` mode (Figure 4's feedback loop).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from importlib import resources
+
+from .document import RFCDocument
+from .preprocess import parse_rfc_text
+
+KIND_INTRO = "intro"
+KIND_FIELD = "field"
+KIND_DESCRIPTION = "description"
+
+
+@dataclass(frozen=True)
+class SpecSentence:
+    """One specification sentence plus its structural context."""
+
+    text: str
+    protocol: str
+    message: str  # section title, e.g. "Echo or Echo Reply Message"
+    field: str  # normalized field term, or "" for behaviour prose
+    kind: str  # intro | field | description
+    field_group: str = ""  # "ip" | "icmp" | "" — which Fields: block
+
+    def context(self) -> dict[str, str]:
+        """The dynamic-context dictionary of Table 4."""
+        return {
+            "protocol": self.protocol,
+            "message": self.message,
+            "field": self.field,
+            "role": "",
+        }
+
+
+@dataclass
+class Corpus:
+    """A parsed RFC document plus its flattened sentence records."""
+
+    protocol: str
+    document: RFCDocument
+    sentences: list[SpecSentence] = field(default_factory=list)
+
+    def field_sentences(self) -> list[SpecSentence]:
+        return [s for s in self.sentences if s.kind == KIND_FIELD]
+
+    def description_sentences(self) -> list[SpecSentence]:
+        return [s for s in self.sentences if s.kind == KIND_DESCRIPTION]
+
+
+def _load_text(filename: str) -> str:
+    return resources.files("repro.data").joinpath(filename).read_text()
+
+
+def extract_sentences(document: RFCDocument, protocol: str) -> list[SpecSentence]:
+    records: list[SpecSentence] = []
+    for intro in document.intro_sections:
+        for sentence in intro.sentences:
+            records.append(
+                SpecSentence(sentence, protocol, intro.title, "", KIND_INTRO)
+            )
+    for section in document.message_sections:
+        for field_description in section.fields:
+            for sentence in field_description.sentences:
+                records.append(
+                    SpecSentence(
+                        sentence, protocol, section.title,
+                        field_description.term, KIND_FIELD,
+                        field_group=field_description.group,
+                    )
+                )
+        for sentence in section.description_sentences:
+            records.append(
+                SpecSentence(sentence, protocol, section.title, "", KIND_DESCRIPTION)
+            )
+    return records
+
+
+def _load_corpus(filename: str, protocol: str) -> Corpus:
+    document = parse_rfc_text(_load_text(filename))
+    return Corpus(
+        protocol=protocol,
+        document=document,
+        sentences=extract_sentences(document, protocol),
+    )
+
+
+def icmp_corpus() -> Corpus:
+    """RFC 792 (ICMP): all eight message types."""
+    return _load_corpus("rfc792_icmp.txt", "ICMP")
+
+
+def igmp_corpus() -> Corpus:
+    """RFC 1112 Appendix I (IGMP v1): the packet-header description."""
+    return _load_corpus("rfc1112_igmp.txt", "IGMP")
+
+
+def ntp_corpus() -> Corpus:
+    """RFC 1059 Appendices A/B (NTP): encapsulation and packet format."""
+    return _load_corpus("rfc1059_ntp.txt", "NTP")
+
+
+def bfd_corpus() -> Corpus:
+    """RFC 5880 §4.1 + §6.8.6 (BFD): header and state management."""
+    return _load_corpus("rfc5880_bfd.txt", "BFD")
+
+
+@dataclass(frozen=True)
+class Rewrite:
+    """One human rewrite: original sentence → revised sentence(s)."""
+
+    original: str
+    revised: str
+    category: str  # "ambiguous" | "unparsed" | "imprecise" | "non-actionable"
+    note: str = ""
+
+
+def load_rewrites() -> list[Rewrite]:
+    """The human-in-the-loop rewrite record (Table 6 and §6.4)."""
+    raw = json.loads(_load_text("rewrites.json"))
+    return [Rewrite(**entry) for entry in raw]
+
+
+def rewrites_by_original() -> dict[str, Rewrite]:
+    return {_sentence_key(r.original): r for r in load_rewrites()}
+
+
+def _sentence_key(sentence: str) -> str:
+    """Whitespace-insensitive sentence identity."""
+    return " ".join(sentence.lower().split())
+
+
+def find_rewrite(sentence: str) -> Rewrite | None:
+    return rewrites_by_original().get(_sentence_key(sentence))

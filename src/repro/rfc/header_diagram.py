@@ -1,0 +1,110 @@
+"""ASCII-art packet diagram extraction (§3).
+
+RFCs draw packet formats as::
+
+    0                   1                   2                   3
+    0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |     Type      |     Code      |          Checksum             |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+
+Each bit column is two characters wide, so a cell spanning ``w`` characters
+holds ``(w + 1) / 2`` bits.  The extractor returns a
+:class:`~repro.framework.packet.HeaderLayout`, from which SAGE generates the
+header struct (``to_c_struct``) or a live Python codec
+(``to_header_class``).  Open-ended rows ("Data ...") and quoted-datagram
+rows become variable-length payload markers rather than fixed fields.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..framework.packet import HeaderLayout, LayoutField
+
+_BORDER = re.compile(r"^\s*\+(-\+)+-?\s*$")
+_CELL_ROW = re.compile(r"^\s*\|.*")
+_RULER = re.compile(r"^\s*[0-9][0-9 ]*$")
+
+# Row contents that mean "the rest of the packet", not a fixed field.
+_PAYLOAD_MARKERS = ("...", "internet header + 64 bits", "data ...")
+
+
+@dataclass
+class DiagramParse:
+    """A parsed diagram: fixed fields plus any variable-length payload name."""
+
+    layout: HeaderLayout
+    payload_name: str | None = None
+    raw_lines: list[str] = field(default_factory=list)
+
+
+def is_diagram_line(line: str) -> bool:
+    """True for ruler, border, and cell rows of a header drawing."""
+    return bool(
+        _BORDER.match(line) or is_ruler_line(line) or _CELL_ROW.match(line)
+    )
+
+
+def is_diagram_start(line: str) -> bool:
+    """True only for unambiguous diagram openers: borders and cell rows.
+
+    Rulers are NOT accepted as starts — a bare field value like ``3`` also
+    matches the digits-and-spaces pattern, and must stay prose.
+    """
+    return bool(_BORDER.match(line) or _CELL_ROW.match(line))
+
+
+def is_ruler_line(line: str) -> bool:
+    """A bit ruler: only digits and spaces, with at least four digits."""
+    if not _RULER.match(line):
+        return False
+    return sum(char.isdigit() for char in line) >= 4
+
+
+def extract_layout(lines: list[str], protocol: str = "header") -> DiagramParse:
+    """Parse diagram ``lines`` into a layout.
+
+    Cell rows are split on ``|``; each cell's character width maps to bits.
+    A row whose single cell covers 32 bits and whose label matches a payload
+    marker (or is open-ended) terminates the fixed layout.
+    """
+    fields: list[LayoutField] = []
+    payload_name: str | None = None
+    seen: dict[str, int] = {}
+
+    for line in lines:
+        if _BORDER.match(line) or _RULER.match(line) or not _CELL_ROW.match(line):
+            continue
+        stripped = line.strip()
+        open_ended = not stripped.endswith("|")
+        cells = [cell for cell in stripped.strip("|").split("|")]
+        row_fields = []
+        for cell in cells:
+            name = " ".join(cell.split()) or "unused"
+            bits = (len(cell) + 1) // 2
+            row_fields.append((name, bits))
+        label = row_fields[0][0].lower() if row_fields else ""
+        is_payload = open_ended or any(
+            marker in label for marker in _PAYLOAD_MARKERS
+        )
+        if is_payload and len(row_fields) == 1:
+            payload_name = row_fields[0][0].rstrip(". ")
+            break
+        for name, bits in row_fields:
+            canonical = _canonical_name(name, seen)
+            fields.append(LayoutField(canonical, bits))
+
+    layout = HeaderLayout(protocol=protocol, fields=fields)
+    return DiagramParse(layout=layout, payload_name=payload_name, raw_lines=list(lines))
+
+
+def _canonical_name(name: str, seen: dict[str, int]) -> str:
+    """snake_case the field name, deduplicating repeats (unused, unused_2)."""
+    canonical = re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_") or "unused"
+    count = seen.get(canonical, 0)
+    seen[canonical] = count + 1
+    if count:
+        return f"{canonical}_{count + 1}"
+    return canonical

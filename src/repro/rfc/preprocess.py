@@ -1,0 +1,180 @@
+"""RFC text → structured document (the pre-processing stage of Figure 1).
+
+Follows the layout conventions of classic RFCs (and RFC 7322 style):
+
+* flush-left lines are section titles; titles ending in "Message" open a
+  message section;
+* indented runs of ``+-+`` / ``|...|`` lines are header diagrams;
+* within a message section, short 3-space-indented lines are field names
+  and the 6-space-indented block beneath each is its description;
+* ``IP Fields:`` / ``ICMP Fields:`` markers group fields; ``Description``
+  introduces behaviour prose;
+* ``0 = net unreachable;`` style lines are value bindings, not sentences.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..nlp.tokenizer import normalize_term
+from .document import (
+    FieldDescription,
+    IntroSection,
+    MessageSection,
+    RFCDocument,
+    ValueBinding,
+    parse_value_binding,
+    split_description_sentences,
+)
+from .header_diagram import extract_layout, is_diagram_line, is_diagram_start, is_ruler_line
+
+_FIELD_MARKER = re.compile(r"^\s{2,4}\S.*:\s*$")  # "IP Fields:" etc.
+_TITLE = re.compile(r"^\S.*$")  # flush-left line
+
+
+def parse_rfc_text(text: str, number: str = "", title: str = "") -> RFCDocument:
+    """Parse RFC-formatted ``text`` into an :class:`RFCDocument`."""
+    lines = text.splitlines()
+    header_number, header_title, body_start = _parse_preamble(lines)
+    document = RFCDocument(
+        number=number or header_number, title=title or header_title
+    )
+
+    index = body_start
+    current_intro: IntroSection | None = None
+    current_message: MessageSection | None = None
+    current_field: FieldDescription | None = None
+    current_group = ""
+    description_mode = False
+    prose_buffer: list[str] = []
+
+    def flush_prose() -> None:
+        nonlocal prose_buffer
+        if not prose_buffer:
+            return
+        sentences = split_description_sentences(" ".join(prose_buffer))
+        if current_field is not None and not description_mode:
+            for sentence in sentences:
+                bare = sentence.rstrip(".").strip()
+                if bare.isdigit():
+                    # A bare value ("Type\n   3") fixes the field, it is not prose.
+                    current_field.values.append(ValueBinding(int(bare), meaning=""))
+                else:
+                    current_field.sentences.append(sentence)
+        elif current_message is not None:
+            current_message.description_sentences.extend(sentences)
+        elif current_intro is not None:
+            current_intro.sentences.extend(sentences)
+        prose_buffer = []
+
+    while index < len(lines):
+        line = lines[index]
+        stripped = line.strip()
+
+        if not stripped:
+            flush_prose()
+            index += 1
+            continue
+
+        if _TITLE.match(line):
+            flush_prose()
+            current_field = None
+            description_mode = False
+            if stripped.lower().endswith("message"):
+                current_group = ""
+                current_message = MessageSection(title=stripped)
+                document.message_sections.append(current_message)
+                current_intro = None
+            else:
+                current_intro = IntroSection(title=stripped)
+                document.intro_sections.append(current_intro)
+                current_message = None
+            index += 1
+            continue
+
+        if is_ruler_line(line) and current_message is not None:
+            # Bit ruler above a drawing: skip (a lone field value like "3"
+            # fails is_ruler_line and stays prose).
+            index += 1
+            continue
+
+        if (
+            is_diagram_start(line)
+            and current_message is not None
+            and current_message.diagram is None
+        ):
+            flush_prose()
+            diagram_lines = []
+            while index < len(lines) and is_diagram_line(lines[index]):
+                diagram_lines.append(lines[index])
+                index += 1
+            protocol = normalize_term(current_message.title)
+            current_message.diagram = extract_layout(diagram_lines, protocol=protocol)
+            continue
+
+        if current_message is not None:
+            indent = len(line) - len(line.lstrip())
+            if _FIELD_MARKER.match(line):
+                flush_prose()
+                current_field = None
+                description_mode = False
+                marker = stripped.rstrip(":").lower()
+                current_group = marker.split()[0] if "field" in marker else ""
+                index += 1
+                continue
+            if indent == 3 and _is_field_name(stripped):
+                flush_prose()
+                if stripped.lower() == "description":
+                    current_field = None
+                    description_mode = True
+                else:
+                    current_field = FieldDescription(name=stripped, group=current_group)
+                    current_message.fields.append(current_field)
+                    description_mode = False
+                index += 1
+                continue
+            # Deeper indent: description content for the open field/block.
+            binding = parse_value_binding(stripped)
+            if binding is not None and current_field is not None:
+                flush_prose()
+                current_field.values.append(binding)
+                index += 1
+                continue
+            prose_buffer.append(stripped)
+            index += 1
+            continue
+
+        # Intro prose.
+        prose_buffer.append(stripped)
+        index += 1
+
+    flush_prose()
+    return document
+
+
+def _parse_preamble(lines: list[str]) -> tuple[str, str, int]:
+    """Pull ``RFC: <number>`` and the document title off the top."""
+    number = ""
+    title = ""
+    index = 0
+    while index < len(lines) and index < 5:
+        stripped = lines[index].strip()
+        if stripped.upper().startswith("RFC:"):
+            number = stripped.split(":", 1)[1].strip()
+        elif stripped and not title:
+            title = stripped
+        if number and title:
+            index += 1
+            break
+        index += 1
+    return number, title, index
+
+
+def _is_field_name(text: str) -> bool:
+    """Field names are short title-ish lines without final punctuation."""
+    if text.endswith((".", ";", ":")):
+        return False
+    words = text.split()
+    if not 1 <= len(words) <= 4:
+        return False
+    return all(word[0].isupper() or word[0].isdigit() for word in words)

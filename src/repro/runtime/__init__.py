@@ -1,0 +1,21 @@
+"""Runtime for SAGE-generated code: compilation, execution, integration."""
+
+from .harness import ExecutionContext, GeneratedICMP, load_functions
+from .state_runtime import (
+    BFDExecutionContext,
+    GeneratedBFD,
+    GeneratedNTPTimeout,
+    NTPExecutionContext,
+    StateValue,
+)
+
+__all__ = [
+    "BFDExecutionContext",
+    "ExecutionContext",
+    "GeneratedBFD",
+    "GeneratedICMP",
+    "GeneratedNTPTimeout",
+    "NTPExecutionContext",
+    "StateValue",
+    "load_functions",
+]

@@ -1,0 +1,281 @@
+"""Execution of SAGE-generated code against the static framework.
+
+The Python emitter renders builder functions over a ``ctx`` object; this
+module provides that object (:class:`ExecutionContext`), compiles generated
+source (:func:`load_functions`), and adapts the result to the simulator's
+:class:`~repro.netsim.icmp_impl.ICMPImplementation` interface
+(:class:`GeneratedICMP`) so generated code can replace the reference
+implementation in any scenario — the paper's §6.2 integration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from ..framework import icmp
+from ..framework.checksum import internet_checksum
+from ..framework.ip import PROTO_ICMP, IPv4Header, make_ip_packet
+from ..framework.netdev import Clock
+from ..netsim.icmp_impl import ICMPImplementation
+
+
+def load_functions(python_source: str) -> dict[str, object]:
+    """Compile generated Python source; returns the defined functions."""
+    namespace: dict[str, object] = {}
+    exec(compile(python_source, "<sage-generated>", "exec"), namespace)
+    return {
+        name: value
+        for name, value in namespace.items()
+        if callable(value) and not name.startswith("__")
+    }
+
+
+@dataclass
+class ExecutionContext:
+    """The ``ctx`` object generated builders operate on.
+
+    IP fields start as the *request's* addresses — the unmodified-datagram
+    view the RFC prose assumes ("the source and destination addresses are
+    simply reversed").  ``finish`` applies the OS egress rule: a source
+    address the responder does not own is replaced by the responder's
+    interface address (error messages originate at the router).
+    """
+
+    request_ip: IPv4Header
+    responder_address: int
+    params: dict[str, int] = dataclass_field(default_factory=dict)
+    clock: Clock = dataclass_field(default_factory=Clock)
+    ip_fields: dict[str, int] = dataclass_field(default_factory=dict)
+    icmp_fields: dict[str, int] = dataclass_field(default_factory=dict)
+    payload: bytes = b""
+    checksum_requested: bool = False
+    checksum_start: str = "type"
+    discarded_reason: str | None = None
+
+    def __post_init__(self) -> None:
+        self.ip_fields = {
+            "src": self.request_ip.src,
+            "dst": self.request_ip.dst,
+            "ttl": 64,
+            "total_length": self.request_ip.total_length,
+        }
+        self.icmp_fields = {}
+        try:
+            self._request_icmp = icmp.ICMPHeader.unpack(self.request_ip.data)
+        except ValueError:
+            self._request_icmp = None
+        try:
+            self._request_timestamp = icmp.ICMPTimestampHeader.unpack(
+                self.request_ip.data
+            )
+        except ValueError:
+            self._request_timestamp = None
+
+    # -- ops API (what the Python emitter calls) ------------------------------
+    def set_field(self, protocol: str, name: str, value: int) -> None:
+        if protocol == "ip":
+            self.ip_fields[name] = value
+        else:
+            self.icmp_fields[name] = value
+
+    def get_field(self, protocol: str, name: str) -> int:
+        if protocol == "ip":
+            return self.ip_fields.get(name, 0)
+        return self.icmp_fields.get(name, self.request_field(protocol, name))
+
+    def swap_fields(self, protocol_a: str, field_a: str,
+                    protocol_b: str, field_b: str) -> None:
+        a_value = self.get_field(protocol_a, field_a)
+        b_value = self.get_field(protocol_b, field_b)
+        self.set_field(protocol_a, field_a, b_value)
+        self.set_field(protocol_b, field_b, a_value)
+
+    def request_field(self, protocol: str, name: str) -> int:
+        if protocol == "ip":
+            return getattr(self.request_ip, name, 0)
+        if name in ("identifier", "sequence_number") and self._request_icmp:
+            if name == "identifier":
+                return self._request_icmp.identifier
+            return self._request_icmp.sequence
+        if name.endswith("_timestamp") and self._request_timestamp:
+            short = name.removesuffix("_timestamp")
+            return getattr(self._request_timestamp, short, 0)
+        if self._request_icmp is not None:
+            return getattr(self._request_icmp, name, 0)
+        return 0
+
+    def param(self, name: str) -> int:
+        if name == "current_time":
+            return self.clock.now_ms()
+        return self.params.get(name, 0)
+
+    def clock_ms(self) -> int:
+        return self.clock.now_ms()
+
+    def copy_data(self) -> None:
+        if self._request_timestamp is not None and len(self.request_ip.data) == 20:
+            self.payload = b""  # timestamp messages carry no data
+        elif self._request_icmp is not None:
+            self.payload = self._request_icmp.payload
+
+    def quote_datagram(self) -> None:
+        self.payload = icmp.quoted_datagram(self.request_ip)
+
+    def compute_checksum(self, protocol: str, name: str, start: str = "type") -> None:
+        if protocol == "icmp":
+            self.checksum_requested = True
+            self.checksum_start = start
+        # The IP header checksum is recomputed by the IP layer at finish().
+
+    def pad_for_checksum(self) -> None:
+        """Odd-length coverage is padded inside the checksum routine."""
+
+    def discard(self, reason: str = "") -> None:
+        self.discarded_reason = reason or "discarded"
+
+    # -- finalization ------------------------------------------------------------
+    def _is_timestamp_message(self) -> bool:
+        return any(name.endswith("_timestamp") for name in self.icmp_fields)
+
+    def build_icmp(self) -> bytes:
+        """Assemble the ICMP message bytes from the accumulated fields."""
+        if self._is_timestamp_message():
+            header = icmp.ICMPTimestampHeader(
+                type=self.icmp_fields.get("type", 0),
+                code=self.icmp_fields.get("code", 0),
+                identifier=self.icmp_fields.get("identifier", 0),
+                sequence=self.icmp_fields.get("sequence_number", 0),
+                originate=self.icmp_fields.get("originate_timestamp", 0),
+                receive=self.icmp_fields.get("receive_timestamp", 0),
+                transmit=self.icmp_fields.get("transmit_timestamp", 0),
+            )
+        else:
+            header = icmp.ICMPHeader(
+                type=self.icmp_fields.get("type", 0),
+                code=self.icmp_fields.get("code", 0),
+                payload=self.payload,
+            )
+            if "identifier" in self.icmp_fields or "sequence_number" in self.icmp_fields:
+                header.identifier = self.icmp_fields.get("identifier", 0)
+                header.sequence = self.icmp_fields.get("sequence_number", 0)
+            elif "gateway_internet_address" in self.icmp_fields:
+                header.gateway = self.icmp_fields["gateway_internet_address"]
+            elif "pointer" in self.icmp_fields:
+                header.pointer = self.icmp_fields["pointer"]
+        raw = bytearray(header.pack())
+        if self.checksum_requested:
+            raw[2:4] = (0).to_bytes(2, "big")
+            checksum = internet_checksum(bytes(raw))
+            raw[2:4] = checksum.to_bytes(2, "big")
+        return bytes(raw)
+
+    def finish(self) -> bytes | None:
+        """The complete IP datagram, or None when the code discarded it."""
+        if self.discarded_reason is not None:
+            return None
+        source = self.ip_fields.get("src", self.responder_address)
+        # OS egress rule: never emit a source address we do not own.
+        if source == self.request_ip.src and source != self.responder_address:
+            source = self.responder_address
+        packet = make_ip_packet(
+            src=source,
+            dst=self.ip_fields.get("dst", self.request_ip.src),
+            protocol=PROTO_ICMP,
+            data=self.build_icmp(),
+            ttl=self.ip_fields.get("ttl", 64),
+        )
+        return packet.pack()
+
+
+class GeneratedICMP(ICMPImplementation):
+    """Adapter: generated builder functions behind the simulator interface.
+
+    Incoming-request validation (checksum verification, type dispatch) is
+    kernel behaviour provided by the framework, mirroring the paper's static
+    framework; the *construction* of every reply is the generated code.
+    """
+
+    def __init__(self, functions: dict[str, object], clock: Clock | None = None,
+                 params: dict[str, int] | None = None) -> None:
+        self.functions = functions
+        self.clock = clock or Clock()
+        self.params = params or {}
+
+    @classmethod
+    def from_source(cls, python_source: str, clock: Clock | None = None,
+                    params: dict[str, int] | None = None) -> "GeneratedICMP":
+        return cls(load_functions(python_source), clock=clock, params=params)
+
+    # -- plumbing ------------------------------------------------------------
+    def _run(self, function_name: str, request: IPv4Header,
+             responder_address: int, **params: int) -> bytes | None:
+        function = self.functions.get(function_name)
+        if function is None:
+            return None
+        merged = dict(self.params)
+        merged.update(params)
+        context = ExecutionContext(
+            request_ip=request,
+            responder_address=responder_address,
+            params=merged,
+            clock=self.clock,
+        )
+        result = function(context)
+        return result.finish() if result is not None else None
+
+    @staticmethod
+    def _validated(request: IPv4Header, expected_type: int) -> bool:
+        try:
+            message = icmp.ICMPHeader.unpack(request.data)
+        except ValueError:
+            return False
+        return message.type == expected_type and message.checksum_ok()
+
+    # -- ICMPImplementation interface ---------------------------------------
+    def echo_reply(self, request: IPv4Header, responder_address: int) -> bytes | None:
+        if not self._validated(request, icmp.ECHO):
+            return None
+        return self._run("icmp_echo_reply_receiver", request, responder_address)
+
+    def destination_unreachable(self, original: IPv4Header, code: int,
+                                responder_address: int) -> bytes | None:
+        return self._run(
+            "icmp_destination_unreachable_receiver", original,
+            responder_address, code=code,
+        )
+
+    def time_exceeded(self, original: IPv4Header, responder_address: int) -> bytes | None:
+        return self._run(
+            "icmp_time_exceeded_receiver", original, responder_address, code=0
+        )
+
+    def parameter_problem(self, original: IPv4Header, pointer: int,
+                          responder_address: int) -> bytes | None:
+        return self._run(
+            "icmp_parameter_problem_receiver", original, responder_address,
+            error_octet=pointer,
+        )
+
+    def source_quench(self, original: IPv4Header, responder_address: int) -> bytes | None:
+        return self._run("icmp_source_quench_receiver", original, responder_address)
+
+    def redirect(self, original: IPv4Header, gateway: int,
+                 responder_address: int) -> bytes | None:
+        return self._run(
+            "icmp_redirect_receiver", original, responder_address,
+            gateway_address=gateway, code=1,
+        )
+
+    def timestamp_reply(self, request: IPv4Header, responder_address: int) -> bytes | None:
+        try:
+            message = icmp.ICMPTimestampHeader.unpack(request.data)
+        except ValueError:
+            return None
+        if message.type != icmp.TIMESTAMP or not message.checksum_ok():
+            return None
+        return self._run("icmp_timestamp_reply_receiver", request, responder_address)
+
+    def info_reply(self, request: IPv4Header, responder_address: int) -> bytes | None:
+        if not self._validated(request, icmp.INFO_REQUEST):
+            return None
+        return self._run("icmp_information_reply_receiver", request, responder_address)

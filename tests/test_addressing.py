@@ -1,0 +1,71 @@
+"""Tests for IPv4 address parsing and subnet arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.framework.addressing import Subnet, int_to_ip, ip_to_int
+
+
+class TestAddressConversion:
+    def test_parse_known_address(self):
+        assert ip_to_int("10.0.1.1") == 0x0A000101
+
+    def test_format_known_address(self):
+        assert int_to_ip(0xC0A80201) == "192.168.2.1"
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    @pytest.mark.parametrize(
+        "bad", ["10.0.1", "10.0.1.1.1", "256.0.0.1", "a.b.c.d", "", "10.0.-1.1"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+
+    def test_int_to_ip_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+
+
+class TestSubnet:
+    def test_contains_own_network(self):
+        subnet = Subnet.parse("10.0.1.0/24")
+        assert subnet.contains("10.0.1.1")
+        assert subnet.contains("10.0.1.255")
+
+    def test_excludes_neighbors(self):
+        subnet = Subnet.parse("10.0.1.0/24")
+        assert not subnet.contains("10.0.2.1")
+
+    def test_host_bits_are_masked_at_parse(self):
+        # The paper writes subnets as "10.0.1.1/24"; the network is 10.0.1.0.
+        subnet = Subnet.parse("10.0.1.1/24")
+        assert subnet.network == ip_to_int("10.0.1.0")
+
+    def test_zero_prefix_contains_everything(self):
+        subnet = Subnet.parse("0.0.0.0/0")
+        assert subnet.contains("255.255.255.255")
+        assert subnet.contains("0.0.0.0")
+
+    def test_slash32_contains_only_itself(self):
+        subnet = Subnet.parse("172.64.3.1/32")
+        assert subnet.contains("172.64.3.1")
+        assert not subnet.contains("172.64.3.2")
+
+    @pytest.mark.parametrize("bad", ["10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            Subnet.parse(bad)
+
+    def test_str_renders_cidr(self):
+        assert str(Subnet.parse("192.168.2.1/24")) == "192.168.2.0/24"
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF), st.integers(0, 32))
+    def test_every_address_is_in_its_own_subnet(self, address, prefix_len):
+        subnet = Subnet.parse(f"{int_to_ip(address)}/{prefix_len}")
+        assert subnet.contains(address)

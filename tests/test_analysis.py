@@ -1,0 +1,106 @@
+"""Tests for the analysis modules: student study, components, ablations."""
+
+import pytest
+
+from repro.analysis import (
+    FaultyICMP,
+    checksum_interpretation_study,
+    compare_np_labels,
+    detect_all,
+    evaluate_implementation,
+    faulty_cohort,
+    run_ablation,
+    run_study,
+)
+from repro.analysis.student_study import (
+    ERROR_BYTE_ORDER,
+    ERROR_CHECKSUM,
+    ERROR_ICMP_HEADER,
+    ERROR_IP_HEADER,
+    ERROR_LENGTH,
+    ERROR_PAYLOAD,
+    TABLE2_PAPER_FREQUENCIES,
+)
+
+
+class TestFaultInjection:
+    def test_clean_implementation_passes(self):
+        outcome = evaluate_implementation(FaultyICMP())
+        assert outcome.passed
+
+    @pytest.mark.parametrize("fault,error_class", [
+        ("icmp_header", ERROR_ICMP_HEADER),
+        ("byte_order", ERROR_BYTE_ORDER),
+        ("payload_content", ERROR_PAYLOAD),
+        ("payload_length", ERROR_LENGTH),
+        ("ip_header", ERROR_IP_HEADER),
+    ])
+    def test_each_fault_fails_and_classifies(self, fault, error_class):
+        outcome = evaluate_implementation(FaultyICMP(faults={fault}))
+        assert not outcome.passed
+        assert error_class in outcome.error_classes
+
+    def test_checksum_fault(self):
+        outcome = evaluate_implementation(
+            FaultyICMP(checksum_interpretation=1)
+        )
+        assert not outcome.passed
+        assert ERROR_CHECKSUM in outcome.error_classes
+        assert any("checksum" in reason for reason in outcome.rejection_reasons)
+
+    def test_cohort_size_is_14(self):
+        assert len(faulty_cohort()) == 14
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_study()
+
+    def test_class_of_39(self, study):
+        assert study.total == 39
+        assert study.non_compiling == 1
+
+    def test_parse_rate_matches_paper(self, study):
+        assert study.correct == 24
+        assert abs(study.parse_rate() - 0.615) < 0.01
+
+    def test_every_error_class_in_at_least_4(self, study):
+        frequencies = study.frequencies()
+        for name in TABLE2_PAPER_FREQUENCIES:
+            assert frequencies.get(name, 0) * 14 >= 4, name
+
+    def test_checksum_interpretations(self):
+        results = checksum_interpretation_study()
+        assert len(results) == 7
+        assert results[3] is True  # the correct whole-message reading
+        assert not results[1] and not results[2] and not results[4]
+
+
+class TestComponents:
+    def test_bundled_corpora_detected(self):
+        detected = {d.protocol: d for d in detect_all()}
+        assert set(detected) == {"ICMP", "IGMP", "NTP", "BFD"}
+        assert all(d.header_diagram for d in detected.values())
+        assert detected["BFD"].state_management_sentences >= 10
+        assert detected["ICMP"].state_management_sentences == 0
+
+
+class TestAblations:
+    def test_np_label_quality(self):
+        comparison = compare_np_labels()
+        assert comparison.good_label_count >= 1
+        assert comparison.labeling_helps
+
+    def test_dictionary_ablation_on_sample(self):
+        result = run_ablation("dictionary", limit=20)
+        assert result.increased + result.zeroed + result.unchanged + result.decreased == 20
+        assert result.increased + result.zeroed > 0
+
+    def test_np_ablation_zeroes_most(self):
+        result = run_ablation("np-labeling", limit=20)
+        assert result.zeroed > 10
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ValueError):
+            run_ablation("bogus")

@@ -1,0 +1,41 @@
+"""Tests for byte-order helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.framework.byteorder import htonl, htons, ntohl, ntohs, swap16, swap32
+
+
+class TestSwap:
+    def test_swap16_known_value(self):
+        assert swap16(0x1234) == 0x3412
+
+    def test_swap32_known_value(self):
+        assert swap32(0x12345678) == 0x78563412
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_swap16_involution(self, value):
+        assert swap16(swap16(value)) == value
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_swap32_involution(self, value):
+        assert swap32(swap32(value)) == value
+
+
+class TestHostNetwork:
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_htons_ntohs_roundtrip(self, value):
+        assert ntohs(htons(value)) == value
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_htonl_ntohl_roundtrip(self, value):
+        assert ntohl(htonl(value)) == value
+
+    def test_conversion_consistent_with_swap_on_little_endian(self):
+        import sys
+
+        if sys.byteorder == "little":
+            assert htons(0x1234) == swap16(0x1234)
+            assert htonl(0x12345678) == swap32(0x12345678)
+        else:
+            assert htons(0x1234) == 0x1234

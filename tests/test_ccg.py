@@ -1,0 +1,178 @@
+"""Tests for the CCG substrate: categories, semantics, chart parsing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ccg.categories import (
+    NP,
+    S,
+    Func,
+    Prim,
+    backward,
+    forward,
+    parse_category,
+)
+from repro.ccg.chart import CCGChartParser
+from repro.ccg.lexicon import build_lexicon
+from repro.ccg.semantics import (
+    App,
+    Call,
+    Const,
+    Lam,
+    Var,
+    free_vars,
+    is_grounded,
+    reduce_term,
+    signature,
+    span_of,
+    stamp,
+    substitute,
+)
+from repro.nlp import NounPhraseChunker
+
+
+class TestCategories:
+    def test_parse_primitive(self):
+        assert parse_category("S") == S
+        assert parse_category("NP") == NP
+
+    def test_parse_left_associative(self):
+        assert parse_category("S\\NP/NP") == forward(backward(S, NP), NP)
+
+    def test_parse_parenthesized(self):
+        category = parse_category("(S/S)/S")
+        assert category == forward(forward(S, S), S)
+
+    def test_roundtrip_str(self):
+        for text in ("S", "S\\NP", "(S\\NP)/NP", "(S/(S\\NP))\\NP"):
+            assert str(parse_category(text)) == str(parse_category(str(parse_category(text))))
+
+    @pytest.mark.parametrize("bad", ["", "S//NP", "(S", "S)"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_category(bad)
+
+
+class TestSemantics:
+    def test_beta_reduction(self):
+        term = App(Lam("x", Call("Is", (Var("x"), Const("0")))), Const("checksum"))
+        reduced = reduce_term(term)
+        assert signature(reduced) == "@Is('checksum','0')"
+
+    def test_capture_avoiding_substitution(self):
+        # (λy. x y) with x := y must not capture the bound y.
+        term = Lam("y", App(Var("x"), Var("y")))
+        result = substitute(term, "x", Var("y"))
+        assert isinstance(result, Lam)
+        assert result.param != "y"  # alpha-renamed
+
+    def test_free_vars(self):
+        term = Lam("x", App(Var("x"), Var("y")))
+        assert free_vars(term) == {"y"}
+
+    def test_groundedness(self):
+        assert is_grounded(Call("Is", (Const("a"), Const("b"))))
+        assert not is_grounded(Lam("x", Var("x")))
+        assert not is_grounded(Call("Is", (Var("x"), Const("b"))))
+
+    def test_stamp_spans_and_triggers(self):
+        template = Lam("x", Call("If", (Var("x"), Const("c"))))
+        stamped = stamp(template, 5)
+        call = stamped.body
+        assert call.trigger == 5
+        assert call.args[1].span == (5, 6)
+
+    def test_span_union(self):
+        call = Call("Is", (Const("a", span=(2, 3)), Const("b", span=(7, 8))))
+        assert span_of(call) == (2, 8)
+
+    @given(st.integers(0, 50))
+    def test_stamp_is_pure(self, index):
+        template = Call("Is", (Const("a"), Const("b")))
+        stamped = stamp(template, index)
+        assert stamped.trigger == index
+        assert template.trigger is None  # original untouched
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return CCGChartParser(build_lexicon())
+
+
+@pytest.fixture(scope="module")
+def chunker():
+    return NounPhraseChunker()
+
+
+class TestChartParser:
+    def parse(self, parser, chunker, text):
+        return parser.parse(chunker.chunk_text(text))
+
+    def test_simple_assignment(self, parser, chunker):
+        result = self.parse(parser, chunker, "The checksum is zero.")
+        signatures = {signature(f) for f in result.logical_forms}
+        assert "@Is('checksum','0')" in signatures
+
+    def test_overgeneration_creates_ambiguity(self, parser, chunker):
+        result = self.parse(parser, chunker, "The checksum is zero.")
+        assert result.count >= 2  # the reversed-@Is over-generation
+
+    def test_conditional(self, parser, chunker):
+        result = self.parse(parser, chunker, "If code = 0, the type is zero.")
+        signatures = {signature(f) for f in result.logical_forms}
+        assert "@If(@Is('code','0'),@Is('type','0'))" in signatures
+        # The swapped over-generated form is present pre-winnowing.
+        assert "@If(@Is('type','0'),@Is('code','0'))" in signatures
+
+    def test_coordination_group_and_distributed(self, parser, chunker):
+        result = self.parse(parser, chunker,
+                            "The identifier and the pointer are zeroed.")
+        signatures = {signature(f) for f in result.logical_forms}
+        grouped = "@Action('zero',@And('identifier','pointer'))"
+        distributed = "@And(@Action('zero','identifier'),@Action('zero','pointer'))"
+        assert grouped in signatures
+        assert distributed in signatures
+
+    def test_of_chains_give_both_bracketings(self, parser, chunker):
+        result = self.parse(parser, chunker,
+                            "The pointer is the octet of the header of the datagram.")
+        signatures = {signature(f) for f in result.logical_forms}
+        assert any("@Of(@Of(" in s for s in signatures)
+        assert any("@Of('octet',@Of(" in s for s in signatures)
+
+    def test_unknown_function_word_fails_parse(self, parser, chunker):
+        # "unless" tags as a subordinator (not fused into an NP) and has no
+        # lexicon entry, so the sentence cannot parse.
+        result = parser.parse(chunker.chunk_text("Unless the checksum."))
+        assert result.count == 0
+
+    def test_unknown_verb_fallback(self, parser, chunker):
+        result = self.parse(parser, chunker, "The gateway transmits the datagram.")
+        assert result.count >= 1
+        assert any("transmits" in signature(f) for f in result.logical_forms)
+
+    def test_parse_is_deterministic(self, parser, chunker):
+        text = "For computing the checksum, the checksum field should be zero."
+        first = {signature(f) for f in self.parse(parser, chunker, text).logical_forms}
+        second = {signature(f) for f in self.parse(parser, chunker, text).logical_forms}
+        assert first == second
+
+
+class TestLexiconAccounting:
+    def test_groups_present(self):
+        counts = build_lexicon().count_by_group()
+        assert set(counts) == {"core", "icmp", "igmp", "ntp", "bfd"}
+
+    def test_without_overgen_is_smaller(self):
+        full = build_lexicon()
+        clean = full.without_overgen()
+        assert len(clean.entries()) < len(full.entries())
+
+    def test_overgen_entries_drive_ambiguity(self):
+        chunker = NounPhraseChunker()
+        with_overgen = CCGChartParser(build_lexicon())
+        without = CCGChartParser(build_lexicon(include_overgen=False))
+        text = "The checksum is zero."
+        assert (without.parse(chunker.chunk_text(text)).count
+                < with_overgen.parse(chunker.chunk_text(text)).count)

@@ -1,0 +1,161 @@
+"""Tests for the ICMP codec and the eight reference message builders."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.framework import icmp
+from repro.framework.addressing import ip_to_int
+from repro.framework.ip import PROTO_UDP, make_ip_packet
+
+SRC = ip_to_int("10.0.1.100")
+DST = ip_to_int("192.168.2.2")
+
+
+def sample_datagram(data=b"ABCDEFGHIJKL"):
+    return make_ip_packet(SRC, DST, PROTO_UDP, data, ttl=9)
+
+
+class TestEcho:
+    def test_echo_fields(self):
+        echo = icmp.make_echo(0x1234, 7, b"payload")
+        assert echo.type == icmp.ECHO
+        assert echo.code == 0
+        assert echo.identifier == 0x1234
+        assert echo.sequence == 7
+        assert echo.payload == b"payload"
+        assert echo.checksum_ok()
+
+    def test_echo_reply_echoes_everything(self):
+        echo = icmp.make_echo(42, 3, b"data-bytes")
+        reply = icmp.make_echo_reply(echo)
+        assert reply.type == icmp.ECHO_REPLY
+        assert reply.identifier == 42
+        assert reply.sequence == 3
+        assert reply.payload == b"data-bytes"
+        assert reply.checksum_ok()
+
+    def test_checksum_differs_between_echo_and_reply(self):
+        # Only the type byte differs (8 -> 0), so checksums must differ by
+        # exactly that word in one's-complement arithmetic.
+        echo = icmp.make_echo(1, 1, b"abc")
+        reply = icmp.make_echo_reply(echo)
+        assert echo.checksum != reply.checksum
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF), st.binary(max_size=100))
+    def test_echo_roundtrip_property(self, identifier, sequence, payload):
+        echo = icmp.make_echo(identifier, sequence, payload)
+        parsed = icmp.ICMPHeader.unpack(echo.pack())
+        assert parsed.identifier == identifier
+        assert parsed.sequence == sequence
+        assert parsed.payload == payload
+        assert parsed.checksum_ok()
+
+
+class TestRestAccessors:
+    def test_identifier_sequence_disjoint(self):
+        header = icmp.ICMPHeader(type=icmp.ECHO)
+        header.identifier = 0xAAAA
+        header.sequence = 0x5555
+        assert header.identifier == 0xAAAA
+        assert header.sequence == 0x5555
+        assert header.rest == 0xAAAA5555
+
+    def test_pointer_is_high_byte(self):
+        header = icmp.ICMPHeader(type=icmp.PARAMETER_PROBLEM)
+        header.pointer = 0x1F
+        assert header.rest == 0x1F000000
+        assert header.pointer == 0x1F
+
+    def test_gateway_is_whole_word(self):
+        header = icmp.ICMPHeader(type=icmp.REDIRECT)
+        header.gateway = ip_to_int("10.0.1.254")
+        assert header.gateway == ip_to_int("10.0.1.254")
+
+
+class TestErrorMessages:
+    def test_quoted_datagram_is_header_plus_64_bits(self):
+        original = sample_datagram(b"0123456789")
+        quoted = icmp.quoted_datagram(original)
+        assert quoted[:20] == original.header_bytes()
+        assert quoted[20:] == b"01234567"  # exactly 8 data bytes
+
+    def test_quoting_short_datagram(self):
+        original = sample_datagram(b"abc")
+        assert icmp.quoted_datagram(original)[20:] == b"abc"
+
+    def test_dest_unreachable(self):
+        message = icmp.make_dest_unreachable(icmp.NET_UNREACHABLE, sample_datagram())
+        assert message.type == icmp.DEST_UNREACHABLE
+        assert message.code == 0
+        assert message.rest == 0  # "unused" word must be zero
+        assert message.checksum_ok()
+
+    def test_time_exceeded(self):
+        message = icmp.make_time_exceeded(icmp.TTL_EXCEEDED, sample_datagram())
+        assert message.type == icmp.TIME_EXCEEDED
+        assert message.checksum_ok()
+
+    def test_parameter_problem_pointer(self):
+        message = icmp.make_parameter_problem(1, sample_datagram())
+        assert message.pointer == 1
+        assert message.checksum_ok()
+
+    def test_source_quench(self):
+        message = icmp.make_source_quench(sample_datagram())
+        assert message.type == icmp.SOURCE_QUENCH
+        assert message.rest == 0
+
+    def test_redirect_carries_gateway(self):
+        gateway = ip_to_int("10.0.1.254")
+        message = icmp.make_redirect(1, gateway, sample_datagram())
+        assert message.gateway == gateway
+        assert message.checksum_ok()
+
+
+class TestTimestampMessages:
+    def test_timestamp_request(self):
+        message = icmp.make_timestamp(5, 6, originate=123456)
+        assert message.type == icmp.TIMESTAMP
+        assert message.originate == 123456
+        assert message.receive == 0
+        assert message.transmit == 0
+        assert message.checksum_ok()
+
+    def test_timestamp_reply_echoes_originate(self):
+        request = icmp.make_timestamp(5, 6, originate=111)
+        reply = icmp.make_timestamp_reply(request, receive=222, transmit=333)
+        assert reply.type == icmp.TIMESTAMP_REPLY
+        assert (reply.originate, reply.receive, reply.transmit) == (111, 222, 333)
+        assert (reply.identifier, reply.sequence) == (5, 6)
+        assert reply.checksum_ok()
+
+    def test_timestamp_header_is_20_bytes(self):
+        assert icmp.ICMPTimestampHeader.header_len() == 20
+
+
+class TestInfoMessages:
+    def test_info_request_has_no_data(self):
+        message = icmp.make_info_request(9, 10)
+        assert message.type == icmp.INFO_REQUEST
+        assert message.payload == b""
+
+    def test_info_reply_echoes_id_seq(self):
+        request = icmp.make_info_request(9, 10)
+        reply = icmp.make_info_reply(request)
+        assert reply.type == icmp.INFO_REPLY
+        assert reply.identifier == 9
+        assert reply.sequence == 10
+
+
+class TestChecksumCoverage:
+    def test_checksum_covers_payload(self):
+        """The disambiguated reading: checksum covers header AND payload."""
+        a = icmp.make_echo(1, 1, b"aaaa")
+        b = icmp.make_echo(1, 1, b"aaab")
+        assert a.checksum != b.checksum
+
+    def test_corrupting_payload_fails_verification(self):
+        message = icmp.make_echo(1, 1, b"payload")
+        raw = bytearray(message.pack())
+        raw[-1] ^= 0x01
+        assert not icmp.ICMPHeader.unpack(bytes(raw)).checksum_ok()

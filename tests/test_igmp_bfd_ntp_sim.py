@@ -1,0 +1,189 @@
+"""Tests for the IGMP switch, BFD sessions, and NTP peers in the simulator."""
+
+from repro.framework.addressing import ip_to_int
+from repro.framework.bfd import (
+    STATE_ADMIN_DOWN,
+    STATE_DOWN,
+    STATE_INIT,
+    STATE_UP,
+    BFDControlHeader,
+)
+from repro.framework.igmp import ALL_HOSTS_GROUP, HOST_MEMBERSHIP_REPORT, IGMPHeader
+from repro.framework.ip import PROTO_IGMP, IPv4Header, make_ip_packet
+from repro.framework.igmp import make_query
+from repro.framework.ntp import MODE_BROADCAST, MODE_CLIENT, NTPHeader, PeerVariables
+from repro.framework.udp import UDPHeader
+from repro.netsim import BFDSession, Host, IGMPSwitch, NTPPeer, Network, run_handshake
+from repro.framework.tcpdump import decode_packet
+
+
+def igmp_network():
+    network = Network()
+    sender = Host("sender")
+    sender.add_interface("eth0", "10.0.5.2/24")
+    switch = IGMPSwitch("switch")
+    switch.add_interface("eth0", "10.0.5.1/24")
+    network.add_node(sender)
+    network.add_node(switch)
+    network.connect("sender", "eth0", "switch", "eth0")
+    return network, sender, switch
+
+
+class TestIGMPSwitch:
+    def test_query_elicits_reports(self):
+        network, sender, switch = igmp_network()
+        member = ip_to_int("10.0.5.9")
+        group = ip_to_int("225.1.2.3")
+        switch.join(member, group)
+
+        query = make_query()
+        packet = make_ip_packet(
+            ip_to_int("10.0.5.2"), ALL_HOSTS_GROUP, PROTO_IGMP, query.pack(), ttl=1
+        )
+        sender.send(packet)
+        network.run()
+
+        assert len(switch.queries_seen) == 1
+        reports = [
+            IGMPHeader.unpack(IPv4Header.unpack(raw).data)
+            for raw in switch.sent_capture
+        ]
+        assert len(reports) == 1
+        assert reports[0].type == HOST_MEMBERSHIP_REPORT
+        assert reports[0].group_address == group
+
+    def test_reports_are_tcpdump_clean(self):
+        network, sender, switch = igmp_network()
+        switch.join(ip_to_int("10.0.5.9"), ip_to_int("225.1.2.3"))
+        sender.send(
+            make_ip_packet(
+                ip_to_int("10.0.5.2"), ALL_HOSTS_GROUP, PROTO_IGMP, make_query().pack(), ttl=1
+            )
+        )
+        network.run()
+        for raw in switch.sent_capture:
+            assert decode_packet(raw).clean
+
+    def test_query_not_to_all_hosts_ignored(self):
+        network, sender, switch = igmp_network()
+        switch.join(ip_to_int("10.0.5.9"), ip_to_int("225.1.2.3"))
+        sender.send(
+            make_ip_packet(
+                ip_to_int("10.0.5.2"), ip_to_int("10.0.5.1"), PROTO_IGMP,
+                make_query().pack(), ttl=1,
+            )
+        )
+        network.run()
+        assert switch.queries_seen == []
+
+    def test_multiple_groups_all_reported(self):
+        network, sender, switch = igmp_network()
+        member = ip_to_int("10.0.5.9")
+        groups = [ip_to_int("225.0.0.1"), ip_to_int("225.0.0.2"), ip_to_int("226.1.1.1")]
+        for group in groups:
+            switch.join(member, group)
+        sender.send(
+            make_ip_packet(
+                ip_to_int("10.0.5.2"), ALL_HOSTS_GROUP, PROTO_IGMP, make_query().pack(), ttl=1
+            )
+        )
+        network.run()
+        reported = sorted(
+            IGMPHeader.unpack(IPv4Header.unpack(raw).data).group_address
+            for raw in switch.sent_capture
+        )
+        assert reported == sorted(groups)
+
+
+class TestBFDSession:
+    def test_three_way_state_progression(self):
+        a = BFDSession()
+        b = BFDSession()
+        a.state.LocalDiscr = 1
+        b.state.LocalDiscr = 2
+        run_handshake(a, b)
+        assert a.state.SessionState == STATE_UP
+        assert b.state.SessionState == STATE_UP
+        assert a.state.RemoteDiscr == 2
+        assert b.state.RemoteDiscr == 1
+
+    def test_down_down_goes_init(self):
+        session = BFDSession()
+        session.state.LocalDiscr = 5
+        packet = BFDControlHeader(state=STATE_DOWN, my_discriminator=9)
+        session.receive_control(packet)
+        assert session.state.SessionState == STATE_INIT
+
+    def test_wrong_discriminator_discarded(self):
+        session = BFDSession()
+        session.state.LocalDiscr = 5
+        packet = BFDControlHeader(
+            state=STATE_UP, my_discriminator=9, your_discriminator=777
+        )
+        session.receive_control(packet)
+        assert session.discarded == ["no session with that discriminator"]
+        assert session.state.SessionState == STATE_DOWN
+
+    def test_zero_detect_mult_discarded(self):
+        session = BFDSession()
+        packet = BFDControlHeader(state=STATE_DOWN, my_discriminator=9, detect_mult=0)
+        session.receive_control(packet)
+        assert "detect mult is zero" in session.discarded
+
+    def test_admin_down_session_ignores_traffic(self):
+        session = BFDSession()
+        session.state.SessionState = STATE_ADMIN_DOWN
+        packet = BFDControlHeader(state=STATE_DOWN, my_discriminator=9)
+        session.receive_control(packet)
+        assert session.state.SessionState == STATE_ADMIN_DOWN
+
+    def test_neighbor_signaling_down_tears_session(self):
+        a = BFDSession()
+        b = BFDSession()
+        a.state.LocalDiscr, b.state.LocalDiscr = 1, 2
+        run_handshake(a, b)
+        b.state.SessionState = STATE_DOWN
+        a.receive_control(b.send_control())
+        assert a.state.SessionState == STATE_DOWN
+
+    def test_demand_mode_ceases_periodic_transmission(self):
+        """The Table 5 demand-mode sentence, as state-machine behaviour."""
+        a = BFDSession()
+        b = BFDSession()
+        a.state.LocalDiscr, b.state.LocalDiscr = 1, 2
+        run_handshake(a, b)
+        b.state.DemandMode = 1
+        a.receive_control(b.send_control())
+        assert a.periodic_transmission_enabled is False
+
+
+class TestNTPPeer:
+    def test_timeout_fires_at_threshold_in_client_mode(self):
+        peer = NTPPeer(local_address=ip_to_int("10.0.9.1"),
+                       remote_address=ip_to_int("10.0.9.2"))
+        peer.peer.threshold = 4
+        emitted = peer.run_for(10)
+        # Threshold 4: fires at t=4 and then every 4s after the reset.
+        assert len(emitted) == 2
+        assert peer.peer.timeouts_fired == 2
+
+    def test_no_timeout_in_broadcast_mode(self):
+        peer = NTPPeer(
+            local_address=1, remote_address=2,
+            peer=PeerVariables(mode=MODE_BROADCAST, threshold=2),
+        )
+        assert peer.run_for(10) == []
+
+    def test_emitted_packet_has_ntp_and_udp_headers(self):
+        """§6.3: 'generated packets for the timeout procedure containing
+        both NTP and UDP headers'."""
+        peer = NTPPeer(local_address=ip_to_int("10.0.9.1"),
+                       remote_address=ip_to_int("10.0.9.2"))
+        peer.peer.threshold = 1
+        packet_bytes = peer.run_for(1)[0]
+        packet = IPv4Header.unpack(packet_bytes)
+        datagram = UDPHeader.unpack(packet.data)
+        assert datagram.dst_port == 123
+        message = NTPHeader.unpack(datagram.payload)
+        assert message.mode == MODE_CLIENT
+        assert decode_packet(packet_bytes).clean

@@ -1,0 +1,131 @@
+"""Tests for the network simulator: nodes, links, routing, delivery."""
+
+import pytest
+
+from repro.framework.addressing import ip_to_int
+from repro.framework.ip import PROTO_ICMP, make_ip_packet
+from repro.netsim import Host, Network, Router, RoutingTable
+from repro.netsim.topologies import course_topology
+
+
+class TestRoutingTable:
+    def test_longest_prefix_wins(self):
+        table = RoutingTable()
+        table.add("10.0.0.0/8", "eth0")
+        table.add("10.0.1.0/24", "eth1")
+        route = table.lookup(ip_to_int("10.0.1.5"))
+        assert route is not None and route.interface == "eth1"
+
+    def test_miss_returns_none(self):
+        table = RoutingTable()
+        table.add("10.0.1.0/24", "eth0")
+        assert table.lookup(ip_to_int("8.8.8.8")) is None
+
+    def test_default_route(self):
+        table = RoutingTable()
+        table.add("0.0.0.0/0", "wan", next_hop="10.0.1.254")
+        route = table.lookup(ip_to_int("8.8.8.8"))
+        assert route is not None and route.next_hop == ip_to_int("10.0.1.254")
+
+    def test_directly_connected_flag(self):
+        table = RoutingTable()
+        table.add("10.0.1.0/24", "eth0")
+        assert table.lookup(ip_to_int("10.0.1.1")).directly_connected
+
+
+class TestNetworkPlumbing:
+    def test_duplicate_node_rejected(self):
+        network = Network()
+        network.add_node(Host("a"))
+        with pytest.raises(ValueError):
+            network.add_node(Host("a"))
+
+    def test_connect_validates_interfaces(self):
+        network = Network()
+        a = Host("a")
+        a.add_interface("eth0", "10.0.0.1/24")
+        b = Host("b")
+        b.add_interface("eth0", "10.0.0.2/24")
+        network.add_node(a)
+        network.add_node(b)
+        with pytest.raises(KeyError):
+            network.connect("a", "bogus0", "b", "eth0")
+
+    def test_packet_crosses_link(self):
+        network = Network()
+        a = Host("a")
+        a.add_interface("eth0", "10.0.0.1/24")
+        b = Host("b")
+        b.add_interface("eth0", "10.0.0.2/24")
+        network.add_node(a)
+        network.add_node(b)
+        network.connect("a", "eth0", "b", "eth0")
+        seen = []
+        b.add_listener(lambda packet, iface: seen.append(packet))
+        packet = make_ip_packet(
+            ip_to_int("10.0.0.1"), ip_to_int("10.0.0.2"), PROTO_ICMP, b""
+        )
+        a.send(packet)
+        network.run()
+        assert len(seen) == 1
+        assert seen[0].src == ip_to_int("10.0.0.1")
+
+    def test_unplugged_interface_loses_packet(self):
+        network = Network()
+        a = Host("a")
+        a.add_interface("eth0", "10.0.0.1/24")
+        network.add_node(a)
+        a.send(make_ip_packet(1, 2, PROTO_ICMP, b""))
+        assert network.run() == 0
+
+    def test_host_drops_bad_ip_checksum(self):
+        network = Network()
+        a = Host("a")
+        a.add_interface("eth0", "10.0.0.1/24")
+        b = Host("b")
+        b.add_interface("eth0", "10.0.0.2/24")
+        network.add_node(a)
+        network.add_node(b)
+        network.connect("a", "eth0", "b", "eth0")
+        raw = bytearray(
+            make_ip_packet(ip_to_int("10.0.0.1"), ip_to_int("10.0.0.2"), PROTO_ICMP, b"").pack()
+        )
+        raw[9] ^= 0x55  # corrupt protocol byte; checksum now wrong
+        a.transmit("eth0", bytes(raw))
+        network.run()
+        assert b.dropped and b.dropped[0][1] == "bad ip checksum"
+
+    def test_captures_record_both_sides(self):
+        topology = course_topology()
+        from repro.netsim import ping
+
+        ping(topology.client, ip_to_int("10.0.1.1"))
+        assert topology.client.sent_capture
+        assert topology.client.received_capture
+        assert topology.router.received_capture
+
+
+class TestRouterForwarding:
+    def test_ttl_decremented_on_forward(self):
+        topology = course_topology()
+        received = []
+        topology.server1.add_listener(lambda packet, iface: received.append(packet))
+        packet = make_ip_packet(
+            ip_to_int("10.0.1.100"), ip_to_int("192.168.2.2"), PROTO_ICMP, b"", ttl=10
+        )
+        topology.client.send(packet)
+        topology.run()
+        assert received and received[0].ttl == 9
+        assert received[0].checksum_ok()  # checksum refreshed after decrement
+
+    def test_router_ignores_packet_with_bad_checksum(self):
+        topology = course_topology()
+        raw = bytearray(
+            make_ip_packet(
+                ip_to_int("10.0.1.100"), ip_to_int("192.168.2.2"), PROTO_ICMP, b""
+            ).pack()
+        )
+        raw[12] ^= 0xFF
+        topology.client.transmit("eth0", bytes(raw))
+        topology.run()
+        assert topology.router.sent_capture == []

@@ -1,0 +1,160 @@
+"""Tests for the NLP substrate: tokenizer, tagger, chunker, dictionary."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp import (
+    NounPhraseChunker,
+    TermDictionary,
+    load_default_dictionary,
+    normalize_term,
+    split_sentences,
+    tag_word,
+    tokenize,
+)
+from repro.nlp.chunker import ChunkerConfig
+from repro.nlp.tokenizer import KIND_NOUN_PHRASE, KIND_NUMBER, KIND_STATEVAR
+
+
+class TestTokenizer:
+    def test_simple_sentence(self):
+        tokens = tokenize("The checksum is zero.")
+        assert [t.text for t in tokens] == ["The", "checksum", "is", "zero", "."]
+
+    def test_field_test_idiom(self):
+        tokens = tokenize("If code = 0, reply.")
+        assert "=" in [t.text for t in tokens]
+
+    def test_state_variable_is_one_token(self):
+        tokens = tokenize("Set bfd.SessionState to Up.")
+        kinds = {t.text: t.kind for t in tokens}
+        assert kinds["bfd.SessionState"] == KIND_STATEVAR
+
+    def test_hyphenated_words_survive(self):
+        tokens = tokenize("time-to-live and 16-bit one's complement")
+        texts = [t.text for t in tokens]
+        assert "time-to-live" in texts
+        assert "16-bit" in texts
+        assert "one's" in texts
+
+    def test_numbers(self):
+        tokens = tokenize("the first 64 bits")
+        number = [t for t in tokens if t.kind == KIND_NUMBER]
+        assert [t.text for t in number] == ["64"]
+
+
+class TestSentenceSplitting:
+    def test_basic_split(self):
+        text = "The type is 3. The code is 0."
+        assert split_sentences(text) == ["The type is 3.", "The code is 0."]
+
+    def test_abbreviations_do_not_split(self):
+        text = "Fields (e.g. the type) are set. The rest follows."
+        assert len(split_sentences(text)) == 2
+
+    def test_statevar_dots_do_not_split(self):
+        text = "Set bfd.SessionState to Up. Then stop."
+        assert len(split_sentences(text)) == 2
+
+    def test_trailing_fragment_kept(self):
+        assert split_sentences("no terminal period") == ["no terminal period"]
+
+
+class TestNormalization:
+    def test_spaces_to_underscores(self):
+        assert normalize_term("Echo Reply Message") == "echo_reply_message"
+
+    def test_possessive(self):
+        assert normalize_term("original datagram's data") == "original_datagrams_data"
+
+    def test_statevar_dots_kept(self):
+        assert normalize_term("bfd.SessionState") == "bfd.sessionstate"
+
+    @given(st.text(alphabet="abc DEF'-", min_size=1, max_size=20))
+    def test_normalization_is_idempotent(self, text):
+        once = normalize_term(text)
+        assert normalize_term(once.replace("_", " ")) == once
+
+
+class TestTermDictionary:
+    def test_longest_match_prefers_longer(self):
+        dictionary = TermDictionary(["echo", "echo reply", "echo reply message"])
+        words = ["echo", "reply", "message", "x"]
+        assert dictionary.longest_match(words, 0) == 3
+
+    def test_plural_matching(self):
+        dictionary = TermDictionary(["echo", "reply", "address"])
+        assert dictionary.longest_match(["echos"], 0) == 1
+        assert dictionary.longest_match(["replies"], 0) == 1
+        assert dictionary.longest_match(["addresses"], 0) == 1
+
+    def test_miss(self):
+        dictionary = TermDictionary(["checksum"])
+        assert dictionary.longest_match(["unrelated"], 0) == 0
+
+    def test_default_dictionary_is_about_400_terms(self):
+        dictionary = load_default_dictionary()
+        assert 350 <= len(dictionary) <= 520  # "about 400 terms"
+        assert "checksum" in dictionary
+        assert "echo reply message" in dictionary
+
+
+class TestTagger:
+    def test_closed_classes(self):
+        assert tag_word("the") == "DET"
+        assert tag_word("of") == "PREP"
+        assert tag_word("must") == "MODAL"
+        assert tag_word("and") == "CONJ"
+        assert tag_word("if") == "SUB"
+
+    def test_verbs_with_morphology(self):
+        assert tag_word("reversed") == "VERB"
+        assert tag_word("received") == "VERB"
+        assert tag_word("computing") == "VERB"
+        assert tag_word("discards") == "VERB"
+
+    def test_unknown_defaults_to_noun(self):
+        assert tag_word("discriminator") == "NOUN"
+
+
+class TestChunker:
+    def test_dictionary_phrases_fuse(self):
+        chunker = NounPhraseChunker()
+        tokens = chunker.chunk_text("the echo reply message is sent")
+        np = [t for t in tokens if t.kind == KIND_NOUN_PHRASE]
+        assert any(t.text == "echo reply message" for t in np)
+
+    def test_noun_runs_fuse(self):
+        chunker = NounPhraseChunker()
+        tokens = chunker.chunk_text("the buffer capacity limit")
+        np = [t.text for t in tokens if t.kind == KIND_NOUN_PHRASE]
+        assert "buffer capacity limit" in " ".join(np) or "buffer space" not in np
+
+    def test_adjacent_nps_merge(self):
+        chunker = NounPhraseChunker()
+        tokens = chunker.chunk_text("an ICMP type field")
+        np = [t.text for t in tokens if t.kind == KIND_NOUN_PHRASE]
+        assert "ICMP type field" in np
+
+    def test_number_units_merge(self):
+        chunker = NounPhraseChunker()
+        tokens = chunker.chunk_text("32 bits of milliseconds")
+        np = [t.text for t in tokens if t.kind == KIND_NOUN_PHRASE]
+        assert "32 bits" in np
+
+    def test_quoted_phrases_fuse(self):
+        chunker = NounPhraseChunker()
+        tokens = chunker.chunk_text('the "echo reply message" field')
+        np = [t.text for t in tokens if t.kind == KIND_NOUN_PHRASE]
+        assert any(t.startswith("echo reply message") for t in np)
+
+    def test_ablation_disables_labeling(self):
+        chunker = NounPhraseChunker(config=ChunkerConfig(use_np_labeling=False))
+        tokens = chunker.chunk_text("the echo reply message")
+        assert all(t.kind != KIND_NOUN_PHRASE for t in tokens)
+
+    def test_statevar_becomes_np(self):
+        chunker = NounPhraseChunker()
+        tokens = chunker.chunk_text("set bfd.SessionState to 1")
+        kinds = {t.text: t.kind for t in tokens}
+        assert kinds["bfd.SessionState"] == KIND_NOUN_PHRASE

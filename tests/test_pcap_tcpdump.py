@@ -1,0 +1,123 @@
+"""Tests for the pcap writer/reader and the tcpdump-like verifier."""
+
+import io
+
+import pytest
+
+from repro.framework import icmp
+from repro.framework.addressing import ip_to_int
+from repro.framework.ip import PROTO_ICMP, PROTO_UDP, make_ip_packet
+from repro.framework.pcap import (
+    packets_to_pcap_bytes,
+    read_pcap,
+    write_pcap,
+)
+from repro.framework.tcpdump import decode_capture, decode_packet, verify_clean
+from repro.framework.udp import make_udp
+
+SRC = ip_to_int("10.0.1.100")
+DST = ip_to_int("192.168.2.2")
+
+
+def echo_packet(payload=b"abcdefgh"):
+    echo = icmp.make_echo(0x42, 1, payload)
+    return make_ip_packet(SRC, DST, PROTO_ICMP, echo.pack()).pack()
+
+
+class TestPcapRoundtrip:
+    def test_roundtrip_preserves_bytes(self):
+        packets = [echo_packet(), echo_packet(b"other-payload")]
+        blob = packets_to_pcap_bytes(packets)
+        parsed = list(read_pcap(io.BytesIO(blob)))
+        assert [record.data for record in parsed] == packets
+        assert all(not record.truncated for record in parsed)
+
+    def test_write_returns_count(self):
+        buffer = io.BytesIO()
+        assert write_pcap(buffer, [echo_packet()] * 3) == 3
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            list(read_pcap(io.BytesIO(b"not a pcap file at all....")))
+
+    def test_custom_timestamps(self):
+        buffer = io.BytesIO()
+        write_pcap(buffer, [echo_packet()], timestamps=[(100, 5)])
+        record = next(read_pcap(io.BytesIO(buffer.getvalue())))
+        assert (record.timestamp_sec, record.timestamp_usec) == (100, 5)
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.framework.pcap import read_pcap_file, write_pcap_file
+
+        path = tmp_path / "capture.pcap"
+        write_pcap_file(str(path), [echo_packet()])
+        records = read_pcap_file(str(path))
+        assert len(records) == 1
+
+
+class TestTcpdumpDecode:
+    def test_clean_echo_request(self):
+        decoded = decode_packet(echo_packet())
+        assert decoded.clean
+        assert "ICMP echo request" in decoded.summary
+        assert "id 66" in decoded.summary
+
+    def test_bad_icmp_checksum_warns(self):
+        raw = bytearray(echo_packet())
+        raw[-1] ^= 0xFF
+        decoded = decode_packet(bytes(raw))
+        assert "bad ICMP checksum" in decoded.warnings
+
+    def test_bad_ip_checksum_warns(self):
+        raw = bytearray(echo_packet())
+        raw[10] ^= 0xFF  # corrupt the IP checksum field itself
+        decoded = decode_packet(bytes(raw))
+        assert "bad IP header checksum" in decoded.warnings
+
+    def test_truncated_packet_warns(self):
+        decoded = decode_packet(echo_packet()[:15])
+        assert not decoded.clean
+
+    def test_length_mismatch_warns(self):
+        decoded = decode_packet(echo_packet() + b"\x00\x00")
+        assert any("total length" in warning for warning in decoded.warnings)
+
+    def test_error_message_quoting_checked(self):
+        original = make_ip_packet(SRC, DST, PROTO_UDP, b"0123456789")
+        message = icmp.make_time_exceeded(0, original)
+        packet = make_ip_packet(DST, SRC, PROTO_ICMP, message.pack()).pack()
+        decoded = decode_packet(packet)
+        assert decoded.clean
+        assert "time exceeded" in decoded.summary
+
+    def test_short_error_quote_warns(self):
+        # An error message whose payload is shorter than an IP header.
+        bogus = icmp.ICMPHeader(type=icmp.TIME_EXCEEDED, code=0, payload=b"short")
+        bogus.finalize()
+        packet = make_ip_packet(DST, SRC, PROTO_ICMP, bogus.pack()).pack()
+        decoded = decode_packet(packet)
+        assert any("too short" in warning for warning in decoded.warnings)
+
+    def test_udp_decode(self):
+        datagram = make_udp(SRC, DST, 1111, 2222, b"data")
+        packet = make_ip_packet(SRC, DST, PROTO_UDP, datagram.pack()).pack()
+        decoded = decode_packet(packet)
+        assert decoded.clean
+        assert "UDP 1111 > 2222" in decoded.summary
+
+    def test_verify_clean_aggregates(self):
+        good = echo_packet()
+        bad = bytearray(echo_packet())
+        bad[-1] ^= 0xFF
+        ok, warnings = verify_clean([good, bytes(bad)])
+        assert not ok
+        assert any(warning.startswith("packet 1:") for warning in warnings)
+        ok2, warnings2 = verify_clean([good])
+        assert ok2 and not warnings2
+
+    def test_decode_capture_flags_truncation(self):
+        from repro.framework.pcap import CapturedPacket
+
+        record = CapturedPacket(0, 0, echo_packet()[:30], original_length=100)
+        decoded = decode_capture([record])
+        assert any("truncated in capture" in warning for warning in decoded[0].warnings)

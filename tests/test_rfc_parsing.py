@@ -1,0 +1,155 @@
+"""Tests for RFC document parsing: diagrams, fields, corpora."""
+
+import pytest
+
+from repro.framework.packet import HeaderLayout
+from repro.rfc import (
+    bfd_corpus,
+    extract_layout,
+    find_rewrite,
+    icmp_corpus,
+    igmp_corpus,
+    load_rewrites,
+    ntp_corpus,
+    parse_rfc_text,
+)
+from repro.rfc.header_diagram import is_diagram_start, is_ruler_line
+
+DIAGRAM = """\
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |     Type      |     Code      |          Checksum             |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |                             unused                            |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+"""
+
+
+class TestHeaderDiagram:
+    def test_field_extraction(self):
+        parse = extract_layout(DIAGRAM.splitlines(), protocol="demo")
+        fields = [(f.name, f.bits) for f in parse.layout.fields]
+        assert fields == [("type", 8), ("code", 8), ("checksum", 16), ("unused", 32)]
+
+    def test_generated_codec_is_32_bit_aligned(self):
+        parse = extract_layout(DIAGRAM.splitlines(), protocol="demo")
+        assert parse.layout.total_bits() % 32 == 0
+        cls = parse.layout.to_header_class()
+        instance = cls(type=3, code=1, checksum=0xBEEF, unused=0)
+        assert cls.unpack(instance.pack()) == instance
+
+    def test_payload_marker(self):
+        lines = DIAGRAM.splitlines() + [
+            "   |      Internet Header + 64 bits of Original Data Datagram      |",
+            "   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+",
+        ]
+        parse = extract_layout(lines, protocol="demo")
+        assert parse.payload_name is not None
+        assert "Internet Header" in parse.payload_name
+
+    def test_ruler_detection(self):
+        assert is_ruler_line(
+            " 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1"
+        )
+        assert not is_ruler_line("      3")  # a bare field value is not a ruler
+
+    def test_diagram_start_detection(self):
+        assert is_diagram_start("   +-+-+-+-+")
+        assert is_diagram_start("   |  Type |")
+        assert not is_diagram_start("      3")
+
+
+class TestICMPCorpus:
+    def test_eight_message_sections(self):
+        corpus = icmp_corpus()
+        assert len(corpus.document.message_sections) == 8
+
+    def test_87_sentences(self):
+        # The paper: "Among 87 instances in RFC 792".
+        assert len(icmp_corpus().sentences) == 87
+
+    def test_type_values_match_rfc(self):
+        corpus = icmp_corpus()
+        echo = corpus.document.section_titled("Echo or Echo Reply Message")
+        assert echo.type_values() == {"echo": 8, "echo reply": 0}
+        unreachable = corpus.document.section_titled("Destination Unreachable Message")
+        assert unreachable.type_values() == {"destination unreachable": 3}
+
+    def test_layouts_are_wire_accurate(self):
+        corpus = icmp_corpus()
+        echo = corpus.document.section_titled("Echo or Echo Reply Message")
+        names = echo.diagram.layout.field_names()
+        assert names == ["type", "code", "checksum", "identifier", "sequence_number"]
+        timestamp = corpus.document.section_titled(
+            "Timestamp or Timestamp Reply Message"
+        )
+        assert timestamp.diagram.layout.total_bits() == 160  # 20 bytes
+
+    def test_field_groups(self):
+        corpus = icmp_corpus()
+        groups = {
+            (s.field, s.field_group)
+            for s in corpus.sentences if s.kind == "field"
+        }
+        assert ("destination_address", "ip") in groups
+        assert ("checksum", "icmp") in groups
+
+    def test_code_enumerations(self):
+        section = icmp_corpus().document.section_titled(
+            "Destination Unreachable Message"
+        )
+        code = section.field_named("code")
+        assert len(code.values) == 6
+        assert code.values[0].meaning == "net unreachable"
+
+
+@pytest.mark.parametrize("loader,protocol,min_sentences", [
+    (igmp_corpus, "IGMP", 8),
+    (ntp_corpus, "NTP", 8),
+    (bfd_corpus, "BFD", 20),
+])
+def test_other_corpora_load(loader, protocol, min_sentences):
+    corpus = loader()
+    assert corpus.protocol == protocol
+    assert len(corpus.sentences) >= min_sentences
+    assert any(
+        section.diagram is not None
+        for section in corpus.document.message_sections
+    )
+
+
+class TestRewrites:
+    def test_rewrites_load(self):
+        rewrites = load_rewrites()
+        assert len(rewrites) >= 20
+        categories = {r.category for r in rewrites}
+        assert categories == {"ambiguous", "unparsed", "imprecise", "non-actionable"}
+
+    def test_find_rewrite_is_whitespace_insensitive(self):
+        rewrite = find_rewrite(
+            "If code = 0,  an identifier to aid in matching echos and replies, "
+            "may be zero."
+        )
+        assert rewrite is not None
+        assert rewrite.category == "imprecise"
+
+    def test_six_imprecise_identifier_variants(self):
+        imprecise = [
+            r for r in load_rewrites()
+            if r.category == "imprecise" and "code = 0" in r.original
+        ]
+        assert len(imprecise) == 6  # Table 6's count
+
+
+class TestGenericParsing:
+    def test_preamble(self):
+        document = parse_rfc_text("RFC: 9999\nSOME TITLE\n\nIntro\n\n   Text here.\n")
+        assert document.number == "9999"
+        assert document.title == "SOME TITLE"
+
+    def test_intro_sentences_collected(self):
+        document = parse_rfc_text(
+            "RFC: 1\nT\n\nIntroduction\n\n   One sentence. Two sentence.\n"
+        )
+        assert document.intro_sections[0].sentences == [
+            "One sentence.", "Two sentence."
+        ]

@@ -1,0 +1,202 @@
+"""Integration tests: the Appendix A ICMP test scenarios, end to end.
+
+Each scenario mirrors the paper's Appendix A setup on the course topology
+and asserts the exact ICMP exchange the RFC prescribes, verified both by
+the tool's view (ping/traceroute results) and tcpdump cleanliness.
+"""
+
+from repro.framework import icmp, verify_clean
+from repro.framework.addressing import int_to_ip, ip_to_int
+from repro.framework.ip import PROTO_ICMP, PROTO_UDP, IPv4Header, make_ip_packet
+from repro.netsim import Ping, ping, traceroute
+from repro.netsim.topologies import add_redirect_route, course_topology
+
+
+class TestEchoScenario:
+    def test_ping_router_interface(self):
+        topology = course_topology()
+        result = ping(topology.client, ip_to_int("10.0.1.1"), count=5)
+        assert result.success
+        assert [reply.sequence for reply in result.replies] == [1, 2, 3, 4, 5]
+
+    def test_ping_across_router(self):
+        topology = course_topology()
+        result = ping(topology.client, ip_to_int("192.168.2.2"), count=3)
+        assert result.success
+        assert all(reply.source == ip_to_int("192.168.2.2") for reply in result.replies)
+
+    def test_all_scenario_packets_tcpdump_clean(self):
+        topology = course_topology()
+        ping(topology.client, ip_to_int("192.168.2.2"), count=2)
+        clean, warnings = verify_clean(
+            topology.client.sent_capture
+            + topology.client.received_capture
+            + topology.server1.sent_capture
+        )
+        assert clean, warnings
+
+
+class TestDestinationUnreachableScenario:
+    def test_unknown_destination_gets_net_unreachable(self):
+        topology = course_topology()
+        result = ping(topology.client, ip_to_int("8.8.8.8"))
+        assert result.received == 0
+        assert result.errors
+        error = result.errors[0]
+        assert error.icmp_type == icmp.DEST_UNREACHABLE
+        assert error.icmp_code == icmp.NET_UNREACHABLE
+        assert error.source == ip_to_int("10.0.1.1")
+
+
+class TestTimeExceededScenario:
+    def test_ttl_one_probe_triggers_time_exceeded(self):
+        topology = course_topology()
+        prober = Ping(topology.client, ttl=1)
+        result = prober.run(ip_to_int("192.168.2.2"))
+        assert result.received == 0
+        assert result.errors[0].icmp_type == icmp.TIME_EXCEEDED
+
+    def test_error_quotes_offending_datagram(self):
+        topology = course_topology()
+        prober = Ping(topology.client, ttl=1)
+        prober.run(ip_to_int("192.168.2.2"))
+        # Find the time-exceeded packet the client received and check the quote.
+        for raw in topology.client.received_capture:
+            packet = IPv4Header.unpack(raw)
+            if packet.protocol != PROTO_ICMP:
+                continue
+            message = icmp.ICMPHeader.unpack(packet.data)
+            if message.type != icmp.TIME_EXCEEDED:
+                continue
+            quoted = IPv4Header.unpack(message.payload)
+            assert quoted.src == ip_to_int("10.0.1.100")
+            assert quoted.dst == ip_to_int("192.168.2.2")
+            assert len(message.payload) == 20 + 8
+            return
+        raise AssertionError("no time-exceeded message captured")
+
+
+class TestParameterProblemScenario:
+    def test_nonzero_tos_rejected(self):
+        topology = course_topology(require_tos_zero=True)
+        result = Ping(topology.client).run(ip_to_int("192.168.2.2"), tos=1)
+        assert result.errors[0].icmp_type == icmp.PARAMETER_PROBLEM
+
+    def test_pointer_indexes_tos_octet(self):
+        topology = course_topology(require_tos_zero=True)
+        Ping(topology.client).run(ip_to_int("192.168.2.2"), tos=1)
+        for raw in topology.client.received_capture:
+            packet = IPv4Header.unpack(raw)
+            message = icmp.ICMPHeader.unpack(packet.data)
+            if message.type == icmp.PARAMETER_PROBLEM:
+                assert message.pointer == 1
+                return
+        raise AssertionError("no parameter-problem message captured")
+
+    def test_zero_tos_forwards_normally(self):
+        topology = course_topology(require_tos_zero=True)
+        result = ping(topology.client, ip_to_int("192.168.2.2"))
+        assert result.success
+
+
+class TestSourceQuenchScenario:
+    def test_full_buffer_triggers_quench(self):
+        topology = course_topology(buffer_capacity=0)
+        result = ping(topology.client, ip_to_int("192.168.2.2"))
+        assert result.received == 0
+        assert result.errors[0].icmp_type == icmp.SOURCE_QUENCH
+
+
+class TestRedirectScenario:
+    def test_reachable_next_hop_on_own_subnet_redirects(self):
+        topology = course_topology()
+        destination = add_redirect_route(topology)
+        result = ping(topology.client, ip_to_int(destination))
+        assert result.errors[0].icmp_type == icmp.REDIRECT
+        # The redirect names the better gateway on the client's subnet.
+        for raw in topology.client.received_capture:
+            packet = IPv4Header.unpack(raw)
+            message = icmp.ICMPHeader.unpack(packet.data)
+            if message.type == icmp.REDIRECT:
+                assert int_to_ip(message.gateway) == "10.0.1.254"
+                return
+        raise AssertionError("no redirect captured")
+
+
+class TestTimestampScenario:
+    def test_timestamp_reply_roundtrip(self):
+        topology = course_topology()
+        topology.router.os.clock.advance(5_000)
+        request = icmp.make_timestamp(77, 1, originate=1_000)
+        packet = make_ip_packet(
+            ip_to_int("10.0.1.100"), ip_to_int("10.0.1.1"), PROTO_ICMP,
+            request.pack(),
+        )
+        replies = []
+
+        def listener(received, _iface):
+            if received.protocol == PROTO_ICMP and received.data[0] == icmp.TIMESTAMP_REPLY:
+                replies.append(icmp.ICMPTimestampHeader.unpack(received.data))
+
+        topology.client.add_listener(listener)
+        topology.client.send(packet)
+        topology.run()
+        assert replies
+        reply = replies[0]
+        assert reply.originate == 1_000
+        assert reply.receive == 5_000
+        assert reply.transmit == 5_000
+        assert (reply.identifier, reply.sequence) == (77, 1)
+
+
+class TestInfoScenario:
+    def test_info_reply_roundtrip(self):
+        topology = course_topology()
+        request = icmp.make_info_request(88, 2)
+        packet = make_ip_packet(
+            ip_to_int("10.0.1.100"), ip_to_int("10.0.1.1"), PROTO_ICMP, request.pack()
+        )
+        replies = []
+
+        def listener(received, _iface):
+            if received.protocol == PROTO_ICMP and received.data[0] == icmp.INFO_REPLY:
+                replies.append(icmp.ICMPHeader.unpack(received.data))
+
+        topology.client.add_listener(listener)
+        topology.client.send(packet)
+        topology.run()
+        assert replies
+        assert replies[0].identifier == 88
+        assert replies[0].payload == b""
+
+
+class TestTracerouteScenario:
+    def test_path_through_router(self):
+        topology = course_topology()
+        result = traceroute(topology.client, ip_to_int("192.168.2.2"))
+        assert result.destination_reached
+        assert result.path() == [ip_to_int("10.0.1.1"), ip_to_int("192.168.2.2")]
+
+    def test_traceroute_rejects_bad_quotes(self):
+        """A router that quotes the wrong bytes breaks traceroute hop
+        discovery (the tool validates the quoted datagram)."""
+        from repro.framework.udp import make_udp
+        from repro.netsim.icmp_impl import ReferenceICMP
+
+        class BadQuoteICMP(ReferenceICMP):
+            def time_exceeded(self, original, responder_address):
+                # Right addresses, wrong quoted ports: the client receives
+                # the error but cannot match it to its probe.
+                datagram = make_udp(original.src, original.dst, 1, 2, b"")
+                bogus = make_ip_packet(
+                    original.src, original.dst, PROTO_UDP, datagram.pack()
+                )
+                bogus.src, bogus.dst = original.src, original.dst
+                bogus.finalize()
+                return super().time_exceeded(bogus, responder_address)
+
+        topology = course_topology(implementation=BadQuoteICMP())
+        result = traceroute(topology.client, ip_to_int("192.168.2.2"), max_ttl=2)
+        assert any("quote" in rejection for rejection in result.rejections)
+        # The first hop goes undiscovered because its error was rejected.
+        assert result.hops[0].address is None

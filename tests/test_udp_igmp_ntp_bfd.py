@@ -1,0 +1,150 @@
+"""Tests for the UDP, IGMP, NTP, and BFD codecs."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.framework.addressing import ip_to_int
+from repro.framework.bfd import (
+    STATE_DOWN,
+    STATE_UP,
+    BFDControlHeader,
+    BFDStateVariables,
+    make_control_packet,
+)
+from repro.framework.igmp import (
+    ALL_HOSTS_GROUP,
+    HOST_MEMBERSHIP_QUERY,
+    HOST_MEMBERSHIP_REPORT,
+    IGMPHeader,
+    make_query,
+    make_report,
+)
+from repro.framework.ntp import (
+    MODE_CLIENT,
+    MODE_SYMMETRIC_ACTIVE,
+    NTP_PORT,
+    NTPHeader,
+    PeerVariables,
+    encapsulate,
+)
+from repro.framework.udp import UDPHeader, make_udp
+
+SRC = ip_to_int("10.0.1.100")
+DST = ip_to_int("192.168.2.2")
+
+
+class TestUDP:
+    def test_header_is_8_bytes(self):
+        assert UDPHeader.header_len() == 8
+
+    def test_finalize_sets_length(self):
+        datagram = make_udp(SRC, DST, 1000, 2000, b"hello")
+        assert datagram.length == 13
+
+    def test_checksum_verifies_with_pseudo_header(self):
+        datagram = make_udp(SRC, DST, 1000, 2000, b"hello")
+        assert datagram.checksum_ok(SRC, DST)
+
+    def test_checksum_fails_with_wrong_addresses(self):
+        datagram = make_udp(SRC, DST, 1000, 2000, b"hello")
+        assert not datagram.checksum_ok(SRC, DST + 1)
+
+    def test_zero_checksum_means_unchecked(self):
+        datagram = make_udp(SRC, DST, 1, 2, b"x")
+        datagram.checksum = 0
+        assert datagram.checksum_ok(SRC, DST)
+
+    @given(st.binary(max_size=64), st.integers(1, 0xFFFF), st.integers(1, 0xFFFF))
+    def test_roundtrip_property(self, data, sport, dport):
+        datagram = make_udp(SRC, DST, sport, dport, data)
+        again = UDPHeader.unpack(datagram.pack())
+        assert again == datagram
+        assert again.checksum_ok(SRC, DST)
+
+
+class TestIGMP:
+    def test_query_shape(self):
+        query = make_query()
+        assert query.version == 1
+        assert query.type == HOST_MEMBERSHIP_QUERY
+        assert query.group_address == 0
+        assert query.checksum_ok()
+
+    def test_report_carries_group(self):
+        group = 0xE1000005
+        report = make_report(group)
+        assert report.type == HOST_MEMBERSHIP_REPORT
+        assert report.group_address == group
+        assert report.checksum_ok()
+
+    def test_message_is_8_octets(self):
+        assert IGMPHeader.header_len() == 8
+
+    def test_all_hosts_group_constant(self):
+        assert ALL_HOSTS_GROUP == ip_to_int("224.0.0.1")
+
+    def test_corruption_detected(self):
+        raw = bytearray(make_query().pack())
+        raw[-1] ^= 1
+        assert not IGMPHeader.unpack(bytes(raw)).checksum_ok()
+
+
+class TestNTP:
+    def test_header_is_48_bytes(self):
+        assert NTPHeader.header_len() == 48
+
+    def test_roundtrip(self):
+        message = NTPHeader(
+            mode=MODE_CLIENT, stratum=2, poll=6, transmit_timestamp=0xDEADBEEF12345678
+        )
+        again = NTPHeader.unpack(message.pack())
+        assert again == message
+
+    def test_encapsulation_uses_port_123_both_ends(self):
+        message = NTPHeader(mode=MODE_CLIENT)
+        datagram = encapsulate(message, SRC, DST)
+        assert datagram.src_port == NTP_PORT == datagram.dst_port
+        assert datagram.checksum_ok(SRC, DST)
+        assert NTPHeader.unpack(datagram.payload) == message
+
+    def test_peer_modes(self):
+        assert PeerVariables(mode=MODE_CLIENT).in_client_mode()
+        assert PeerVariables(mode=MODE_SYMMETRIC_ACTIVE).in_symmetric_mode()
+        assert not PeerVariables(mode=MODE_CLIENT).in_symmetric_mode()
+
+    def test_timeout_procedure_resets_timer(self):
+        peer = PeerVariables(mode=MODE_CLIENT, timer=64, threshold=64)
+        message = peer.timeout_procedure()
+        assert peer.timer == 0
+        assert peer.timeouts_fired == 1
+        assert message.mode == MODE_CLIENT
+
+
+class TestBFD:
+    def test_control_header_is_24_bytes(self):
+        assert BFDControlHeader.header_len() == 24
+
+    def test_roundtrip(self):
+        packet = BFDControlHeader(
+            state=STATE_UP, my_discriminator=7, your_discriminator=9, demand=1
+        )
+        again = BFDControlHeader.unpack(packet.pack())
+        assert again == packet
+        assert again.state_name() == "Up"
+
+    def test_make_control_packet_reflects_state(self):
+        state = BFDStateVariables(
+            SessionState=STATE_DOWN, LocalDiscr=11, RemoteDiscr=22, DemandMode=1
+        )
+        packet = make_control_packet(state)
+        assert packet.state == STATE_DOWN
+        assert packet.my_discriminator == 11
+        assert packet.your_discriminator == 22
+        assert packet.demand == 1
+        assert packet.length == 24
+
+    def test_snapshot_is_a_copy(self):
+        state = BFDStateVariables()
+        snap = state.snapshot()
+        state.SessionState = STATE_UP
+        assert snap["SessionState"] == STATE_DOWN
