@@ -13,7 +13,7 @@ from repro.codegen import HandlerRegistry
 from repro.disambiguation.checks import DEFAULT_ORDERING_BLOCKLIST
 from repro.lf import default_type_rules
 from repro.nlp import load_default_dictionary
-from repro.rfc import icmp_corpus
+from repro.rfc import load_corpus
 
 
 def _counts():
@@ -25,7 +25,7 @@ def _counts():
         "type checks": len(default_type_rules()),
         "predicate ordering checks": len(DEFAULT_ORDERING_BLOCKLIST),
         "predicate handlers": HandlerRegistry().handler_count(),
-        "icmp corpus sentences": len(icmp_corpus().sentences),
+        "icmp corpus sentences": len(load_corpus("ICMP").sentences),
     }
 
 

@@ -1,0 +1,87 @@
+"""Pipeline smoke benchmark: seeds the perf trajectory for later PRs.
+
+Measures, with wall-clock timers:
+
+* cold corpus load — a fresh :class:`ProtocolRegistry` parsing RFC 792 from
+  scratch (dictionary + text parse);
+* cached corpus load — the second ``load_corpus("ICMP")`` on the same
+  registry (should be orders of magnitude cheaper: it is a dict hit);
+* cold vs cached ``Sage()`` construction (lexicon/parser/chunker build vs
+  registry reuse);
+* one full ICMP strict run and one full revised run.
+
+Writes ``BENCH_pipeline.json`` at the repository root so successive PRs can
+diff the numbers.
+
+Run:  PYTHONPATH=src python benchmarks/pipeline_smoke.py
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.core import Sage
+from repro.nlp.terms import load_default_dictionary
+from repro.rfc.registry import ProtocolRegistry, default_registry
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def timed(fn, repeat: int = 1):
+    start = time.perf_counter()
+    result = None
+    for _ in range(repeat):
+        result = fn()
+    return (time.perf_counter() - start) / repeat, result
+
+
+def main() -> int:
+    numbers = {}
+
+    fresh = ProtocolRegistry()
+    numbers["corpus_load_cold_s"], _ = timed(lambda: fresh.load_corpus("ICMP"))
+    numbers["corpus_load_cached_s"], _ = timed(
+        lambda: fresh.load_corpus("ICMP"), repeat=100
+    )
+
+    registry = default_registry()
+    registry.clear()
+    # Truly cold: registry caches are instance-level, but the default
+    # dictionary is process-wide — force the re-read so the cold number
+    # includes it.
+    load_default_dictionary(refresh=True)
+    numbers["sage_construct_cold_s"], _ = timed(Sage)
+    numbers["sage_construct_cached_s"], _ = timed(Sage, repeat=10)
+
+    corpus = registry.load_corpus("ICMP")
+    numbers["icmp_strict_run_s"], strict = timed(
+        lambda: Sage(mode="strict").process_corpus(corpus)
+    )
+    numbers["icmp_revised_run_s"], revised = timed(
+        lambda: Sage(mode="revised").process_corpus(corpus)
+    )
+
+    numbers["icmp_sentences"] = len(corpus.sentences)
+    numbers["strict_statuses"] = strict.by_status()
+    numbers["revised_statuses"] = revised.by_status()
+
+    out = REPO_ROOT / "BENCH_pipeline.json"
+    out.write_text(json.dumps(numbers, indent=2) + "\n")
+    print(json.dumps(numbers, indent=2))
+
+    # The point of the registry: cached paths must be much cheaper.
+    ok = (
+        numbers["corpus_load_cached_s"] < numbers["corpus_load_cold_s"] / 10
+        and numbers["sage_construct_cached_s"] < numbers["sage_construct_cold_s"] / 10
+    )
+    if not ok:
+        print("SMOKE FAILURE: cached load/construction is not measurably cheaper",
+              file=sys.stderr)
+        return 1
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,11 @@ Run:  python examples/ambiguity_audit.py
 from repro.ccg.semantics import signature
 from repro.core import Sage
 from repro.disambiguation import summarize
-from repro.rfc import icmp_corpus
+from repro.rfc import load_corpus
 
 
 def main() -> None:
-    corpus = icmp_corpus()
+    corpus = load_corpus("ICMP")
     sage = Sage(mode="strict")
     run = sage.process_corpus(corpus)
 

@@ -17,12 +17,12 @@ from repro.framework.bfd import (
     make_control_packet,
 )
 from repro.netsim import BFDSession
-from repro.rfc import bfd_corpus
+from repro.rfc import load_corpus
 from repro.runtime import GeneratedBFD, load_functions
 
 
 def main() -> None:
-    run = Sage(mode="revised").process_corpus(bfd_corpus())
+    run = Sage(mode="revised").process_corpus(load_corpus("BFD"))
     print("BFD sentence statuses:", run.by_status())
     program = run.code_unit.program_named(
         "bfd_reception_of_bfd_control_packets_receiver"

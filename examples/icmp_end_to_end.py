@@ -13,13 +13,13 @@ from repro.core import Sage
 from repro.framework import verify_clean
 from repro.framework.addressing import ip_to_int
 from repro.netsim import Ping, course_topology, ping, traceroute
-from repro.rfc import icmp_corpus
+from repro.rfc import load_corpus
 from repro.runtime import GeneratedICMP
 
 
 def run_mode(mode: str) -> None:
     print(f"\n===== mode: {mode} =====")
-    run = Sage(mode=mode).process_corpus(icmp_corpus())
+    run = Sage(mode=mode).process_corpus(load_corpus("ICMP"))
     print("sentence statuses:", run.by_status())
     for result in run.flagged():
         print(f"  needs human attention [{result.status}]: "

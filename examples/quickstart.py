@@ -7,12 +7,10 @@ surviving logical form to both C and Python.
 Run:  python examples/quickstart.py
 """
 
-from repro.ccg.chart import CCGChartParser
-from repro.ccg.lexicon import build_lexicon
 from repro.ccg.semantics import signature
 from repro.codegen import CEmitter, HandlerRegistry, PyEmitter, SentenceContext
 from repro.disambiguation import winnow
-from repro.nlp import NounPhraseChunker
+from repro.rfc.registry import default_registry
 
 SENTENCE = "For computing the checksum, the checksum field should be zero."
 
@@ -20,13 +18,15 @@ SENTENCE = "For computing the checksum, the checksum field should be zero."
 def main() -> None:
     print(f"sentence: {SENTENCE}\n")
 
-    # 1. Noun-phrase labeling (the spaCy-equivalent stage).
-    chunker = NounPhraseChunker()
+    # 1. Noun-phrase labeling (the spaCy-equivalent stage).  The registry
+    # hands back the memoized chunker/parser pair every consumer shares.
+    registry = default_registry()
+    chunker = registry.chunker()
     tokens = chunker.chunk_text(SENTENCE)
     print("tokens:  ", " | ".join(token.text for token in tokens), "\n")
 
     # 2. CCG parsing: every derivable logical form.
-    parser = CCGChartParser(build_lexicon())
+    parser = registry.parser()
     result = parser.parse(tokens)
     print(f"CCG produced {result.count} logical forms:")
     for form in result.logical_forms:

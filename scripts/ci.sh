@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification + the pipeline perf smoke, exactly as CI runs them.
+#
+#   ./scripts/ci.sh          # tests + smoke benchmark
+#   ./scripts/ci.sh tests    # tier-1 tests only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: pytest =="
+python -m pytest -x -q
+
+if [ "${1:-all}" != "tests" ]; then
+  echo "== benchmarks: pipeline smoke (writes BENCH_pipeline.json) =="
+  python benchmarks/pipeline_smoke.py
+fi

@@ -11,10 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 
 from ..ccg.chart import CCGChartParser
-from ..ccg.lexicon import build_lexicon
 from ..nlp.chunker import ChunkerConfig, NounPhraseChunker
 from ..nlp.terms import TermDictionary
-from ..rfc.corpus import icmp_corpus
+from ..rfc.registry import default_registry
 
 TABLE7_SENTENCE = (
     "The address of the source in an echo message will be the destination "
@@ -48,8 +47,9 @@ def compare_np_labels(sentence: str = TABLE7_SENTENCE) -> LabelComparison:
     terms from the dictionary, mirroring Table 7's 'echo reply' + 'message'
     split.
     """
-    parser = CCGChartParser(build_lexicon())
-    good_chunker = NounPhraseChunker()
+    registry = default_registry()
+    parser = registry.parser()
+    good_chunker = registry.chunker()
     good = parser.parse(good_chunker.chunk_text(sentence)).count
 
     degraded_terms = [
@@ -93,12 +93,15 @@ def run_ablation(component: str, limit: int | None = None) -> AblationResult:
     else:
         raise ValueError(f"unknown component {component!r}")
 
-    parser = CCGChartParser(build_lexicon())
-    baseline_chunker = NounPhraseChunker()
-    ablated_chunker = NounPhraseChunker(config=config)
+    registry = default_registry()
+    parser = registry.parser()
+    baseline_chunker = registry.chunker()
+    ablated_chunker = NounPhraseChunker(
+        dictionary=registry.dictionary(), config=config
+    )
     result = AblationResult(component=component)
 
-    sentences = [record.text for record in icmp_corpus().sentences]
+    sentences = [record.text for record in registry.load_corpus("ICMP").sentences]
     if limit is not None:
         sentences = sentences[:limit]
     for text in sentences:

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..rfc.corpus import Corpus, bfd_corpus, icmp_corpus, igmp_corpus, ntp_corpus
-from ..rfc.header_diagram import is_diagram_start
+from ..rfc.corpus import Corpus
+from ..rfc.registry import default_registry
 
 # -- conceptual components (Table 9) -------------------------------------------
 
@@ -158,9 +158,13 @@ def detect_components(corpus: Corpus) -> DetectedComponents:
 
 
 def detect_all() -> list[DetectedComponents]:
+    """Measure every protocol registered in the default registry.
+
+    Registry-driven: a fifth protocol registered via
+    :func:`repro.rfc.registry.register_protocol` shows up here with no code
+    change."""
     return [
-        detect_components(corpus)
-        for corpus in (icmp_corpus(), igmp_corpus(), ntp_corpus(), bfd_corpus())
+        detect_components(corpus) for corpus in default_registry().corpora()
     ]
 
 

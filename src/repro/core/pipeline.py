@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 
 from ..ccg.chart import CCGChartParser, ParseResult
-from ..ccg.lexicon import Lexicon, build_lexicon
+from ..ccg.lexicon import Lexicon
 from ..ccg.semantics import Call, Const, Sem, iter_calls
 from ..codegen.context import (
     AmbiguousReference,
@@ -36,11 +36,13 @@ from ..codegen.generator import (
     assemble_message_program,
 )
 from ..codegen.handlers import HandlerRegistry, NonActionable
+from ..codegen.ops import SetField, Value
 from ..disambiguation.checks import CheckSuite
 from ..disambiguation.winnow import WinnowTrace, winnow
 from ..nlp.chunker import NounPhraseChunker
 from ..nlp.tokenizer import KIND_NOUN_PHRASE, Token, split_sentences
-from ..rfc.corpus import Corpus, Rewrite, SpecSentence, rewrites_by_original
+from ..rfc.corpus import Corpus, Rewrite, SpecSentence, sentence_key
+from ..rfc.registry import ProtocolRegistry, default_registry
 
 # Sentence statuses.
 STATUS_OK = "ok"
@@ -92,16 +94,24 @@ class Sage:
         chunker: NounPhraseChunker | None = None,
         suite: CheckSuite | None = None,
         resolver: ContextResolver | None = None,
+        protocol_registry: ProtocolRegistry | None = None,
     ) -> None:
         if mode not in ("strict", "revised"):
             raise ValueError(f"unknown mode {mode!r}")
         self.mode = mode
-        self.lexicon = lexicon or build_lexicon()
-        self.chunker = chunker or NounPhraseChunker()
-        self.parser = CCGChartParser(self.lexicon)
+        self.protocol_registry = protocol_registry or default_registry()
+        # Default construction shares the registry's memoized substrate, so
+        # a second Sage() re-pays none of the dictionary/lexicon/parser cost;
+        # explicit arguments still get private instances.
+        self.lexicon = lexicon or self.protocol_registry.lexicon()
+        self.chunker = chunker or self.protocol_registry.chunker()
+        if lexicon is None:
+            self.parser = self.protocol_registry.parser()
+        else:
+            self.parser = CCGChartParser(self.lexicon)
         self.suite = suite or CheckSuite.default()
         self.registry = HandlerRegistry(resolver or ContextResolver())
-        self.rewrites = rewrites_by_original()
+        self.rewrites = self.protocol_registry.rewrites()
 
     # -- parsing ---------------------------------------------------------------
     def parse_sentence(self, spec: SpecSentence) -> tuple[ParseResult, bool]:
@@ -128,7 +138,7 @@ class Sage:
 
     # -- per-sentence pipeline ---------------------------------------------------
     def process_sentence(self, spec: SpecSentence) -> SentenceResult:
-        rewrite = self.rewrites.get(_key(spec.text))
+        rewrite = self.rewrites.get(sentence_key(spec.text))
         if rewrite is not None and rewrite.category == "non-actionable":
             return SentenceResult(
                 spec=spec, status=STATUS_NON_ACTIONABLE, rewrite=rewrite,
@@ -230,9 +240,8 @@ class Sage:
         return True
 
     def _context_for(self, spec: SpecSentence) -> SentenceContext:
-        protocol = spec.field_group or spec.protocol
         return SentenceContext(
-            protocol=protocol if spec.field_group else spec.protocol,
+            protocol=spec.field_group or spec.protocol,
             message=spec.message,
             field=spec.field,
             role=self._role_of(spec.text),
@@ -247,7 +256,11 @@ class Sage:
         return ""
 
     # -- corpus pipeline -----------------------------------------------------------
-    def process_corpus(self, corpus: Corpus) -> "SageRun":
+    def process_corpus(self, corpus: Corpus | str) -> "SageRun":
+        """Run the pipeline over ``corpus`` — a :class:`Corpus` object or a
+        registered protocol name (resolved through the protocol registry)."""
+        if isinstance(corpus, str):
+            corpus = self.protocol_registry.load_corpus(corpus)
         results = [self.process_sentence(spec) for spec in corpus.sentences]
         unit = self._assemble(corpus, results)
         return SageRun(corpus=corpus, results=results, code_unit=unit)
@@ -278,8 +291,6 @@ class Sage:
                 if code_is_enumerated:
                     # "0 = net unreachable; 1 = ..." — the scenario picks
                     # which enumerated code applies at run time.
-                    from ..codegen.ops import SetField, Value
-
                     program.ops.insert(
                         1, SetField(corpus.protocol.lower(), "code",
                                     Value.param("code"))
@@ -317,10 +328,6 @@ class SageRun:
 
     def traces(self) -> list[WinnowTrace]:
         return [r.trace for r in self.results if r.trace is not None]
-
-
-def _key(sentence: str) -> str:
-    return " ".join(sentence.lower().split())
 
 
 def modal_sentences(run: SageRun) -> list[SentenceResult]:

@@ -1,0 +1,10 @@
+"""The bundled data layer: curated RFC excerpts, the term dictionary, and
+the human-in-the-loop rewrite record.
+
+Files here are loaded through :mod:`repro.rfc.registry` (and, for the
+dictionary, :func:`repro.nlp.terms.load_default_dictionary`) via
+``importlib.resources``, so they work both from a source checkout and from
+an installed wheel (see ``[tool.setuptools.package-data]`` in
+pyproject.toml).  DESIGN.md at the repository root documents the file
+formats.
+"""

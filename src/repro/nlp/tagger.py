@@ -57,7 +57,7 @@ VERB_STEMS = {
     "detect", "detected", "exchange", "exchanged", "recompute", "reverse",
     "reversed", "discard", "zero", "zeroed", "reset", "recalculate",
     "transmit", "transmitted", "associate", "associated", "establish",
-    "established",
+    "established", "report", "reported", "carry", "carries", "carried",
 }
 
 TAG_DET = "DET"

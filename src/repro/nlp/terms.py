@@ -71,12 +71,23 @@ def _singularize(word: str) -> str:
     return word
 
 
-def load_default_dictionary() -> TermDictionary:
-    """Load the bundled ~400-term networking dictionary."""
-    text = resources.files("repro.data").joinpath("terms.txt").read_text()
-    terms = [
-        line.strip()
-        for line in text.splitlines()
-        if line.strip() and not line.startswith("#")
-    ]
-    return TermDictionary(terms)
+_default_dictionary: TermDictionary | None = None
+
+
+def load_default_dictionary(refresh: bool = False) -> TermDictionary:
+    """The bundled ~400-term networking dictionary, loaded once per process.
+
+    The returned instance is shared (every default-constructed chunker and
+    the protocol registry reuse it) — treat it as read-only, or pass
+    ``refresh=True`` to re-read ``terms.txt`` after editing it.
+    """
+    global _default_dictionary
+    if _default_dictionary is None or refresh:
+        text = resources.files("repro.data").joinpath("terms.txt").read_text()
+        terms = [
+            line.strip()
+            for line in text.splitlines()
+            if line.strip() and not line.startswith("#")
+        ]
+        _default_dictionary = TermDictionary(terms)
+    return _default_dictionary

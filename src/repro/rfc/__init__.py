@@ -1,10 +1,11 @@
-"""RFC document processing: structure, diagrams, corpora."""
+"""RFC document processing: structure, diagrams, corpora, the registry."""
 
 from .corpus import (
     Corpus,
     Rewrite,
     SpecSentence,
     bfd_corpus,
+    corpus_from_text,
     extract_sentences,
     find_rewrite,
     icmp_corpus,
@@ -21,6 +22,14 @@ from .document import (
 )
 from .header_diagram import DiagramParse, extract_layout, is_diagram_line
 from .preprocess import parse_rfc_text
+from .registry import (
+    ProtocolRegistry,
+    ProtocolSpec,
+    UnknownProtocolError,
+    default_registry,
+    load_corpus,
+    register_protocol,
+)
 
 __all__ = [
     "Corpus",
@@ -28,18 +37,25 @@ __all__ = [
     "FieldDescription",
     "IntroSection",
     "MessageSection",
+    "ProtocolRegistry",
+    "ProtocolSpec",
     "RFCDocument",
     "Rewrite",
     "SpecSentence",
+    "UnknownProtocolError",
     "ValueBinding",
     "bfd_corpus",
+    "corpus_from_text",
+    "default_registry",
     "extract_layout",
     "extract_sentences",
     "find_rewrite",
     "icmp_corpus",
     "igmp_corpus",
     "is_diagram_line",
+    "load_corpus",
     "load_rewrites",
     "ntp_corpus",
     "parse_rfc_text",
+    "register_protocol",
 ]

@@ -1,20 +1,25 @@
 """Bundled RFC corpora and the sentence/context extraction.
 
-Loads the curated RFC excerpts shipped in ``repro/data`` (see DESIGN.md for
-the substitution rationale), producing :class:`SpecSentence` records — each
-sentence paired with the dynamic context (protocol, message, field) that the
-document structure implies, exactly the context dictionary of Table 4.
+Parses the curated RFC excerpts shipped in ``repro/data`` (see DESIGN.md for
+the substitution rationale and data-file format), producing
+:class:`SpecSentence` records — each sentence paired with the dynamic
+context (protocol, message, field) that the document structure implies,
+exactly the context dictionary of Table 4.
 
-Also loads ``rewrites.json``: the human-in-the-loop record of every sentence
-the paper reports rewriting (ambiguous, unparseable, or under-specified),
-used by the pipeline's ``revised`` mode (Figure 4's feedback loop).
+Also models ``rewrites.json``: the human-in-the-loop record of every
+sentence the paper reports rewriting (ambiguous, unparseable, or
+under-specified), used by the pipeline's ``revised`` mode (Figure 4's
+feedback loop).
+
+Loading and caching live in :mod:`repro.rfc.registry`; the ``*_corpus()``
+functions and rewrite loaders here are thin wrappers over the default
+registry, kept for the paper-style API (``icmp_corpus()``) and backward
+compatibility.  Repeated calls return the same memoized objects.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
-from importlib import resources
 
 from .document import RFCDocument
 from .preprocess import parse_rfc_text
@@ -60,10 +65,6 @@ class Corpus:
         return [s for s in self.sentences if s.kind == KIND_DESCRIPTION]
 
 
-def _load_text(filename: str) -> str:
-    return resources.files("repro.data").joinpath(filename).read_text()
-
-
 def extract_sentences(document: RFCDocument, protocol: str) -> list[SpecSentence]:
     records: list[SpecSentence] = []
     for intro in document.intro_sections:
@@ -88,8 +89,9 @@ def extract_sentences(document: RFCDocument, protocol: str) -> list[SpecSentence
     return records
 
 
-def _load_corpus(filename: str, protocol: str) -> Corpus:
-    document = parse_rfc_text(_load_text(filename))
+def corpus_from_text(text: str, protocol: str) -> Corpus:
+    """Parse RFC-formatted ``text`` into a :class:`Corpus` for ``protocol``."""
+    document = parse_rfc_text(text)
     return Corpus(
         protocol=protocol,
         document=document,
@@ -97,24 +99,30 @@ def _load_corpus(filename: str, protocol: str) -> Corpus:
     )
 
 
+def _registry():
+    from .registry import default_registry
+
+    return default_registry()
+
+
 def icmp_corpus() -> Corpus:
-    """RFC 792 (ICMP): all eight message types."""
-    return _load_corpus("rfc792_icmp.txt", "ICMP")
+    """RFC 792 (ICMP): all eight message types (cached)."""
+    return _registry().load_corpus("ICMP")
 
 
 def igmp_corpus() -> Corpus:
-    """RFC 1112 Appendix I (IGMP v1): the packet-header description."""
-    return _load_corpus("rfc1112_igmp.txt", "IGMP")
+    """RFC 1112 Appendix I (IGMP v1): the packet-header description (cached)."""
+    return _registry().load_corpus("IGMP")
 
 
 def ntp_corpus() -> Corpus:
-    """RFC 1059 Appendices A/B (NTP): encapsulation and packet format."""
-    return _load_corpus("rfc1059_ntp.txt", "NTP")
+    """RFC 1059 (NTP): packet format and timeout dispatch (cached)."""
+    return _registry().load_corpus("NTP")
 
 
 def bfd_corpus() -> Corpus:
-    """RFC 5880 §4.1 + §6.8.6 (BFD): header and state management."""
-    return _load_corpus("rfc5880_bfd.txt", "BFD")
+    """RFC 5880 §4.1 + §6.8.6 (BFD): header and state management (cached)."""
+    return _registry().load_corpus("BFD")
 
 
 @dataclass(frozen=True)
@@ -128,19 +136,18 @@ class Rewrite:
 
 
 def load_rewrites() -> list[Rewrite]:
-    """The human-in-the-loop rewrite record (Table 6 and §6.4)."""
-    raw = json.loads(_load_text("rewrites.json"))
-    return [Rewrite(**entry) for entry in raw]
+    """The human-in-the-loop rewrite record (Table 6 and §6.4), cached."""
+    return _registry().load_rewrites()
 
 
 def rewrites_by_original() -> dict[str, Rewrite]:
-    return {_sentence_key(r.original): r for r in load_rewrites()}
+    return _registry().rewrites()
 
 
-def _sentence_key(sentence: str) -> str:
+def sentence_key(sentence: str) -> str:
     """Whitespace-insensitive sentence identity."""
     return " ".join(sentence.lower().split())
 
 
 def find_rewrite(sentence: str) -> Rewrite | None:
-    return rewrites_by_original().get(_sentence_key(sentence))
+    return rewrites_by_original().get(sentence_key(sentence))

@@ -1,0 +1,291 @@
+"""The cached protocol registry: one canonical home for bundled corpora.
+
+Every stage of the pipeline needs the same handful of expensive artifacts —
+parsed RFC corpora, the ~400-term networking dictionary, the CCG lexicon,
+and a chart parser built over it.  Before this module each consumer rebuilt
+them on demand: four hardcoded ``*_corpus()`` loaders re-read and re-parsed
+their RFC text on every call, ``build_lexicon()`` was invoked at eight call
+sites, and each ``Sage()`` re-paid dictionary + lexicon + parser
+construction.
+
+:class:`ProtocolRegistry` replaces that with a single registration +
+memoization layer:
+
+* ``register_protocol(name, source)`` declares a protocol once — a data file
+  in ``repro.data`` (or an inline/filesystem spec) is all a new protocol
+  needs; no code edits across layers;
+* ``load_corpus(name)`` parses at most once per registry and returns the
+  same :class:`~repro.rfc.corpus.Corpus` object on every subsequent call;
+* ``dictionary()`` / ``lexicon()`` / ``chunker()`` / ``parser()`` /
+  ``rewrites()`` memoize the NLP/CCG substrate the same way.
+
+The default registry (module-level :func:`default_registry`) ships with the
+paper's four protocols.  All cached objects are shared: treat them as
+read-only, or call :meth:`ProtocolRegistry.invalidate` after mutating the
+underlying data files.  See DESIGN.md for the data-file format.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from importlib import resources
+
+from ..ccg.chart import CCGChartParser
+from ..ccg.lexicon import Lexicon, build_lexicon
+from ..nlp.chunker import NounPhraseChunker
+from ..nlp.terms import TermDictionary, load_default_dictionary
+from .corpus import Corpus, Rewrite, corpus_from_text, sentence_key
+
+DEFAULT_PACKAGE = "repro.data"
+
+#: The corpora bundled with the reproduction (name, data file, description).
+BUNDLED_PROTOCOLS: tuple[tuple[str, str, str], ...] = (
+    ("ICMP", "rfc792_icmp.txt", "RFC 792: all eight ICMP message types"),
+    ("IGMP", "rfc1112_igmp.txt", "RFC 1112 Appendix I: IGMP v1 packet header"),
+    ("NTP", "rfc1059_ntp.txt", "RFC 1059: NTP data format and timeout dispatch"),
+    ("BFD", "rfc5880_bfd.txt", "RFC 5880: control packet and reception rules"),
+)
+
+
+class UnknownProtocolError(KeyError):
+    """Lookup of a protocol that was never registered."""
+
+    def __init__(self, name: str, known: list[str]):
+        self.name = name
+        self.known = known
+        super().__init__(
+            f"unknown protocol {name!r}: registered protocols are "
+            f"{', '.join(known) or '(none)'}"
+        )
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s the message
+        return self.args[0]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """How to obtain one protocol's curated RFC excerpt.
+
+    Exactly one of ``source`` (a resource filename inside ``package``),
+    ``path`` (a filesystem path), or ``text`` (the spec text inline) feeds
+    the loader.
+    """
+
+    name: str
+    source: str = ""
+    package: str = DEFAULT_PACKAGE
+    path: str = ""
+    text: str = ""
+    description: str = ""
+
+    def read_text(self) -> str:
+        if self.text:
+            return self.text
+        if self.path:
+            with open(self.path, encoding="utf-8") as handle:
+                return handle.read()
+        return resources.files(self.package).joinpath(self.source).read_text()
+
+
+class ProtocolRegistry:
+    """Protocol registration plus memoized corpus/dictionary/lexicon access."""
+
+    def __init__(self, package: str = DEFAULT_PACKAGE,
+                 bundled: bool = True) -> None:
+        self.package = package
+        self._specs: dict[str, ProtocolSpec] = {}
+        self._corpora: dict[str, Corpus] = {}
+        self._lexicons: dict[tuple, Lexicon] = {}
+        self._parsers: dict[tuple, CCGChartParser] = {}
+        self._dictionary: TermDictionary | None = None
+        self._chunker: NounPhraseChunker | None = None
+        self._rewrites: list[Rewrite] | None = None
+        self._rewrites_by_original: dict[str, Rewrite] | None = None
+        self._lock = threading.RLock()
+        if bundled:
+            for name, source, description in BUNDLED_PROTOCOLS:
+                # Bundled corpora always live in repro.data, independent of
+                # the package a custom registry defaults new registrations to.
+                self.register_protocol(
+                    name, source, package=DEFAULT_PACKAGE, description=description
+                )
+
+    # -- registration ---------------------------------------------------------
+    def register_protocol(self, name: str, source: str = "", *,
+                          package: str | None = None, path: str = "",
+                          text: str = "", description: str = "",
+                          replace: bool = False) -> ProtocolSpec:
+        """Declare a protocol; adding a new workload is this one call.
+
+        ``name`` is canonicalized to upper case; lookups are
+        case-insensitive.  Re-registering an existing name requires
+        ``replace=True`` (and drops its cached corpus).
+        """
+        if not (source or path or text):
+            raise ValueError("register_protocol needs a source, path, or text")
+        key = name.upper()
+        with self._lock:
+            if key in self._specs and not replace:
+                raise ValueError(
+                    f"protocol {key!r} is already registered; "
+                    "pass replace=True to override"
+                )
+            spec = ProtocolSpec(
+                name=key, source=source, package=package or self.package,
+                path=path, text=text, description=description,
+            )
+            self._specs[key] = spec
+            self._corpora.pop(key, None)
+            return spec
+
+    def unregister_protocol(self, name: str) -> None:
+        key = name.upper()
+        with self._lock:
+            self._specs.pop(key, None)
+            self._corpora.pop(key, None)
+
+    def protocols(self) -> list[str]:
+        return list(self._specs)
+
+    def spec(self, name: str) -> ProtocolSpec:
+        key = name.upper()
+        try:
+            return self._specs[key]
+        except KeyError:
+            raise UnknownProtocolError(name, self.protocols()) from None
+
+    # -- corpora ---------------------------------------------------------------
+    def load_corpus(self, name: str) -> Corpus:
+        """The parsed corpus for ``name``; parsed once, then memoized."""
+        key = name.upper()
+        with self._lock:
+            corpus = self._corpora.get(key)
+            if corpus is None:
+                spec = self.spec(key)
+                corpus = corpus_from_text(spec.read_text(), spec.name)
+                self._corpora[key] = corpus
+            return corpus
+
+    def corpora(self) -> list[Corpus]:
+        return [self.load_corpus(name) for name in self.protocols()]
+
+    # -- NLP / CCG substrate ---------------------------------------------------
+    def dictionary(self) -> TermDictionary:
+        """The bundled term dictionary (shared instance; treat as read-only)."""
+        with self._lock:
+            if self._dictionary is None:
+                self._dictionary = load_default_dictionary()
+            return self._dictionary
+
+    def chunker(self) -> NounPhraseChunker:
+        """The default chunker, sharing the memoized dictionary."""
+        with self._lock:
+            if self._chunker is None:
+                self._chunker = NounPhraseChunker(dictionary=self.dictionary())
+            return self._chunker
+
+    def lexicon(self, groups: tuple[str, ...] | None = None,
+                include_overgen: bool = True) -> Lexicon:
+        """The CCG lexicon for ``groups`` (default: every group), memoized."""
+        key = (groups, include_overgen)
+        with self._lock:
+            lexicon = self._lexicons.get(key)
+            if lexicon is None:
+                if groups is None:
+                    lexicon = build_lexicon(include_overgen=include_overgen)
+                else:
+                    lexicon = build_lexicon(groups, include_overgen=include_overgen)
+                self._lexicons[key] = lexicon
+            return lexicon
+
+    def parser(self, groups: tuple[str, ...] | None = None,
+               include_overgen: bool = True) -> CCGChartParser:
+        """A chart parser over the memoized lexicon, itself memoized."""
+        key = (groups, include_overgen)
+        with self._lock:
+            parser = self._parsers.get(key)
+            if parser is None:
+                parser = CCGChartParser(self.lexicon(groups, include_overgen))
+                self._parsers[key] = parser
+            return parser
+
+    # -- rewrites --------------------------------------------------------------
+    REWRITES_FILENAME = "rewrites.json"
+
+    def load_rewrites(self) -> list[Rewrite]:
+        """The human-in-the-loop rewrite record (Table 6 / §6.4), memoized."""
+        with self._lock:
+            if self._rewrites is None:
+                raw = json.loads(
+                    resources.files(self.package)
+                    .joinpath(self.REWRITES_FILENAME)
+                    .read_text()
+                )
+                self._rewrites = [Rewrite(**entry) for entry in raw]
+            return self._rewrites
+
+    def rewrites(self) -> dict[str, Rewrite]:
+        """Whitespace-insensitive original-sentence → rewrite index."""
+        with self._lock:
+            if self._rewrites_by_original is None:
+                self._rewrites_by_original = {
+                    sentence_key(rewrite.original): rewrite
+                    for rewrite in self.load_rewrites()
+                }
+            return self._rewrites_by_original
+
+    # -- cache control ---------------------------------------------------------
+    def invalidate(self, name: str | None = None) -> None:
+        """Drop this registry's cached artifacts: one corpus, or everything.
+
+        ``invalidate("ICMP")`` drops just that corpus; ``invalidate()`` also
+        clears the dictionary, lexicons, parsers, chunker, and rewrites (the
+        registrations themselves survive).  Only this instance's caches are
+        touched — after editing ``terms.txt`` also call
+        :func:`repro.nlp.terms.load_default_dictionary` with
+        ``refresh=True`` to re-read the process-wide dictionary.
+        """
+        with self._lock:
+            if name is not None:
+                key = name.upper()
+                self.spec(key)  # raise on unknown names
+                self._corpora.pop(key, None)
+                return
+            self._corpora.clear()
+            self._lexicons.clear()
+            self._parsers.clear()
+            self._dictionary = None
+            self._chunker = None
+            self._rewrites = None
+            self._rewrites_by_original = None
+
+    def clear(self) -> None:
+        """Alias for full invalidation."""
+        self.invalidate()
+
+
+# -- the default registry ------------------------------------------------------
+
+_default_registry: ProtocolRegistry | None = None
+_default_lock = threading.Lock()
+
+
+def default_registry() -> ProtocolRegistry:
+    """The process-wide registry holding the four bundled protocols."""
+    global _default_registry
+    with _default_lock:
+        if _default_registry is None:
+            _default_registry = ProtocolRegistry()
+        return _default_registry
+
+
+def register_protocol(name: str, source: str = "", **kwargs) -> ProtocolSpec:
+    """Register a protocol on the default registry (see the method)."""
+    return default_registry().register_protocol(name, source, **kwargs)
+
+
+def load_corpus(name: str) -> Corpus:
+    """Load (or fetch the cached) corpus for ``name`` from the default registry."""
+    return default_registry().load_corpus(name)
