@@ -1,27 +1,44 @@
-"""Pipeline smoke benchmark: seeds the perf trajectory for later PRs.
+"""Pipeline smoke benchmark: the perf numbers successive PRs diff against.
 
 Measures, with wall-clock timers:
 
-* cold corpus load — a fresh :class:`ProtocolRegistry` parsing RFC 792 from
-  scratch (dictionary + text parse);
-* cached corpus load — the second ``load_corpus("ICMP")`` on the same
-  registry (should be orders of magnitude cheaper: it is a dict hit);
+* cold vs cached corpus load (fresh :class:`ProtocolRegistry` parsing RFC
+  792 vs the memoized dict hit);
 * cold vs cached ``Sage()`` construction (lexicon/parser/chunker build vs
   registry reuse);
-* one full ICMP strict run and one full revised run.
+* one full ICMP strict run from a cold parse cache, then a revised run —
+  the revised number shows the cross-mode win of the shared parse cache
+  (both modes parse the same sentences once);
+* the staged-engine sweep: all four registered protocols through
+  ``SageEngine.process_corpora`` — sequentially from a cold parse cache;
+  in parallel across the fork worker pool from a cold cache (isolating
+  the pool's contribution — the workers' parses merge back into the
+  parent's cache, warming it); the same parallel sweep warm; and a
+  warm-cache sequential re-run that must skip re-parsing entirely — with
+  sentences/sec throughput and parse-cache hit/miss counters for each.
 
 Writes ``BENCH_pipeline.json`` at the repository root so successive PRs can
-diff the numbers.
+diff the numbers, and exits non-zero when a headline speedup regresses
+(CI runs this via ``scripts/ci.sh``):
+
+* cached corpus load and Sage construction must stay >10x cheaper than
+  cold;
+* the warm-cache sweep re-run must stay >3x faster than the cold
+  sequential sweep (the cached-vs-cold speedup gate) and must add zero
+  parse-cache misses;
+* the warm parallel sweep must beat the cold sequential sweep, and — on
+  machines with ≥2 workers — so must the cold parallel sweep.
 
 Run:  PYTHONPATH=src python benchmarks/pipeline_smoke.py
 """
 
 import json
+import os
 import pathlib
 import sys
 import time
 
-from repro.core import Sage
+from repro.core import Sage, SageEngine
 from repro.nlp.terms import load_default_dictionary
 from repro.rfc.registry import ProtocolRegistry, default_registry
 
@@ -55,9 +72,13 @@ def main() -> int:
     numbers["sage_construct_cached_s"], _ = timed(Sage, repeat=10)
 
     corpus = registry.load_corpus("ICMP")
+    cache = registry.parse_cache()
+    cache.clear()
     numbers["icmp_strict_run_s"], strict = timed(
         lambda: Sage(mode="strict").process_corpus(corpus)
     )
+    # The revised run reuses the strict run's parses through the shared
+    # cache; before the cache both modes re-parsed everything.
     numbers["icmp_revised_run_s"], revised = timed(
         lambda: Sage(mode="revised").process_corpus(corpus)
     )
@@ -66,18 +87,84 @@ def main() -> int:
     numbers["strict_statuses"] = strict.by_status()
     numbers["revised_statuses"] = revised.by_status()
 
+    # -- the staged-engine sweep: all registered protocols, one call --------
+    engine = SageEngine(mode="revised", protocol_registry=registry)
+    total_sentences = sum(
+        len(c.sentences) for c in registry.corpora()
+    )
+    numbers["sweep_protocols"] = registry.protocols()
+    numbers["sweep_sentences"] = total_sentences
+
+    cache.clear()
+    numbers["sweep_sequential_cold_s"], _ = timed(
+        lambda: engine.process_corpora(parallel=False)
+    )
+    numbers["sweep_sequential_cold_sentences_per_s"] = (
+        total_sentences / numbers["sweep_sequential_cold_s"]
+    )
+
+    # Parallel fan-out over the fork worker pool, from a cold cache: this
+    # isolates what the pool itself buys (nothing on 1 CPU, where one
+    # worker re-parses everything plus fork overhead; real speedup on
+    # multicore CI).
+    numbers["cpu_count"] = os.cpu_count() or 1
+    cache.clear()
+    numbers["sweep_parallel_cold_s"], _ = timed(
+        lambda: engine.process_corpora(parallel=True)
+    )
+    numbers["sweep_parallel_cold_sentences_per_s"] = (
+        total_sentences / numbers["sweep_parallel_cold_s"]
+    )
+    # The pool size the engine actually chose (None = degraded to
+    # sequential because fork is unavailable).
+    numbers["parallel_workers"] = engine.last_parallel_workers or 0
+
+    # The same parallel sweep against the now-warm shared cache — the
+    # production configuration for a repeated sweep.
+    numbers["sweep_parallel_warm_s"], _ = timed(
+        lambda: engine.process_corpora(parallel=True)
+    )
+    numbers["sweep_parallel_warm_sentences_per_s"] = (
+        total_sentences / numbers["sweep_parallel_warm_s"]
+    )
+
+    misses_before_rerun = cache.stats()["misses"]
+    numbers["sweep_warm_rerun_s"], _ = timed(
+        lambda: engine.process_corpora(parallel=False)
+    )
+    numbers["sweep_warm_rerun_sentences_per_s"] = (
+        total_sentences / numbers["sweep_warm_rerun_s"]
+    )
+    numbers["sweep_warm_rerun_new_misses"] = (
+        cache.stats()["misses"] - misses_before_rerun
+    )
+    numbers["parse_cache"] = cache.stats()
+
     out = REPO_ROOT / "BENCH_pipeline.json"
     out.write_text(json.dumps(numbers, indent=2) + "\n")
     print(json.dumps(numbers, indent=2))
 
-    # The point of the registry: cached paths must be much cheaper.
-    ok = (
-        numbers["corpus_load_cached_s"] < numbers["corpus_load_cold_s"] / 10
-        and numbers["sage_construct_cached_s"] < numbers["sage_construct_cold_s"] / 10
-    )
-    if not ok:
-        print("SMOKE FAILURE: cached load/construction is not measurably cheaper",
-              file=sys.stderr)
+    # The regression gates (see module docstring).
+    failures = []
+    if not numbers["corpus_load_cached_s"] < numbers["corpus_load_cold_s"] / 10:
+        failures.append("cached corpus load is not >10x cheaper than cold")
+    if not numbers["sage_construct_cached_s"] < numbers["sage_construct_cold_s"] / 10:
+        failures.append("cached Sage construction is not >10x cheaper than cold")
+    if not numbers["sweep_warm_rerun_s"] < numbers["sweep_sequential_cold_s"] / 3:
+        failures.append("warm-cache sweep re-run is not >3x faster than cold")
+    if numbers["sweep_warm_rerun_new_misses"] != 0:
+        failures.append("warm-cache sweep re-run re-parsed sentences")
+    if not numbers["sweep_parallel_warm_s"] < numbers["sweep_sequential_cold_s"]:
+        failures.append("warm parallel sweep is not faster than the cold sequential sweep")
+    if (numbers["parallel_workers"] >= 2
+            and not numbers["sweep_parallel_cold_s"] < numbers["sweep_sequential_cold_s"]):
+        # Only meaningful with real concurrency: one worker is the same
+        # parse work plus fork overhead.
+        failures.append("cold parallel sweep is not faster than cold sequential "
+                        f"with {numbers['parallel_workers']} workers")
+    if failures:
+        for failure in failures:
+            print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
         return 1
     print(f"\nwrote {out}")
     return 0

@@ -10,15 +10,15 @@ Run:  python examples/ambiguity_audit.py
 """
 
 from repro.ccg.semantics import signature
-from repro.core import Sage
+from repro.core import SageEngine
 from repro.disambiguation import summarize
 from repro.rfc import load_corpus
 
 
 def main() -> None:
     corpus = load_corpus("ICMP")
-    sage = Sage(mode="strict")
-    run = sage.process_corpus(corpus)
+    engine = SageEngine(mode="strict")
+    run = engine.process_corpus(corpus)
 
     print(f"audited {len(run.results)} sentences from RFC {corpus.document.number}")
     print("statuses:", run.by_status())
@@ -46,6 +46,13 @@ def main() -> None:
     print(f"\n--- optional ('may') behaviours to unit-test (§6.5) ---")
     for result in modal:
         print(f"  {result.spec.text[:80]}")
+
+    # Lint every registered RFC in one parallel batch call.
+    print("\n--- all registered protocols (one process_corpora sweep) ---")
+    for name, sweep_run in engine.process_corpora().items():
+        flagged = len(sweep_run.flagged())
+        print(f"  {name:<5} {len(sweep_run.results):>3} sentences, "
+              f"{flagged} flagged for revision")
 
 
 if __name__ == "__main__":

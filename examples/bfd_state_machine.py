@@ -7,7 +7,7 @@ session — then exercises the Table 5 demand-mode sentence.
 Run:  python examples/bfd_state_machine.py
 """
 
-from repro.core import Sage
+from repro.core import SageEngine
 from repro.framework.bfd import (
     STATE_NAMES,
     BFDControlHeader,
@@ -22,7 +22,7 @@ from repro.runtime import GeneratedBFD, load_functions
 
 
 def main() -> None:
-    run = Sage(mode="revised").process_corpus(load_corpus("BFD"))
+    run = SageEngine(mode="revised").process_corpus(load_corpus("BFD"))
     print("BFD sentence statuses:", run.by_status())
     program = run.code_unit.program_named(
         "bfd_reception_of_bfd_control_packets_receiver"

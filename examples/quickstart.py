@@ -1,15 +1,18 @@
-"""Quickstart: one sentence through the full SAGE pipeline.
+"""Quickstart: one sentence through the full SAGE pipeline, stage by stage.
 
-Parses a specification sentence with the CCG parser, shows the ambiguity the
-parser surfaces, winnows it with the disambiguation checks, and compiles the
+Drives the three pipeline stage objects directly — the same objects a
+:class:`~repro.core.SageEngine` composes: the parse stage (NP chunking +
+CCG, with the shared registry parse cache), the winnow stage (§4.2 checks),
+and the generate stage (Table 4 context + handler dispatch), compiling the
 surviving logical form to both C and Python.
 
 Run:  python examples/quickstart.py
 """
 
 from repro.ccg.semantics import signature
-from repro.codegen import CEmitter, HandlerRegistry, PyEmitter, SentenceContext
-from repro.disambiguation import winnow
+from repro.codegen import CEmitter, PyEmitter
+from repro.core import GenerateStage, ParseStage, WinnowStage
+from repro.rfc.corpus import SpecSentence
 from repro.rfc.registry import default_registry
 
 SENTENCE = "For computing the checksum, the checksum field should be zero."
@@ -18,38 +21,47 @@ SENTENCE = "For computing the checksum, the checksum field should be zero."
 def main() -> None:
     print(f"sentence: {SENTENCE}\n")
 
-    # 1. Noun-phrase labeling (the spaCy-equivalent stage).  The registry
-    # hands back the memoized chunker/parser pair every consumer shares.
-    registry = default_registry()
-    chunker = registry.chunker()
-    tokens = chunker.chunk_text(SENTENCE)
-    print("tokens:  ", " | ".join(token.text for token in tokens), "\n")
+    spec = SpecSentence(
+        text=SENTENCE, protocol="ICMP",
+        message="Echo or Echo Reply Message", field="checksum", kind="field",
+    )
 
-    # 2. CCG parsing: every derivable logical form.
-    parser = registry.parser()
-    result = parser.parse(tokens)
-    print(f"CCG produced {result.count} logical forms:")
-    for form in result.logical_forms:
+    # 1+2. The parse stage: noun-phrase labeling (the spaCy-equivalent
+    # pass) then CCG parsing, against the memoized registry substrate and
+    # the shared content-addressed parse cache.
+    registry = default_registry()
+    parse = ParseStage(registry.parser(), registry.chunker(),
+                       cache=registry.parse_cache())
+    tokens = parse.chunker.chunk_text(SENTENCE)
+    print("tokens:  ", " | ".join(token.text for token in tokens), "\n")
+    parsed = parse.run(spec)
+    print(f"CCG produced {parsed.result.count} logical forms "
+          f"(cache key fingerprint {parse.fingerprint()[:12]}…):")
+    for form in parsed.logical_forms:
         print("   ", signature(form))
 
-    # 3. Winnowing (the five §4.2 checks).
-    trace = winnow(SENTENCE, result.logical_forms)
+    # 3. The winnow stage (the five §4.2 checks).
+    trace = WinnowStage().run(parsed)
     print("\ncounts after each check:", trace.counts)
     survivor = trace.survivors[0]
     print("surviving logical form: ", signature(survivor), "\n")
 
-    # 4. Code generation, in both backends.
-    registry = HandlerRegistry()
-    context = SentenceContext(
-        protocol="ICMP", message="Echo or Echo Reply Message", field="checksum"
-    )
-    handled = registry.generate(survivor, context)
+    # 4. The generate stage: context resolution + handler dispatch, then
+    # both emitter backends.
+    generate = GenerateStage()
+    context = generate.context_for(spec)
+    handled = generate.generate(survivor, context)
     print("C backend:")
     for line in CEmitter().emit(handled.ops, depth=1):
         print(line)
     print("\nPython backend:")
     for line in PyEmitter().emit(handled.ops, depth=1):
         print(line)
+
+    # The cache remembers: a re-parse of the same sentence is a dict hit.
+    again = parse.run(spec)
+    print(f"\nre-parse served from cache: {again.from_cache} "
+          f"({registry.parse_cache().stats()})")
 
 
 if __name__ == "__main__":

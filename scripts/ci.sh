@@ -1,17 +1,25 @@
 #!/usr/bin/env bash
 # Tier-1 verification + the pipeline perf smoke, exactly as CI runs them.
 #
-#   ./scripts/ci.sh          # tests + smoke benchmark
+#   ./scripts/ci.sh          # tests + smoke benchmark (perf gates)
 #   ./scripts/ci.sh tests    # tier-1 tests only
+#   ./scripts/ci.sh bench    # smoke benchmark only
+#
+# The smoke benchmark writes BENCH_pipeline.json and exits non-zero when a
+# headline speedup regresses (cached-vs-cold load/construction, the
+# warm-cache sweep re-run, or the parallel engine sweep) — see
+# benchmarks/pipeline_smoke.py for the exact gates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1: pytest =="
-python -m pytest -x -q
+if [ "${1:-all}" != "bench" ]; then
+  echo "== tier-1: pytest =="
+  python -m pytest -x -q
+fi
 
 if [ "${1:-all}" != "tests" ]; then
-  echo "== benchmarks: pipeline smoke (writes BENCH_pipeline.json) =="
+  echo "== benchmarks: pipeline smoke (writes BENCH_pipeline.json, gates perf) =="
   python benchmarks/pipeline_smoke.py
 fi

@@ -21,10 +21,11 @@ The disambiguation checks (§4.2) must remove every LF these entries create.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from .categories import Category, parse_category
-from .semantics import App, Call, Const, Lam, Sem, Var
+from .semantics import App, Call, Const, Lam, Sem, Var, signature
 
 
 def _lam(*params: str, body: Sem) -> Sem:
@@ -65,12 +66,31 @@ class Lexicon:
     def __init__(self, entries: list[LexEntry] | None = None) -> None:
         self._by_words: dict[tuple[str, ...], list[LexEntry]] = {}
         self.max_phrase_words = 1
+        self._fingerprint: str | None = None
         for entry in entries or []:
             self.add(entry)
 
     def add(self, entry: LexEntry) -> None:
         self._by_words.setdefault(entry.words, []).append(entry)
         self.max_phrase_words = max(self.max_phrase_words, len(entry.words))
+        self._fingerprint = None
+
+    def fingerprint(self) -> str:
+        """Content hash of every entry (phrase, category, semantics, flags).
+
+        Two lexicons with the same entries share a fingerprint regardless of
+        construction order; any `add` changes it.  Parse caches use this as
+        part of their key so cached parses are never served across different
+        grammars."""
+        if self._fingerprint is None:
+            lines = sorted(
+                f"{entry.phrase.lower()}\t{entry.category}\t"
+                f"{signature(entry.sem)}\t{entry.group}\t{int(entry.overgen)}"
+                for entry in self.entries()
+            )
+            digest = hashlib.sha1("\n".join(lines).encode("utf-8"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def extend(self, entries: list[LexEntry]) -> None:
         for entry in entries:

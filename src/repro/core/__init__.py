@@ -1,16 +1,24 @@
 """The SAGE pipeline: the paper's primary contribution, end to end."""
 
-from .pipeline import (
+from .engine import (
     STATUS_AMBIGUOUS_LF,
     STATUS_AMBIGUOUS_REF,
     STATUS_NON_ACTIONABLE,
     STATUS_OK,
     STATUS_REWRITTEN,
     STATUS_UNPARSED,
-    Sage,
+    SageEngine,
     SageRun,
     SentenceResult,
     modal_sentences,
+)
+from .pipeline import Sage
+from .stages import (
+    GenerateStage,
+    ParsedSentence,
+    ParseStage,
+    WinnowStage,
+    role_of,
 )
 
 __all__ = [
@@ -20,8 +28,14 @@ __all__ = [
     "STATUS_OK",
     "STATUS_REWRITTEN",
     "STATUS_UNPARSED",
+    "GenerateStage",
+    "ParsedSentence",
+    "ParseStage",
     "Sage",
+    "SageEngine",
     "SageRun",
     "SentenceResult",
+    "WinnowStage",
     "modal_sentences",
+    "role_of",
 ]

@@ -1,0 +1,450 @@
+"""The staged execution engine composing parse → winnow → generate.
+
+:class:`SageEngine` owns one instance of each stage from ``stages.py`` and
+orchestrates the control flow the paper's Figure 4 describes — rewrite
+lookup, stage sequencing, status flagging, and the human-rewrite recursion.
+On top of the per-sentence pipeline it adds two batch surfaces:
+
+* :meth:`SageEngine.process_corpus` — one corpus, sequential (identical in
+  output to the historical ``Sage.process_corpus``);
+* :meth:`SageEngine.process_corpora` — every registered protocol in one
+  call, optionally fanned out across a ``concurrent.futures`` process pool
+  (fork start method).  Workers inherit the warm registry substrate, and
+  the parses they compute are merged back into the shared
+  :class:`~repro.rfc.registry.ParseCache`, so a follow-up run skips
+  re-parsing entirely.
+
+The historical :class:`~repro.core.pipeline.Sage` class remains as a thin
+facade over this engine.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field as dataclass_field
+
+from ..ccg.chart import CCGChartParser, ParseResult
+from ..ccg.lexicon import Lexicon
+from ..ccg.semantics import Sem, iter_calls
+from ..codegen.context import AmbiguousReference, ContextResolver, UnknownReference
+from ..codegen.generator import CodeUnit, SentenceCode, assemble_message_program
+from ..codegen.handlers import NonActionable
+from ..codegen.ops import SetField, Value
+from ..disambiguation.checks import CheckSuite
+from ..disambiguation.winnow import WinnowTrace
+from ..nlp.chunker import NounPhraseChunker
+from ..nlp.tokenizer import split_sentences
+from ..rfc.corpus import Corpus, Rewrite, SpecSentence, sentence_key
+from ..rfc.registry import ParseCache, ProtocolRegistry, default_registry
+from .stages import GenerateStage, ParseStage, WinnowStage, role_of
+
+# Sentence statuses.
+STATUS_OK = "ok"
+STATUS_NON_ACTIONABLE = "non-actionable"
+STATUS_AMBIGUOUS_LF = "ambiguous-lf"
+STATUS_AMBIGUOUS_REF = "ambiguous-ref"
+STATUS_UNPARSED = "unparsed"
+STATUS_REWRITTEN = "rewritten"
+
+#: Statuses a human must look at (Figure 4's feedback arrows).
+FLAGGED_STATUSES = (STATUS_AMBIGUOUS_LF, STATUS_AMBIGUOUS_REF, STATUS_UNPARSED)
+
+
+@dataclass
+class SentenceResult:
+    """Everything the pipeline derived from one specification sentence."""
+
+    spec: SpecSentence
+    status: str
+    trace: WinnowTrace | None = None
+    logical_form: Sem | None = None
+    codes: list[SentenceCode] = dataclass_field(default_factory=list)
+    rewrite: Rewrite | None = None
+    sub_results: list["SentenceResult"] = dataclass_field(default_factory=list)
+    subject_supplied: bool = False
+    reason: str = ""
+
+    @property
+    def base_lf_count(self) -> int:
+        return self.trace.base_count if self.trace else 0
+
+    @property
+    def final_lf_count(self) -> int:
+        return self.trace.final_count if self.trace else 0
+
+
+@dataclass
+class SageRun:
+    """One full pipeline run over a corpus."""
+
+    corpus: Corpus
+    results: list[SentenceResult]
+    code_unit: CodeUnit
+
+    def by_status(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for result in self.results:
+            counts[result.status] = counts.get(result.status, 0) + 1
+        return counts
+
+    def flagged(self) -> list[SentenceResult]:
+        """Sentences a human must look at (Figure 4's feedback arrows)."""
+        return [
+            result
+            for result in self.results
+            if result.status in FLAGGED_STATUSES
+        ]
+
+    def rewritten(self) -> list[SentenceResult]:
+        return [r for r in self.results if r.status == STATUS_REWRITTEN]
+
+    def traces(self) -> list[WinnowTrace]:
+        return [r.trace for r in self.results if r.trace is not None]
+
+
+def modal_sentences(run: SageRun) -> list[SentenceResult]:
+    """Sentences whose code came from a @May reading — the candidates the
+    §6.5 unit tests flag as under-specified."""
+    flagged = []
+    for result in run.results:
+        form = result.logical_form
+        if form is None:
+            continue
+        if any(call.pred == "May" for call in iter_calls(form)):
+            flagged.append(result)
+    return flagged
+
+
+class SageEngine:
+    """Composable staged pipeline: one engine, three stages, shared cache."""
+
+    def __init__(
+        self,
+        mode: str = "revised",
+        lexicon: Lexicon | None = None,
+        chunker: NounPhraseChunker | None = None,
+        suite: CheckSuite | None = None,
+        resolver: ContextResolver | None = None,
+        protocol_registry: ProtocolRegistry | None = None,
+        parse_cache: ParseCache | None | bool = True,
+    ) -> None:
+        if mode not in ("strict", "revised"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.mode = mode
+        self.protocol_registry = protocol_registry or default_registry()
+        # Default construction shares the registry's memoized substrate, so
+        # a second engine re-pays none of the dictionary/lexicon/parser cost;
+        # explicit arguments still get private instances.
+        chunker = chunker or self.protocol_registry.chunker()
+        if lexicon is None:
+            lexicon = self.protocol_registry.lexicon()
+            parser = self.protocol_registry.parser()
+        else:
+            parser = CCGChartParser(lexicon)
+        if parse_cache is True:
+            parse_cache = self.protocol_registry.parse_cache()
+        elif parse_cache is False:
+            parse_cache = None
+        self.parse_stage = ParseStage(parser, chunker, cache=parse_cache)
+        self.winnow_stage = WinnowStage(suite)
+        self.generate_stage = GenerateStage(resolver=resolver)
+        self.rewrites = self.protocol_registry.rewrites()
+        #: Pool size of the most recent parallel fan-out (None before one
+        #: runs, or when the sweep degraded to sequential execution).
+        self.last_parallel_workers: int | None = None
+
+    # -- convenience views over the stages -------------------------------------
+    @property
+    def lexicon(self) -> Lexicon:
+        return self.parse_stage.parser.lexicon
+
+    @property
+    def chunker(self) -> NounPhraseChunker:
+        return self.parse_stage.chunker
+
+    @property
+    def parser(self) -> CCGChartParser:
+        return self.parse_stage.parser
+
+    @property
+    def suite(self) -> CheckSuite:
+        return self.winnow_stage.suite
+
+    @property
+    def parse_cache(self) -> ParseCache | None:
+        return self.parse_stage.cache
+
+    def stages(self) -> tuple[ParseStage, WinnowStage, GenerateStage]:
+        return (self.parse_stage, self.winnow_stage, self.generate_stage)
+
+    # -- per-sentence pipeline --------------------------------------------------
+    def parse_sentence(self, spec: SpecSentence) -> tuple[ParseResult, bool]:
+        """Parse, retrying with the field subject supplied on zero LFs."""
+        parsed = self.parse_stage.run(spec)
+        return parsed.result, parsed.subject_supplied
+
+    def process_sentence(self, spec: SpecSentence) -> SentenceResult:
+        rewrite = self.rewrites.get(sentence_key(spec.text))
+        if rewrite is not None and rewrite.category == "non-actionable":
+            return SentenceResult(
+                spec=spec, status=STATUS_NON_ACTIONABLE, rewrite=rewrite,
+                reason="annotated non-actionable",
+                codes=[SentenceCode(sentence=spec.text, status="non-actionable")],
+            )
+
+        parsed = self.parse_stage.run(spec)
+        trace = self.winnow_stage.run(parsed)
+        result = SentenceResult(
+            spec=spec, status=STATUS_OK, trace=trace,
+            subject_supplied=parsed.subject_supplied,
+        )
+        context = self.generate_stage.context_for(spec)
+
+        if trace.final_count == 0:
+            return self._flagged(result, STATUS_UNPARSED, rewrite)
+        if trace.final_count > 1:
+            if self.generate_stage.all_non_actionable(trace.survivors, context):
+                if rewrite is not None and rewrite.revised:
+                    return self._flagged(result, STATUS_NON_ACTIONABLE, rewrite)
+                result.status = STATUS_NON_ACTIONABLE
+                result.reason = "descriptive prose (no actionable reading)"
+                result.codes = [SentenceCode(sentence=spec.text, status="non-actionable")]
+                return result
+            return self._flagged(result, STATUS_AMBIGUOUS_LF, rewrite)
+
+        form = trace.survivors[0]
+        result.logical_form = form
+        if (
+            self.mode == "revised"
+            and rewrite is not None
+            and rewrite.category == "imprecise"
+        ):
+            # Figure 4's unit-test loop: the sentence parses cleanly but its
+            # naive reading fails interoperability tests (§6.5); in revised
+            # mode the post-test rewrite replaces it.
+            return self._flagged(result, STATUS_AMBIGUOUS_LF, rewrite)
+        try:
+            handled = self.generate_stage.generate(form, context)
+        except AmbiguousReference as exc:
+            result.reason = str(exc)
+            return self._flagged(result, STATUS_AMBIGUOUS_REF, rewrite)
+        except (NonActionable, UnknownReference) as exc:
+            if rewrite is not None and rewrite.revised:
+                # The fragment-annotation case (Table 5's "rephrasing"): code
+                # generation fails on the original, the rewrite succeeds.
+                return self._flagged(result, STATUS_NON_ACTIONABLE, rewrite)
+            result.status = STATUS_NON_ACTIONABLE
+            result.reason = getattr(exc, "reason", str(exc))
+            result.codes = [SentenceCode(sentence=spec.text, status="non-actionable")]
+            return result
+        result.codes = [
+            SentenceCode(
+                sentence=spec.text,
+                ops=handled.ops,
+                goal_message=handled.goal_message,
+                role=context.role,
+            )
+        ]
+        return result
+
+    def _flagged(self, result: SentenceResult, status: str,
+                 rewrite: Rewrite | None) -> SentenceResult:
+        """A sentence needing human attention; apply its rewrite if allowed."""
+        result.status = status
+        result.rewrite = rewrite
+        if self.mode == "revised" and rewrite is not None and rewrite.revised:
+            result.status = STATUS_REWRITTEN
+            for revised_sentence in split_sentences(rewrite.revised):
+                sub_spec = SpecSentence(
+                    text=revised_sentence,
+                    protocol=result.spec.protocol,
+                    message=result.spec.message,
+                    field=result.spec.field,
+                    kind=result.spec.kind,
+                    field_group=result.spec.field_group,
+                )
+                sub_result = self.process_sentence(sub_spec)
+                result.sub_results.append(sub_result)
+                result.codes.extend(sub_result.codes)
+        return result
+
+    # -- corpus pipeline --------------------------------------------------------
+    def process_corpus(self, corpus: Corpus | str) -> SageRun:
+        """Run the pipeline over ``corpus`` — a :class:`Corpus` object or a
+        registered protocol name (resolved through the protocol registry)."""
+        if isinstance(corpus, str):
+            corpus = self.protocol_registry.load_corpus(corpus)
+        results = [self.process_sentence(spec) for spec in corpus.sentences]
+        unit = self._assemble(corpus, results)
+        return SageRun(corpus=corpus, results=results, code_unit=unit)
+
+    def process_corpora(
+        self,
+        protocols: list[str] | None = None,
+        *,
+        parallel: bool = True,
+        max_workers: int | None = None,
+        chunk_size: int = 16,
+    ) -> dict[str, SageRun]:
+        """Run every protocol (default: all registered) in one call.
+
+        With ``parallel=True`` the sentences of all corpora are fanned out
+        across a fork-based process pool; each worker shares this process's
+        warm substrate (forked memory) and ships its new parse-cache entries
+        back, so the shared :class:`ParseCache` ends the call fully warm.
+        Falls back to sequential execution where fork is unavailable (the
+        output is identical either way: calling :meth:`process_corpus` per
+        protocol in registration order).
+        """
+        names = [name.upper() for name in (
+            protocols if protocols is not None
+            else self.protocol_registry.protocols()
+        )]
+        corpora = {name: self.protocol_registry.load_corpus(name)
+                   for name in names}
+        if parallel:
+            self.last_parallel_workers = None
+            chunk_results = self._fan_out(corpora, max_workers, chunk_size)
+        else:
+            chunk_results = None
+        runs: dict[str, SageRun] = {}
+        for name in names:
+            corpus = corpora[name]
+            if chunk_results is not None:
+                results = chunk_results[name]
+            else:
+                results = [self.process_sentence(spec)
+                           for spec in corpus.sentences]
+            runs[name] = SageRun(
+                corpus=corpus, results=results,
+                code_unit=self._assemble(corpus, results),
+            )
+        return runs
+
+    def _fan_out(self, corpora: dict[str, Corpus], max_workers: int | None,
+                 chunk_size: int) -> dict[str, list[SentenceResult]] | None:
+        """Process every corpus's sentences on a fork process pool.
+
+        Returns None when fan-out is unavailable (no fork support), letting
+        the caller run sequentially instead.
+        """
+        try:
+            import multiprocessing as mp
+
+            mp_context = mp.get_context("fork")
+        except ValueError:
+            return None
+        tasks = [
+            (name, start, min(start + chunk_size, len(corpus.sentences)))
+            for name, corpus in corpora.items()
+            for start in range(0, len(corpus.sentences), chunk_size)
+        ]
+        if not tasks:
+            return {name: [] for name in corpora}
+        workers = max_workers or min(len(tasks), os.cpu_count() or 1)
+        self.last_parallel_workers = workers
+
+        global _WORKER_ENGINE
+        # The pool forks workers lazily as tasks are submitted, so the
+        # module global must stay set (and unclobbered by a concurrent
+        # sweep on another thread) for the pool's whole lifetime.
+        with _WORKER_ENGINE_LOCK:
+            _WORKER_ENGINE = self  # inherited by forked workers
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers, mp_context=mp_context,
+                    initializer=_init_worker,
+                ) as pool:
+                    outputs = list(pool.map(_process_chunk, tasks))
+            finally:
+                _WORKER_ENGINE = None
+
+        by_name: dict[str, list[SentenceResult]] = {
+            name: [None] * len(corpus.sentences)
+            for name, corpus in corpora.items()
+        }
+        cache = self.parse_stage.cache
+        for (name, start, _end), (results, cache_entries) in zip(tasks, outputs):
+            by_name[name][start:start + len(results)] = results
+            if cache is not None and cache_entries:
+                cache.merge(cache_entries)
+        return by_name
+
+    def _assemble(self, corpus: Corpus, results: list[SentenceResult]) -> CodeUnit:
+        by_section: dict[str, list[SentenceCode]] = {}
+        for result in results:
+            by_section.setdefault(result.spec.message, []).extend(result.codes)
+        unit = CodeUnit(protocol=corpus.protocol)
+        struct_parts = []
+        for section in corpus.document.message_sections:
+            if section.diagram is not None:
+                struct_parts.append(section.diagram.layout.to_c_struct())
+            type_values = section.type_values()
+            code_field = section.field_named("code")
+            code_value = code_field.fixed_value if code_field else None
+            code_is_enumerated = bool(
+                code_field and len(code_field.values) > 1
+            )
+            for message_name in section.message_names:
+                program = assemble_message_program(
+                    protocol=corpus.protocol,
+                    message_name=message_name,
+                    sentence_codes=by_section.get(section.title, []),
+                    type_value=type_values.get(message_name),
+                    code_value=code_value,
+                )
+                if code_is_enumerated:
+                    # "0 = net unreachable; 1 = ..." — the scenario picks
+                    # which enumerated code applies at run time.
+                    program.ops.insert(
+                        1, SetField(corpus.protocol.lower(), "code",
+                                    Value.param("code"))
+                    )
+                unit.programs.append(program)
+        unit.struct_c = "\n\n".join(dict.fromkeys(struct_parts))
+        return unit
+
+
+# -- process-pool plumbing -----------------------------------------------------
+#
+# The engine cannot be pickled (it holds locks and an open-ended substrate),
+# so the fork start method is used instead: the parent stores itself in a
+# module global immediately before creating the pool, and each forked worker
+# inherits that global — warm caches, parser, lexicon and all — by memory
+# copy.  Workers track which parse-cache keys existed at fork time and ship
+# only the entries they add, which the parent merges back.
+
+_WORKER_ENGINE: "SageEngine | None" = None
+_WORKER_ENGINE_LOCK = threading.Lock()
+_WORKER_SEEN_KEYS: set | None = None
+
+
+def _init_worker() -> None:
+    global _WORKER_SEEN_KEYS
+    # Fork can land while another thread of the parent holds the cache or
+    # registry lock; the child would inherit it permanently held.  Workers
+    # are single-threaded, so fresh locks are safe and unblock them.
+    if _WORKER_ENGINE is not None:
+        _WORKER_ENGINE.protocol_registry._lock = threading.RLock()
+    cache = _WORKER_ENGINE.parse_stage.cache if _WORKER_ENGINE else None
+    if cache is not None:
+        cache._lock = threading.Lock()
+    _WORKER_SEEN_KEYS = set(cache.items()) if cache is not None else set()
+
+
+def _process_chunk(task: tuple[str, int, int]):
+    """Worker body: process one slice of one corpus's sentences."""
+    name, start, end = task
+    engine = _WORKER_ENGINE
+    corpus = engine.protocol_registry.load_corpus(name)
+    results = [engine.process_sentence(spec)
+               for spec in corpus.sentences[start:end]]
+    cache = engine.parse_stage.cache
+    new_entries = {}
+    if cache is not None:
+        new_entries = {key: value for key, value in cache.items().items()
+                       if key not in _WORKER_SEEN_KEYS}
+        _WORKER_SEEN_KEYS.update(new_entries)
+    return results, new_entries

@@ -1,4 +1,4 @@
-"""The SAGE pipeline: parse → disambiguate → generate code (Figure 1).
+"""The SAGE pipeline facade: parse → disambiguate → generate code (Figure 1).
 
 Per sentence:
 
@@ -15,77 +15,62 @@ Two modes mirror Figure 4's human-in-the-loop:
   flows through, ready to fail unit tests);
 * ``revised`` — sentences with entries in ``rewrites.json`` are replaced by
   their human rewrite before parsing, yielding clean code.
+
+The heavy lifting lives in :mod:`repro.core.stages` (the three stage
+objects) and :mod:`repro.core.engine` (the :class:`SageEngine` composing
+them, with parse caching and parallel multi-protocol execution).
+:class:`Sage` here is a thin compatible facade over one engine: historical
+call sites keep working unchanged, and ``Sage.process_corpus`` output is
+identical to the engine's.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dataclass_field
-
-from ..ccg.chart import CCGChartParser, ParseResult
+from ..ccg.chart import ParseResult
 from ..ccg.lexicon import Lexicon
-from ..ccg.semantics import Call, Const, Sem, iter_calls
-from ..codegen.context import (
-    AmbiguousReference,
-    ContextResolver,
-    SentenceContext,
-    UnknownReference,
-)
-from ..codegen.generator import (
-    CodeUnit,
-    SentenceCode,
-    assemble_message_program,
-)
-from ..codegen.handlers import HandlerRegistry, NonActionable
-from ..codegen.ops import SetField, Value
+from ..codegen.context import ContextResolver, SentenceContext
 from ..disambiguation.checks import CheckSuite
-from ..disambiguation.winnow import WinnowTrace, winnow
 from ..nlp.chunker import NounPhraseChunker
-from ..nlp.tokenizer import KIND_NOUN_PHRASE, Token, split_sentences
-from ..rfc.corpus import Corpus, Rewrite, SpecSentence, sentence_key
-from ..rfc.registry import ProtocolRegistry, default_registry
+from ..nlp.tokenizer import Token
+from ..rfc.corpus import Corpus, SpecSentence
+from ..rfc.registry import ProtocolRegistry
+from .engine import (
+    STATUS_AMBIGUOUS_LF,
+    STATUS_AMBIGUOUS_REF,
+    STATUS_NON_ACTIONABLE,
+    STATUS_OK,
+    STATUS_REWRITTEN,
+    STATUS_UNPARSED,
+    SageEngine,
+    SageRun,
+    SentenceResult,
+    modal_sentences,
+)
+from .stages import ParseStage, role_of
 
-# Sentence statuses.
-STATUS_OK = "ok"
-STATUS_NON_ACTIONABLE = "non-actionable"
-STATUS_AMBIGUOUS_LF = "ambiguous-lf"
-STATUS_AMBIGUOUS_REF = "ambiguous-ref"
-STATUS_UNPARSED = "unparsed"
-STATUS_REWRITTEN = "rewritten"
-
-_ROLE_MARKERS = {
-    "sender": "sender",
-    "receiver": "receiver",
-    "echoer": "receiver",
-    "replier": "receiver",
-    "replying": "receiver",
-}
-
-
-@dataclass
-class SentenceResult:
-    """Everything the pipeline derived from one specification sentence."""
-
-    spec: SpecSentence
-    status: str
-    trace: WinnowTrace | None = None
-    logical_form: Sem | None = None
-    codes: list[SentenceCode] = dataclass_field(default_factory=list)
-    rewrite: Rewrite | None = None
-    sub_results: list["SentenceResult"] = dataclass_field(default_factory=list)
-    subject_supplied: bool = False
-    reason: str = ""
-
-    @property
-    def base_lf_count(self) -> int:
-        return self.trace.base_count if self.trace else 0
-
-    @property
-    def final_lf_count(self) -> int:
-        return self.trace.final_count if self.trace else 0
+__all__ = [
+    "STATUS_AMBIGUOUS_LF",
+    "STATUS_AMBIGUOUS_REF",
+    "STATUS_NON_ACTIONABLE",
+    "STATUS_OK",
+    "STATUS_REWRITTEN",
+    "STATUS_UNPARSED",
+    "Sage",
+    "SageRun",
+    "SentenceResult",
+    "modal_sentences",
+]
 
 
 class Sage:
-    """The end-to-end pipeline object (one per run)."""
+    """The end-to-end pipeline object (one per run) — facade over an engine.
+
+    Construction arguments, attributes, and per-sentence/per-corpus methods
+    are unchanged from the pre-engine pipeline; the instance simply owns a
+    :class:`~repro.core.engine.SageEngine` and delegates.  Code that wants
+    the batch/parallel surface should use the engine directly (``sage.engine``
+    or ``SageEngine(...)``).
+    """
 
     def __init__(
         self,
@@ -96,248 +81,112 @@ class Sage:
         resolver: ContextResolver | None = None,
         protocol_registry: ProtocolRegistry | None = None,
     ) -> None:
+        self.engine = SageEngine(
+            mode=mode,
+            lexicon=lexicon,
+            chunker=chunker,
+            suite=suite,
+            resolver=resolver,
+            protocol_registry=protocol_registry,
+        )
+
+    # -- substrate views (historical attribute surface) -------------------------
+    # These were plain instance attributes before the engine refactor, and
+    # assigning to them was a supported pattern (tests swap rewrite tables,
+    # experiments swap check suites) — so every property also has a setter
+    # that delegates to the owning stage.
+    @property
+    def mode(self) -> str:
+        return self.engine.mode
+
+    @mode.setter
+    def mode(self, mode: str) -> None:
         if mode not in ("strict", "revised"):
             raise ValueError(f"unknown mode {mode!r}")
-        self.mode = mode
-        self.protocol_registry = protocol_registry or default_registry()
-        # Default construction shares the registry's memoized substrate, so
-        # a second Sage() re-pays none of the dictionary/lexicon/parser cost;
-        # explicit arguments still get private instances.
-        self.lexicon = lexicon or self.protocol_registry.lexicon()
-        self.chunker = chunker or self.protocol_registry.chunker()
-        if lexicon is None:
-            self.parser = self.protocol_registry.parser()
-        else:
-            self.parser = CCGChartParser(self.lexicon)
-        self.suite = suite or CheckSuite.default()
-        self.registry = HandlerRegistry(resolver or ContextResolver())
-        self.rewrites = self.protocol_registry.rewrites()
+        self.engine.mode = mode
 
-    # -- parsing ---------------------------------------------------------------
+    @property
+    def protocol_registry(self) -> ProtocolRegistry:
+        return self.engine.protocol_registry
+
+    @protocol_registry.setter
+    def protocol_registry(self, registry: ProtocolRegistry) -> None:
+        # Historical semantics: assignment swaps the registry used for
+        # corpus-name resolution; substrate already built is untouched.
+        self.engine.protocol_registry = registry
+
+    @property
+    def lexicon(self) -> Lexicon:
+        return self.engine.lexicon
+
+    @lexicon.setter
+    def lexicon(self, lexicon: Lexicon) -> None:
+        from ..ccg.chart import CCGChartParser
+
+        self.engine.parse_stage.parser = CCGChartParser(lexicon)
+
+    @property
+    def chunker(self) -> NounPhraseChunker:
+        return self.engine.chunker
+
+    @chunker.setter
+    def chunker(self, chunker: NounPhraseChunker) -> None:
+        self.engine.parse_stage.chunker = chunker
+
+    @property
+    def parser(self):
+        return self.engine.parser
+
+    @parser.setter
+    def parser(self, parser) -> None:
+        self.engine.parse_stage.parser = parser
+
+    @property
+    def suite(self) -> CheckSuite:
+        return self.engine.suite
+
+    @suite.setter
+    def suite(self, suite: CheckSuite) -> None:
+        self.engine.winnow_stage.suite = suite
+
+    @property
+    def registry(self):
+        """The handler registry (historical name)."""
+        return self.engine.generate_stage.handlers
+
+    @registry.setter
+    def registry(self, handlers) -> None:
+        self.engine.generate_stage.handlers = handlers
+
+    @property
+    def rewrites(self):
+        return self.engine.rewrites
+
+    @rewrites.setter
+    def rewrites(self, rewrites) -> None:
+        self.engine.rewrites = rewrites
+
+    # -- pipeline surface -------------------------------------------------------
     def parse_sentence(self, spec: SpecSentence) -> tuple[ParseResult, bool]:
         """Parse, retrying with the field subject supplied on zero LFs."""
-        tokens = self.chunker.chunk_text(spec.text)
-        result = self.parser.parse(tokens)
-        if result.logical_forms or not spec.field:
-            return result, False
-        for variant in self._supply_variants(spec, tokens):
-            retry = self.parser.parse(variant)
-            if retry.logical_forms:
-                return retry, True
-        return result, False
+        return self.engine.parse_sentence(spec)
 
+    def process_sentence(self, spec: SpecSentence) -> SentenceResult:
+        return self.engine.process_sentence(spec)
+
+    def process_corpus(self, corpus: Corpus | str) -> SageRun:
+        """Run the pipeline over ``corpus`` — a :class:`Corpus` object or a
+        registered protocol name (resolved through the protocol registry)."""
+        return self.engine.process_corpus(corpus)
+
+    # -- historical helpers, now stage methods ----------------------------------
     @staticmethod
     def _supply_variants(spec: SpecSentence, tokens: list[Token]):
-        """Subject-supply re-parses (§4.1): the field name as subject."""
-        field_np = Token(spec.field.replace("_", " "), KIND_NOUN_PHRASE, 0)
-        yield [field_np, Token("is", "word", 0)] + tokens
-        for index, token in enumerate(tokens):
-            if token.text == ",":
-                yield tokens[: index + 1] + [field_np] + tokens[index + 1:]
-                break
-
-    # -- per-sentence pipeline ---------------------------------------------------
-    def process_sentence(self, spec: SpecSentence) -> SentenceResult:
-        rewrite = self.rewrites.get(sentence_key(spec.text))
-        if rewrite is not None and rewrite.category == "non-actionable":
-            return SentenceResult(
-                spec=spec, status=STATUS_NON_ACTIONABLE, rewrite=rewrite,
-                reason="annotated non-actionable",
-                codes=[SentenceCode(sentence=spec.text, status="non-actionable")],
-            )
-
-        parse_result, supplied = self.parse_sentence(spec)
-        trace = winnow(spec.text, parse_result.logical_forms, self.suite)
-        result = SentenceResult(
-            spec=spec, status=STATUS_OK, trace=trace, subject_supplied=supplied
-        )
-
-        if trace.final_count == 0:
-            return self._flagged(result, STATUS_UNPARSED, rewrite)
-        if trace.final_count > 1:
-            if self._all_non_actionable(trace.survivors, spec):
-                if rewrite is not None and rewrite.revised:
-                    return self._flagged(result, STATUS_NON_ACTIONABLE, rewrite)
-                result.status = STATUS_NON_ACTIONABLE
-                result.reason = "descriptive prose (no actionable reading)"
-                result.codes = [SentenceCode(sentence=spec.text, status="non-actionable")]
-                return result
-            return self._flagged(result, STATUS_AMBIGUOUS_LF, rewrite)
-
-        form = trace.survivors[0]
-        result.logical_form = form
-        if (
-            self.mode == "revised"
-            and rewrite is not None
-            and rewrite.category == "imprecise"
-        ):
-            # Figure 4's unit-test loop: the sentence parses cleanly but its
-            # naive reading fails interoperability tests (§6.5); in revised
-            # mode the post-test rewrite replaces it.
-            return self._flagged(result, STATUS_AMBIGUOUS_LF, rewrite)
-        context = self._context_for(spec)
-        try:
-            handled = self.registry.generate(form, context)
-        except AmbiguousReference as exc:
-            result.reason = str(exc)
-            return self._flagged(result, STATUS_AMBIGUOUS_REF, rewrite)
-        except (NonActionable, UnknownReference) as exc:
-            if rewrite is not None and rewrite.revised:
-                # The fragment-annotation case (Table 5's "rephrasing"): code
-                # generation fails on the original, the rewrite succeeds.
-                return self._flagged(result, STATUS_NON_ACTIONABLE, rewrite)
-            result.status = STATUS_NON_ACTIONABLE
-            result.reason = getattr(exc, "reason", str(exc))
-            result.codes = [SentenceCode(sentence=spec.text, status="non-actionable")]
-            return result
-        result.codes = [
-            SentenceCode(
-                sentence=spec.text,
-                ops=handled.ops,
-                goal_message=handled.goal_message,
-                role=self._role_of(spec.text),
-            )
-        ]
-        return result
-
-    def _flagged(self, result: SentenceResult, status: str,
-                 rewrite: Rewrite | None) -> SentenceResult:
-        """A sentence needing human attention; apply its rewrite if allowed."""
-        result.status = status
-        result.rewrite = rewrite
-        if self.mode == "revised" and rewrite is not None and rewrite.revised:
-            result.status = STATUS_REWRITTEN
-            for revised_sentence in split_sentences(rewrite.revised):
-                sub_spec = SpecSentence(
-                    text=revised_sentence,
-                    protocol=result.spec.protocol,
-                    message=result.spec.message,
-                    field=result.spec.field,
-                    kind=result.spec.kind,
-                    field_group=result.spec.field_group,
-                )
-                sub_result = self.process_sentence(sub_spec)
-                result.sub_results.append(sub_result)
-                result.codes.extend(sub_result.codes)
-        return result
-
-    def _all_non_actionable(self, forms: list[Sem], spec: SpecSentence) -> bool:
-        """True when every surviving LF fails code generation outright.
-
-        Such sentences are descriptive prose; their residual LF multiplicity
-        is not an ambiguity a human needs to resolve (§5.2's iterative
-        discovery tags them @AdvComment).
-        """
-        context = self._context_for(spec)
-        for form in forms:
-            try:
-                self.registry.generate(form, context)
-                return False
-            except (NonActionable, UnknownReference):
-                continue
-            except AmbiguousReference:
-                return False
-        return True
-
-    def _context_for(self, spec: SpecSentence) -> SentenceContext:
-        return SentenceContext(
-            protocol=spec.field_group or spec.protocol,
-            message=spec.message,
-            field=spec.field,
-            role=self._role_of(spec.text),
-        )
+        return ParseStage.supply_variants(spec, tokens)
 
     @staticmethod
     def _role_of(text: str) -> str:
-        lowered = text.lower()
-        for marker, role in _ROLE_MARKERS.items():
-            if marker in lowered:
-                return role
-        return ""
+        return role_of(text)
 
-    # -- corpus pipeline -----------------------------------------------------------
-    def process_corpus(self, corpus: Corpus | str) -> "SageRun":
-        """Run the pipeline over ``corpus`` — a :class:`Corpus` object or a
-        registered protocol name (resolved through the protocol registry)."""
-        if isinstance(corpus, str):
-            corpus = self.protocol_registry.load_corpus(corpus)
-        results = [self.process_sentence(spec) for spec in corpus.sentences]
-        unit = self._assemble(corpus, results)
-        return SageRun(corpus=corpus, results=results, code_unit=unit)
-
-    def _assemble(self, corpus: Corpus, results: list[SentenceResult]) -> CodeUnit:
-        by_section: dict[str, list[SentenceCode]] = {}
-        for result in results:
-            by_section.setdefault(result.spec.message, []).extend(result.codes)
-        unit = CodeUnit(protocol=corpus.protocol)
-        struct_parts = []
-        for section in corpus.document.message_sections:
-            if section.diagram is not None:
-                struct_parts.append(section.diagram.layout.to_c_struct())
-            type_values = section.type_values()
-            code_field = section.field_named("code")
-            code_value = code_field.fixed_value if code_field else None
-            code_is_enumerated = bool(
-                code_field and len(code_field.values) > 1
-            )
-            for message_name in section.message_names:
-                program = assemble_message_program(
-                    protocol=corpus.protocol,
-                    message_name=message_name,
-                    sentence_codes=by_section.get(section.title, []),
-                    type_value=type_values.get(message_name),
-                    code_value=code_value,
-                )
-                if code_is_enumerated:
-                    # "0 = net unreachable; 1 = ..." — the scenario picks
-                    # which enumerated code applies at run time.
-                    program.ops.insert(
-                        1, SetField(corpus.protocol.lower(), "code",
-                                    Value.param("code"))
-                    )
-                unit.programs.append(program)
-        unit.struct_c = "\n\n".join(dict.fromkeys(struct_parts))
-        return unit
-
-
-@dataclass
-class SageRun:
-    """One full pipeline run over a corpus."""
-
-    corpus: Corpus
-    results: list[SentenceResult]
-    code_unit: CodeUnit
-
-    def by_status(self) -> dict[str, int]:
-        counts: dict[str, int] = {}
-        for result in self.results:
-            counts[result.status] = counts.get(result.status, 0) + 1
-        return counts
-
-    def flagged(self) -> list[SentenceResult]:
-        """Sentences a human must look at (Figure 4's feedback arrows)."""
-        return [
-            result
-            for result in self.results
-            if result.status in (STATUS_AMBIGUOUS_LF, STATUS_AMBIGUOUS_REF,
-                                 STATUS_UNPARSED)
-        ]
-
-    def rewritten(self) -> list[SentenceResult]:
-        return [r for r in self.results if r.status == STATUS_REWRITTEN]
-
-    def traces(self) -> list[WinnowTrace]:
-        return [r.trace for r in self.results if r.trace is not None]
-
-
-def modal_sentences(run: SageRun) -> list[SentenceResult]:
-    """Sentences whose code came from a @May reading — the candidates the
-    §6.5 unit tests flag as under-specified."""
-    flagged = []
-    for result in run.results:
-        form = result.logical_form
-        if form is None:
-            continue
-        if any(call.pred == "May" for call in iter_calls(form)):
-            flagged.append(result)
-    return flagged
+    def _context_for(self, spec: SpecSentence) -> SentenceContext:
+        return self.engine.generate_stage.context_for(spec)

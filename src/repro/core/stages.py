@@ -1,0 +1,238 @@
+"""The three pipeline stages, as independently usable objects (Figure 1).
+
+The paper's pipeline is parse → disambiguate → generate.  This module gives
+each box its own object with an explicit contract, so stages can be driven,
+tested, swapped, and cached independently of the :class:`~repro.core.engine.
+SageEngine` that composes them:
+
+* :class:`ParseStage` — NP-chunk + CCG-parse one sentence, with the §4.1
+  subject-supply retry and an optional content-addressed cache (keyed on
+  sentence text + the lexicon/chunker fingerprint, so a cache shared across
+  engines and modes never crosses grammars);
+* :class:`WinnowStage` — apply the §4.2 check suite to the parsed logical
+  forms, producing a :class:`~repro.disambiguation.winnow.WinnowTrace`;
+* :class:`GenerateStage` — resolve the sentence context (Table 4) and route
+  the surviving logical form through the handler registry.
+
+Stage objects are stateless apart from their substrate (parser, suite,
+handlers): calling ``run`` twice with the same input yields the same output,
+which is what makes the parse cache and the process-pool fan-out in
+``engine.py`` safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import re
+
+from ..ccg.chart import CCGChartParser, ParseResult
+from ..ccg.semantics import Sem
+from ..codegen.context import (
+    AmbiguousReference,
+    ContextResolver,
+    SentenceContext,
+    UnknownReference,
+)
+from ..codegen.handlers import HandlerRegistry, HandlerResult, NonActionable
+from ..disambiguation.checks import CheckSuite
+from ..disambiguation.winnow import WinnowTrace, winnow
+from ..nlp.chunker import NounPhraseChunker
+from ..nlp.tokenizer import KIND_NOUN_PHRASE, Token
+from ..rfc.corpus import SpecSentence
+from ..rfc.registry import ParseCache
+
+_ROLE_MARKERS = {
+    "sender": "sender",
+    "receiver": "receiver",
+    "echoer": "receiver",
+    "replier": "receiver",
+    "replying": "receiver",
+}
+
+# Word-boundary patterns: a marker must match a whole word, not a substring
+# of an unrelated token ("sender" must not fire inside "senders" or
+# "sendering"-style words).
+_ROLE_PATTERNS = tuple(
+    (re.compile(rf"\b{re.escape(marker)}\b"), role)
+    for marker, role in _ROLE_MARKERS.items()
+)
+
+
+def role_of(text: str) -> str:
+    """The sender/receiver role a sentence's wording implies (Table 4)."""
+    lowered = text.lower()
+    for pattern, role in _ROLE_PATTERNS:
+        if pattern.search(lowered):
+            return role
+    return ""
+
+
+@dataclass
+class ParsedSentence:
+    """The parse stage's output for one sentence."""
+
+    spec: SpecSentence
+    result: ParseResult
+    subject_supplied: bool = False
+    from_cache: bool = False
+
+    @property
+    def logical_forms(self) -> list[Sem]:
+        return self.result.logical_forms
+
+
+class ParseStage:
+    """NP-chunk + CCG-parse, with subject-supply retry and caching.
+
+    The cache key is ``(fingerprint, sentence_text, field)``: the
+    fingerprint hashes the lexicon entries and the chunker's dictionary and
+    configuration, and ``field`` participates because the §4.1 retry splices
+    the header-field name into the token stream.  Cached values are the
+    ``(ParseResult, subject_supplied)`` pair, stored as shared read-only
+    objects.
+    """
+
+    def __init__(self, parser: CCGChartParser, chunker: NounPhraseChunker,
+                 cache: ParseCache | None = None) -> None:
+        self.parser = parser
+        self._chunker = chunker
+        self.cache = cache
+        self._chunker_fingerprint: str | None = None
+
+    @property
+    def chunker(self) -> NounPhraseChunker:
+        return self._chunker
+
+    @chunker.setter
+    def chunker(self, chunker: NounPhraseChunker) -> None:
+        self._chunker = chunker
+        self._chunker_fingerprint = None  # new token stream, new cache keys
+
+    def fingerprint(self) -> str:
+        """The combined lexicon + chunker content hash.
+
+        The lexicon part is re-read every call — ``Lexicon.fingerprint`` is
+        self-invalidating on mutation, so entries added after construction
+        move this stage to fresh cache keys instead of serving
+        stale-grammar parses.  The chunker part is hashed once: dictionary
+        and config objects are documented read-only after construction.
+        """
+        if self._chunker_fingerprint is None:
+            self._chunker_fingerprint = self.chunker.fingerprint()
+        return self.parser.lexicon.fingerprint() + ":" + self._chunker_fingerprint
+
+    def cache_key(self, spec: SpecSentence) -> tuple:
+        return (self.fingerprint(), spec.text, spec.field)
+
+    def run(self, spec: SpecSentence) -> ParsedSentence:
+        """Parse one sentence, serving repeats from the shared cache."""
+        if self.cache is None:
+            result, supplied = self._parse(spec)
+            return ParsedSentence(spec=spec, result=result,
+                                  subject_supplied=supplied)
+        key = self.cache_key(spec)
+        hit = self.cache.get(key)
+        if hit is not None:
+            result, supplied = hit
+            return ParsedSentence(spec=spec, result=result,
+                                  subject_supplied=supplied, from_cache=True)
+        result, supplied = self._parse(spec)
+        self.cache.put(key, (result, supplied))
+        return ParsedSentence(spec=spec, result=result,
+                              subject_supplied=supplied)
+
+    def parse_text(self, text: str) -> ParseResult:
+        """Parse bare text (no spec, no subject-supply retry), cached.
+
+        The ablation experiments count base logical forms over raw
+        sentences; routing them through the stage lets them share the
+        pipeline's cache under the same fingerprint scheme."""
+        spec = SpecSentence(text=text, protocol="", message="", field="",
+                            kind="intro")
+        return self.run(spec).result
+
+    def _parse(self, spec: SpecSentence) -> tuple[ParseResult, bool]:
+        tokens = self.chunker.chunk_text(spec.text)
+        result = self.parser.parse(tokens)
+        if result.logical_forms or not spec.field:
+            return result, False
+        for variant in self.supply_variants(spec, tokens):
+            retry = self.parser.parse(variant)
+            if retry.logical_forms:
+                return retry, True
+        return result, False
+
+    @staticmethod
+    def supply_variants(spec: SpecSentence, tokens: list[Token]):
+        """Subject-supply re-parses (§4.1): the field name as subject.
+
+        Yields (1) the sentence with ``<field> is`` prefixed, for verb-led
+        fragments like "identifies the octet ..."; (2) the field name
+        spliced after the first comma, for conditional fragments like
+        "If code = 0, identifies ...".
+        """
+        field_np = Token(spec.field.replace("_", " "), KIND_NOUN_PHRASE, 0)
+        yield [field_np, Token("is", "word", 0)] + tokens
+        for index, token in enumerate(tokens):
+            if token.text == ",":
+                yield tokens[: index + 1] + [field_np] + tokens[index + 1:]
+                break
+
+
+class WinnowStage:
+    """Apply the §4.2 disambiguation checks to a sentence's parses."""
+
+    def __init__(self, suite: CheckSuite | None = None) -> None:
+        self.suite = suite or CheckSuite.default()
+
+    def run(self, parsed: ParsedSentence) -> WinnowTrace:
+        return winnow(parsed.spec.text, parsed.logical_forms, self.suite)
+
+
+class GenerateStage:
+    """Resolve sentence context and compile a logical form to ops.
+
+    ``generate`` raises the handler layer's exceptions (`NonActionable`,
+    `AmbiguousReference`, `UnknownReference`) untranslated — mapping them to
+    sentence statuses is the engine's job, keeping this stage reusable for
+    single-form experiments like the quickstart example.
+    """
+
+    def __init__(self, handlers: HandlerRegistry | None = None,
+                 resolver: ContextResolver | None = None) -> None:
+        if handlers is not None and resolver is not None:
+            raise ValueError(
+                "pass either a handler registry (which carries its own "
+                "resolver) or a resolver, not both"
+            )
+        self.handlers = handlers or HandlerRegistry(resolver or ContextResolver())
+
+    def context_for(self, spec: SpecSentence) -> SentenceContext:
+        """The Table 4 context dictionary — built once per sentence."""
+        return SentenceContext(
+            protocol=spec.field_group or spec.protocol,
+            message=spec.message,
+            field=spec.field,
+            role=role_of(spec.text),
+        )
+
+    def generate(self, form: Sem, context: SentenceContext) -> HandlerResult:
+        return self.handlers.generate(form, context)
+
+    def all_non_actionable(self, forms: list[Sem],
+                           context: SentenceContext) -> bool:
+        """True when every surviving LF fails code generation outright.
+
+        Such sentences are descriptive prose; their residual LF multiplicity
+        is not an ambiguity a human needs to resolve (§5.2's iterative
+        discovery tags them @AdvComment).
+        """
+        for form in forms:
+            try:
+                self.generate(form, context)
+                return False
+            except (NonActionable, UnknownReference):
+                continue
+            except AmbiguousReference:
+                return False
+        return True

@@ -17,6 +17,7 @@ Table 8 experiment.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from .tagger import TAG_NOUN, tag_word
@@ -47,6 +48,19 @@ class NounPhraseChunker:
                  config: ChunkerConfig | None = None) -> None:
         self.dictionary = dictionary if dictionary is not None else load_default_dictionary()
         self.config = config or ChunkerConfig()
+
+    def fingerprint(self) -> str:
+        """Content hash of the dictionary terms plus the ablation switches.
+
+        Part of the parse-cache key: a chunker with a different term set or
+        different labeling configuration produces different token streams,
+        so its parses must never be served from another chunker's cache."""
+        config = self.config
+        payload = "\n".join(sorted(self.dictionary.all_terms())) + (
+            f"\n#{int(config.use_dictionary)}{int(config.use_np_labeling)}"
+            f"{int(config.merge_adjacent)}"
+        )
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()
 
     def chunk_text(self, text: str) -> list[Token]:
         return self.chunk(tokenize(text))

@@ -89,6 +89,69 @@ class ProtocolSpec:
         return resources.files(self.package).joinpath(self.source).read_text()
 
 
+class ParseCache:
+    """A content-addressed store for sentence parses.
+
+    Keys are built by the parse stage as ``(substrate_fingerprint,
+    sentence_text, field)`` — the fingerprint covers the lexicon and chunker
+    content, so a cache shared across Sage instances, both pipeline modes,
+    and worker processes can never serve a parse produced under a different
+    grammar.  Values are whatever the stage stores (the pipeline stores the
+    ``(ParseResult, subject_supplied)`` pair); they are shared objects and
+    must be treated as read-only.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple):
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: tuple, value) -> None:
+        with self._lock:
+            self._entries[key] = value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def items(self) -> dict[tuple, object]:
+        """Snapshot of the current entries (for merging across workers)."""
+        with self._lock:
+            return dict(self._entries)
+
+    def merge(self, entries: dict[tuple, object]) -> int:
+        """Adopt entries learned elsewhere (e.g. in a worker process)."""
+        added = 0
+        with self._lock:
+            for key, value in entries.items():
+                if key not in self._entries:
+                    self._entries[key] = value
+                    added += 1
+        return added
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"size": len(self._entries), "hits": self.hits,
+                    "misses": self.misses}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
 class ProtocolRegistry:
     """Protocol registration plus memoized corpus/dictionary/lexicon access."""
 
@@ -103,6 +166,7 @@ class ProtocolRegistry:
         self._chunker: NounPhraseChunker | None = None
         self._rewrites: list[Rewrite] | None = None
         self._rewrites_by_original: dict[str, Rewrite] | None = None
+        self._parse_cache: ParseCache | None = None
         self._lock = threading.RLock()
         if bundled:
             for name, source, description in BUNDLED_PROTOCOLS:
@@ -211,6 +275,18 @@ class ProtocolRegistry:
                 self._parsers[key] = parser
             return parser
 
+    def parse_cache(self) -> ParseCache:
+        """The shared sentence-parse cache (see :class:`ParseCache`).
+
+        Living here rather than on ``Sage`` means every engine built over
+        this registry — strict and revised mode alike — reuses each other's
+        parses: identical sentence text under the same lexicon/chunker
+        fingerprint is parsed exactly once per process."""
+        with self._lock:
+            if self._parse_cache is None:
+                self._parse_cache = ParseCache()
+            return self._parse_cache
+
     # -- rewrites --------------------------------------------------------------
     REWRITES_FILENAME = "rewrites.json"
 
@@ -260,6 +336,8 @@ class ProtocolRegistry:
             self._chunker = None
             self._rewrites = None
             self._rewrites_by_original = None
+            if self._parse_cache is not None:
+                self._parse_cache.clear()
 
     def clear(self) -> None:
         """Alias for full invalidation."""
