@@ -15,7 +15,12 @@ Measures, with wall-clock timers:
   the pool's contribution — the workers' parses merge back into the
   parent's cache, warming it); the same parallel sweep warm; and a
   warm-cache sequential re-run that must skip re-parsing entirely — with
-  sentences/sec throughput and parse-cache hit/miss counters for each.
+  sentences/sec throughput and parse-cache hit/miss counters for each;
+* codegen + execution over the ICMP IR program: C and Python emission,
+  compile-cold (every call re-execs the rendering), compile-cached (the
+  registry's compiled-program cache answers on the content SHA-1), a
+  direct-interpreter compile, and one generated echo-reply execution per
+  executable backend.
 
 Writes ``BENCH_pipeline.json`` at the repository root so successive PRs can
 diff the numbers, and exits non-zero when a headline speedup regresses
@@ -27,7 +32,9 @@ diff the numbers, and exits non-zero when a headline speedup regresses
   sequential sweep (the cached-vs-cold speedup gate) and must add zero
   parse-cache misses;
 * the warm parallel sweep must beat the cold sequential sweep, and — on
-  machines with ≥2 workers — so must the cold parallel sweep.
+  machines with ≥2 workers — so must the cold parallel sweep;
+* a cached compile of the ICMP program must stay >10x cheaper than a cold
+  compile (the compiled-program-cache regression gate).
 
 Run:  PYTHONPATH=src python benchmarks/pipeline_smoke.py
 """
@@ -39,8 +46,12 @@ import sys
 import time
 
 from repro.core import Sage, SageEngine
+from repro.framework.addressing import ip_to_int
+from repro.framework.icmp import make_echo
+from repro.framework.ip import PROTO_ICMP, make_ip_packet
 from repro.nlp.terms import load_default_dictionary
 from repro.rfc.registry import ProtocolRegistry, default_registry
+from repro.runtime import ExecutionContext, compile_unit, load_functions
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -140,6 +151,53 @@ def main() -> int:
     )
     numbers["parse_cache"] = cache.stats()
 
+    # -- codegen + execution over the ICMP IR program -----------------------
+    unit = revised.code_unit
+    numbers["codegen_emit_c_s"], _ = timed(unit.render_c, repeat=20)
+    numbers["codegen_emit_python_s"], python_source = timed(
+        unit.render_python, repeat=20
+    )
+    compiled_cache = registry.compiled_cache()
+    compiled_cache.clear()
+    # Cold: every call re-execs the rendering (no cache).
+    numbers["codegen_compile_cold_s"], _ = timed(
+        lambda: compile_unit(unit, cache=None), repeat=20
+    )
+    # Cached: the first call warms the registry's compiled-program cache,
+    # repeats are a dictionary hit on the IR SHA-1.
+    compile_unit(unit, cache=compiled_cache)
+    numbers["codegen_compile_cached_s"], functions = timed(
+        lambda: compile_unit(unit, cache=compiled_cache), repeat=200
+    )
+    numbers["codegen_interp_compile_s"], interp_functions = timed(
+        lambda: compile_unit(unit, backend="interp", cache=None), repeat=20
+    )
+
+    echo = make_echo(0x1234, 1, b"bench-payload")
+    request = make_ip_packet(
+        ip_to_int("10.0.1.100"), ip_to_int("10.0.1.1"), PROTO_ICMP, echo.pack()
+    )
+
+    def run_builder(table):
+        context = ExecutionContext(
+            request_ip=request, responder_address=ip_to_int("10.0.1.1")
+        )
+        return table["icmp_echo_reply_receiver"](context).finish()
+
+    numbers["codegen_exec_run_s"], _ = timed(
+        lambda: run_builder(functions), repeat=200
+    )
+    numbers["codegen_interpret_s"], _ = timed(
+        lambda: run_builder(interp_functions), repeat=200
+    )
+    # Source-keyed compile path (GeneratedImplementation.from_source);
+    # warmed first so the timing measures pure cache hits.
+    load_functions(python_source, cache=compiled_cache)
+    numbers["codegen_load_functions_cached_s"], _ = timed(
+        lambda: load_functions(python_source, cache=compiled_cache), repeat=200
+    )
+    numbers["compiled_cache"] = compiled_cache.stats()
+
     out = REPO_ROOT / "BENCH_pipeline.json"
     out.write_text(json.dumps(numbers, indent=2) + "\n")
     print(json.dumps(numbers, indent=2))
@@ -162,6 +220,8 @@ def main() -> int:
         # parse work plus fork overhead.
         failures.append("cold parallel sweep is not faster than cold sequential "
                         f"with {numbers['parallel_workers']} workers")
+    if not numbers["codegen_compile_cached_s"] < numbers["codegen_compile_cold_s"] / 10:
+        failures.append("cached program compile is not >10x cheaper than cold")
     if failures:
         for failure in failures:
             print(f"SMOKE FAILURE: {failure}", file=sys.stderr)

@@ -18,7 +18,7 @@ from repro.framework.bfd import (
 )
 from repro.netsim import BFDSession
 from repro.rfc import load_corpus
-from repro.runtime import GeneratedBFD, load_functions
+from repro.runtime import GeneratedBFD
 
 
 def main() -> None:
@@ -30,7 +30,10 @@ def main() -> None:
     print(f"\ngenerated reception code ({len(program.ops)} ops):\n")
     print(program.render_python())
 
-    generated = GeneratedBFD(load_functions(run.code_unit.render_python()))
+    # The family constructor: compile the IR through the shared cache
+    # (equivalent to GeneratedBFD(load_functions(...render_python())),
+    # minus the re-compile on every construction).
+    generated = GeneratedBFD.from_unit(run.code_unit)
 
     # A handshake: the generated side vs a reference responder.
     mine = BFDStateVariables(LocalDiscr=1)

@@ -53,11 +53,28 @@ def run_mode(mode: str) -> None:
           f"{'all packets clean' if clean else warnings[:3]}")
 
 
+def run_interpreter_backend() -> None:
+    """The same interop, executing the IR directly — no exec(), no source."""
+    print("\n===== backend: interp (direct IR interpreter) =====")
+    run = SageEngine(mode="revised").process_corpus("ICMP")
+    topology = course_topology(
+        implementation=GeneratedICMP.from_unit(run.code_unit, backend="interp")
+    )
+    echo = ping(topology.client, ip_to_int("10.0.1.1"), count=4)
+    route = traceroute(topology.client, ip_to_int("192.168.2.2"))
+    print(f"ping router:            {echo.received}/{echo.transmitted} replies")
+    print(f"traceroute server1:     reached={route.destination_reached}")
+
+
 def main() -> None:
     run_mode("strict")  # fails ping: the identifier is zeroed (§6.5)
     run_mode("revised")  # interoperates perfectly (§6.2)
+    run_interpreter_backend()  # same builders, no text round-trip
+    registry = default_registry()
     print("\nshared parse cache after both modes:",
-          default_registry().parse_cache().stats())
+          registry.parse_cache().stats())
+    print("shared compiled-program cache:",
+          registry.compiled_cache().stats())
 
 
 if __name__ == "__main__":

@@ -7,8 +7,9 @@
 #
 # The smoke benchmark writes BENCH_pipeline.json and exits non-zero when a
 # headline speedup regresses (cached-vs-cold load/construction, the
-# warm-cache sweep re-run, or the parallel engine sweep) — see
-# benchmarks/pipeline_smoke.py for the exact gates.
+# warm-cache sweep re-run, the parallel engine sweep, or the codegen
+# compiled-program cache: a cached compile must stay >10x cheaper than a
+# cold one) — see benchmarks/pipeline_smoke.py for the exact gates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

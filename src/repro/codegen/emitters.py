@@ -1,13 +1,19 @@
-"""Code emitters: render ops as C (the paper's output) or Python (executable).
+"""Text backends: render IR as C (the paper's output) or Python (executable).
 
-The C backend reproduces the paper's presentation (Table 4: ``hdr->type =
-3;``); the Python backend produces the body of a function over a runtime
-``ctx`` object (see `repro.runtime.harness.ExecutionContext`) that our
-simulator actually executes for the end-to-end evaluation.
+Both emitters are :class:`~repro.codegen.ir.Backend` subclasses over the
+typed IR.  The C backend reproduces the paper's presentation (Table 4:
+``hdr->type = 3;``) and is locked byte-for-byte by a golden test on the
+ICMP corpus; the Python backend produces the body of a function over a
+runtime ``ctx`` object (see `repro.runtime.harness.ExecutionContext`) that
+our simulator actually executes for the end-to-end evaluation, and doubles
+as an executable backend via ``compile_program`` (``exec`` of the
+rendering).  The third backend — the direct IR interpreter that skips the
+text stage entirely — lives in :mod:`repro.codegen.interp`.
 """
 
 from __future__ import annotations
 
+from .ir import Backend, Function, Program, register_backend
 from .ops import (
     CallProcedure,
     CeaseTransmission,
@@ -30,10 +36,17 @@ from .ops import (
 )
 
 
-class Emitter:
-    """Shared driver: emit a list of ops as indented lines."""
+class Emitter(Backend):
+    """Shared text-backend driver: emit a list of ops as indented lines."""
 
     indent_unit = "    "
+    emits_text = True
+
+    def emit_function(self, function: Function) -> str:
+        return self.render_function(function.name, function.ops)
+
+    def render_function(self, name: str, ops: list[Op]) -> str:
+        raise NotImplementedError
 
     def emit(self, ops: list[Op], depth: int = 0) -> list[str]:
         lines: list[str] = []
@@ -51,8 +64,11 @@ class Emitter:
         return f"{self.indent_unit * depth}{text}"
 
 
+@register_backend
 class CEmitter(Emitter):
     """Renders ops as C statements against a ``hdr``/``ip`` struct API."""
+
+    name = "c"
 
     @staticmethod
     def _ref(protocol: str, name: str) -> str:
@@ -168,9 +184,36 @@ class CEmitter(Emitter):
         lines.append("}")
         return "\n".join(lines)
 
+    def emit_program(self, program: Program) -> str:
+        parts = [program.struct_c] if program.struct_c else []
+        parts.extend(self.emit_function(function) for function in program.programs)
+        return "\n\n".join(parts)
 
+
+@register_backend
 class PyEmitter(Emitter):
     """Renders ops as Python statements over a runtime ``ctx`` object."""
+
+    name = "python"
+    executable = True
+
+    @staticmethod
+    def compile_source(python_source: str) -> dict[str, object]:
+        """``exec`` generated source; returns the defined builder functions.
+
+        The single home of the exec-and-filter rule — the runtime's
+        ``load_functions`` delegates here so the program path and the bare
+        source path can never diverge."""
+        namespace: dict[str, object] = {}
+        exec(compile(python_source, "<sage-generated>", "exec"), namespace)
+        return {
+            name: value
+            for name, value in namespace.items()
+            if callable(value) and not name.startswith("__")
+        }
+
+    def compile_program(self, program: Program) -> dict[str, object]:
+        return self.compile_source(self.emit_program(program))
 
     def _value(self, value: Value) -> str:
         if value.kind == "const":

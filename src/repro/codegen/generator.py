@@ -3,8 +3,12 @@
 The generator concatenates each sentence's ops "into a packet handling
 function", one per (message, role), named from the context dictionaries
 ("sage uses the context to generate unique names for the function, based on
-the protocol, the message type, and the role").  Two reordering passes
-implement the paper's discussion of code order:
+the protocol, the message type, and the role").  The assembly itself — op
+filtering by goal/role, the reordering passes implementing the paper's
+discussion of code order, and validation — lives in the typed IR
+(:mod:`repro.codegen.ir`); this module keeps the historical surface
+(:func:`assemble_message_program`, :class:`MessageProgram`,
+:class:`CodeUnit`) and the role policy:
 
 * **advice** — ops tagged ``advice_before`` are moved immediately before the
   first op of the advised function (@AdvBefore, the checksum-zeroing case);
@@ -15,129 +19,49 @@ implement the paper's discussion of code order:
 
 from __future__ import annotations
 
-import re
-from dataclasses import dataclass, field as dataclass_field
+from .ir import (
+    AdvicePlacementPass,
+    ChecksumFinalizationPass,
+    Function,
+    Program,
+    SentenceCode,
+    build_function,
+    function_name,
+)
+from .ops import Op
 
-from .emitters import CEmitter, PyEmitter
-from .ops import Comment, ComputeChecksum, Op
+# Historical aliases: the IR's Function/Program are the same objects the
+# pre-IR generator called MessageProgram/CodeUnit.
+MessageProgram = Function
+CodeUnit = Program
 
-# Which side of the exchange constructs each ICMP message.
-_SENDER_BUILT = {"echo", "timestamp", "information request"}
+# Which side of the exchange constructs each ICMP message.  This is the
+# bundled-ICMP *fallback*: protocol-correct sender-built sets live in the
+# protocol registry's metadata (``ProtocolRegistry.sender_built``) and are
+# passed to :func:`builder_role` explicitly by the engine.
+_SENDER_BUILT = frozenset({"echo", "timestamp", "information request"})
 
 
-def builder_role(message_name: str) -> str:
+def builder_role(message_name: str,
+                 sender_built: frozenset[str] | None = None) -> str:
     """"echo" is built by the probing sender; everything else by the
-    responding node (replies and error messages)."""
-    return "sender" if message_name in _SENDER_BUILT else "receiver"
+    responding node (replies and error messages).
 
-
-def function_name(protocol: str, message_name: str, role: str) -> str:
-    slug = re.sub(r"[^a-z0-9]+", "_", message_name.lower()).strip("_")
-    return f"{protocol.lower()}_{slug}_{role}"
-
-
-@dataclass
-class SentenceCode:
-    """One sentence's generated ops plus routing metadata."""
-
-    sentence: str
-    ops: list[Op] = dataclass_field(default_factory=list)
-    goal_message: str = ""  # "" = applies to every message in its section
-    role: str = ""  # "" = applies to both roles
-    status: str = "ok"  # ok | non-actionable | ambiguous
-    reason: str = ""
-
-
-@dataclass
-class MessageProgram:
-    """The assembled builder for one message."""
-
-    protocol: str
-    message_name: str
-    role: str
-    ops: list[Op] = dataclass_field(default_factory=list)
-
-    @property
-    def name(self) -> str:
-        return function_name(self.protocol, self.message_name, self.role)
-
-    def render_c(self) -> str:
-        return CEmitter().render_function(self.name, self.ops)
-
-    def render_python(self) -> str:
-        return PyEmitter().render_function(self.name, self.ops)
-
-
-def _goal_matches(goal_message: str, message_name: str) -> bool:
-    """"echo_reply_message" (an LF constant) matches "echo reply"."""
-    if not goal_message:
-        return True
-    normalized = goal_message.replace("_", " ").removesuffix(" message").strip()
-    return normalized == message_name
+    ``sender_built`` is the per-protocol message set from the registry's
+    metadata; without one the bundled ICMP set applies.
+    """
+    built_by_sender = _SENDER_BUILT if sender_built is None else sender_built
+    return "sender" if message_name in built_by_sender else "receiver"
 
 
 def reorder_advice(ops: list[Op]) -> list[Op]:
-    """Move advice ops immediately before their advised function's first op.
-
-    Currently the only advised function is the checksum computation
-    (@AdvBefore in the "For computing the checksum..." sentence); advice for
-    functions that never appear stays in place.
-    """
-    advice = [op for op in ops if op.advice_before]
-    if not advice:
-        return list(ops)
-    plain = [op for op in ops if not op.advice_before]
-    result: list[Op] = []
-    placed: set[int] = set()
-    for op in plain:
-        if isinstance(op, ComputeChecksum):
-            for index, advice_op in enumerate(advice):
-                if index not in placed and advice_op.advice_before == "compute_checksum":
-                    result.append(advice_op)
-                    placed.add(index)
-        result.append(op)
-    for index, advice_op in enumerate(advice):
-        if index not in placed:
-            result.append(advice_op)
-    return result
-
-
-def _dedupe_identical_setfields(ops: list[Op]) -> list[Op]:
-    """Drop exact-duplicate constant field assignments (e.g. the structural
-    type value and a rewrite's explicit "type field is set to 0")."""
-    from .ops import SetField
-
-    seen: set[tuple[str, str, int]] = set()
-    result: list[Op] = []
-    for op in ops:
-        if isinstance(op, SetField) and op.value.kind == "const":
-            key = (op.protocol, op.name, op.value.const)
-            if key in seen:
-                continue
-            seen.add(key)
-        result.append(op)
-    return result
+    """The advice-placement pass, as a plain function (historical name)."""
+    return AdvicePlacementPass().run(ops)
 
 
 def finalize_checksums_last(ops: list[Op]) -> list[Op]:
-    """Stable-sort checksum computations (and their advice) to the end."""
-    checksum_keys: set[int] = set()
-    for index, op in enumerate(ops):
-        if isinstance(op, ComputeChecksum):
-            checksum_keys.add(index)
-    if not checksum_keys:
-        return list(ops)
-    head = [op for index, op in enumerate(ops) if index not in checksum_keys]
-    tail = [op for index, op in enumerate(ops) if index in checksum_keys]
-    deduped_tail: list[Op] = []
-    seen: set[tuple[str, str]] = set()
-    for op in tail:
-        key = (op.protocol, op.name)
-        if key in seen:
-            continue
-        seen.add(key)
-        deduped_tail.append(op)
-    return head + deduped_tail
+    """The checksum-finalization pass, as a plain function (historical name)."""
+    return ChecksumFinalizationPass().run(ops)
 
 
 def assemble_message_program(
@@ -146,58 +70,15 @@ def assemble_message_program(
     sentence_codes: list[SentenceCode],
     type_value: int | None = None,
     code_value: int | None = None,
+    sender_built: frozenset[str] | None = None,
 ) -> MessageProgram:
     """Assemble one message's builder from its sentences plus the structural
     value bindings (the "0 = Echo Reply" idiom and bare field values)."""
-    role = builder_role(message_name)
-    ops: list[Op] = []
-    if type_value is not None:
-        from .ops import SetField, Value
-
-        ops.append(SetField(protocol.lower(), "type", Value.constant(type_value)))
-    if code_value is not None:
-        from .ops import SetField, Value
-
-        ops.append(SetField(protocol.lower(), "code", Value.constant(code_value)))
-    for code in sentence_codes:
-        if code.status == "non-actionable":
-            ops.append(Comment(text=code.sentence[:70]))
-            continue
-        if code.status != "ok":
-            continue
-        if not _goal_matches(code.goal_message, message_name):
-            continue
-        if code.role and code.role != role:
-            continue
-        ops.extend(code.ops)
-    # Finalization first (checksums move to the end), THEN advice placement,
-    # so zero-before-compute lands directly before the moved computation.
-    ops = finalize_checksums_last(ops)
-    ops = reorder_advice(ops)
-    ops = _dedupe_identical_setfields(ops)
-    return MessageProgram(
-        protocol=protocol, message_name=message_name, role=role, ops=ops
+    return build_function(
+        protocol=protocol,
+        message_name=message_name,
+        role=builder_role(message_name, sender_built),
+        sentence_codes=sentence_codes,
+        type_value=type_value,
+        code_value=code_value,
     )
-
-
-@dataclass
-class CodeUnit:
-    """Everything generated for one protocol: structs plus builders."""
-
-    protocol: str
-    struct_c: str = ""
-    programs: list[MessageProgram] = dataclass_field(default_factory=list)
-
-    def program_named(self, name: str) -> MessageProgram | None:
-        for program in self.programs:
-            if program.name == name:
-                return program
-        return None
-
-    def render_c(self) -> str:
-        parts = [self.struct_c] if self.struct_c else []
-        parts.extend(program.render_c() for program in self.programs)
-        return "\n\n".join(parts)
-
-    def render_python(self) -> str:
-        return "\n\n".join(program.render_python() for program in self.programs)

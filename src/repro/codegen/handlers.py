@@ -63,6 +63,13 @@ class HandlerResult:
     ops: list[Op] = dataclass_field(default_factory=list)
     goal_message: str = ""  # from @Goal: route ops to this message's builder
 
+    def symbols(self):
+        """The IR symbol table over this sentence's ops (fields, params,
+        state variables, procedures the generated snippet references)."""
+        from .ir import collect_symbols
+
+        return collect_symbols(self.ops)
+
 
 class HandlerRegistry:
     """Dispatch table from predicate (and @Action function) to handler."""

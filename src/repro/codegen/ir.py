@@ -1,0 +1,578 @@
+"""The typed codegen IR: programs, functions, passes, and backends (§5.2).
+
+Between the predicate handlers (logical forms → ops) and the rendered code
+sits a typed intermediate representation:
+
+* :class:`Program` — everything generated for one protocol: the struct
+  declaration plus one :class:`Function` per (message, role) builder, with a
+  collision guard on function names;
+* :class:`Function` — one builder: ops plus the routing metadata (protocol,
+  message, role) that names it, a derived :class:`SymbolTable`, and a
+  content fingerprint for compiled-program caching;
+* :class:`SentenceCode` — one sentence's ops plus the goal-message/role
+  routing that decides which builders receive them;
+* **passes** — the small optimizing/normalizing pipeline every function
+  runs through during assembly (:data:`DEFAULT_PASSES`): checksum
+  finalization, advice placement, and set-field dedupe — the paper's code
+  order discussion (§5.2) as explicit, testable objects;
+* :class:`Backend` — the pluggable rendering/execution interface.  The C
+  and Python emitters subclass it (``repro.codegen.emitters``), as does the
+  direct IR interpreter (``repro.codegen.interp``); :func:`register_backend`
+  / :func:`get_backend` make adding a fourth a self-contained module.
+
+Keeping the IR typed (dataclass ops, enumerated value/condition kinds) is
+what lets :func:`validate_function` reject malformed programs *before* a
+backend sees them, and what makes the interpreter backend possible at all —
+it executes the ops directly against an execution context, no ``exec()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field as dataclass_field
+
+from .ops import (
+    CallProcedure,
+    CeaseTransmission,
+    Comment,
+    ComputeChecksum,
+    Condition,
+    Conditional,
+    CopyData,
+    Discard,
+    Encapsulate,
+    Op,
+    PadData,
+    QuoteDatagram,
+    SelectSession,
+    Send,
+    SetField,
+    SetStateVar,
+    SwapFields,
+    Value,
+)
+
+#: Every op node type a well-formed function may contain.
+OP_TYPES: tuple[type, ...] = (
+    SetField, SwapFields, CopyData, QuoteDatagram, ComputeChecksum, PadData,
+    Conditional, SetStateVar, CallProcedure, Send, Encapsulate,
+    SelectSession, Discard, CeaseTransmission, Comment,
+)
+
+#: The value-expression kinds backends must understand.
+VALUE_KINDS = frozenset(
+    {"const", "param", "request_field", "clock", "statevar", "packet_field"}
+)
+
+#: The condition kinds backends must understand.
+CONDITION_KINDS = frozenset({
+    "field_equals", "field_odd", "field_ge", "statevar_equals", "mode_in",
+    "not_found", "packet_field_is", "packet_field_nonzero",
+})
+
+
+class IRError(Exception):
+    """Base class for IR-layer failures."""
+
+
+class IRValidationError(IRError):
+    """A function contains an op, value, or condition no backend knows."""
+
+
+class FunctionNameCollision(IRError):
+    """Two messages slug to the same builder name (they would silently
+    merge into one function; the spec author must rename one)."""
+
+    def __init__(self, name: str, existing_message: str, new_message: str):
+        self.name = name
+        self.existing_message = existing_message
+        self.new_message = new_message
+        super().__init__(
+            f"function name {name!r} generated for both message "
+            f"{existing_message!r} and message {new_message!r}; "
+            "rename one message (slugs collide)"
+        )
+
+
+def function_name(protocol: str, message_name: str, role: str) -> str:
+    """The unique builder name (paper: "based on the protocol, the message
+    type, and the role")."""
+    slug = re.sub(r"[^a-z0-9]+", "_", message_name.lower()).strip("_")
+    return f"{protocol.lower()}_{slug}_{role}"
+
+
+# -- routing metadata ----------------------------------------------------------
+
+@dataclass
+class SentenceCode:
+    """One sentence's generated ops plus routing metadata."""
+
+    sentence: str
+    ops: list[Op] = dataclass_field(default_factory=list)
+    goal_message: str = ""  # "" = applies to every message in its section
+    role: str = ""  # "" = applies to both roles
+    status: str = "ok"  # ok | non-actionable | ambiguous
+    reason: str = ""
+
+
+def goal_matches(goal_message: str, message_name: str) -> bool:
+    """"echo_reply_message" (an LF constant) matches "echo reply"."""
+    if not goal_message:
+        return True
+    normalized = goal_message.replace("_", " ").removesuffix(" message").strip()
+    return normalized == message_name
+
+
+# -- symbol tables -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SymbolTable:
+    """Everything a function references, by category.
+
+    Backends use this to know what a builder touches without walking ops
+    (the C backend could emit declarations from it; the harness uses it in
+    tests to assert generated BFD code only touches BFD state).
+    """
+
+    fields: frozenset[tuple[str, str]] = frozenset()  # (protocol, name)
+    params: frozenset[str] = frozenset()
+    state_vars: frozenset[str] = frozenset()
+    packet_fields: frozenset[str] = frozenset()
+    procedures: frozenset[str] = frozenset()
+    messages: frozenset[str] = frozenset()  # @Send targets
+
+
+def collect_symbols(ops: list[Op]) -> SymbolTable:
+    """Walk ``ops`` (recursing into conditionals) and build the table."""
+    fields: set[tuple[str, str]] = set()
+    params: set[str] = set()
+    state_vars: set[str] = set()
+    packet_fields: set[str] = set()
+    procedures: set[str] = set()
+    messages: set[str] = set()
+
+    def visit_value(value: Value) -> None:
+        if value.kind == "param":
+            params.add(value.name)
+        elif value.kind == "request_field":
+            fields.add((value.protocol, value.name))
+        elif value.kind == "statevar":
+            state_vars.add(value.name)
+        elif value.kind == "packet_field":
+            packet_fields.add(value.name)
+
+    def visit_condition(condition: Condition) -> None:
+        if condition.kind in ("field_equals", "field_odd"):
+            fields.add((condition.protocol, condition.name))
+        elif condition.kind == "statevar_equals":
+            state_vars.add(condition.name)
+        elif condition.kind in ("packet_field_is", "packet_field_nonzero"):
+            packet_fields.add(condition.name)
+
+    def visit(op: Op) -> None:
+        if isinstance(op, SetField):
+            fields.add((op.protocol, op.name))
+            visit_value(op.value)
+        elif isinstance(op, SwapFields):
+            fields.add((op.protocol_a, op.field_a))
+            fields.add((op.protocol_b, op.field_b))
+        elif isinstance(op, ComputeChecksum):
+            fields.add((op.protocol, op.name))
+        elif isinstance(op, SetStateVar):
+            state_vars.add(op.name)
+            visit_value(op.value)
+        elif isinstance(op, CallProcedure):
+            procedures.add(op.name)
+        elif isinstance(op, Send):
+            messages.add(op.message)
+        elif isinstance(op, SelectSession):
+            packet_fields.add(op.discriminator_field)
+        elif isinstance(op, Conditional):
+            visit_condition(op.condition)
+            for inner in op.body:
+                visit(inner)
+
+    for op in ops:
+        visit(op)
+    return SymbolTable(
+        fields=frozenset(fields), params=frozenset(params),
+        state_vars=frozenset(state_vars), packet_fields=frozenset(packet_fields),
+        procedures=frozenset(procedures), messages=frozenset(messages),
+    )
+
+
+# -- validation ----------------------------------------------------------------
+
+def validate_ops(ops: list[Op], where: str = "") -> None:
+    """Raise :class:`IRValidationError` on any node no backend understands."""
+    prefix = f"{where}: " if where else ""
+    for op in ops:
+        if not isinstance(op, OP_TYPES):
+            raise IRValidationError(f"{prefix}unknown op type {type(op).__name__}")
+        if op.advice_before is not None and not isinstance(op.advice_before, str):
+            raise IRValidationError(f"{prefix}advice tag must be a string")
+        if isinstance(op, SetField):
+            if not op.name:
+                raise IRValidationError(f"{prefix}SetField with an empty field name")
+            _validate_value(op.value, prefix)
+        elif isinstance(op, SetStateVar):
+            if not op.name:
+                raise IRValidationError(f"{prefix}SetStateVar with an empty name")
+            _validate_value(op.value, prefix)
+        elif isinstance(op, Conditional):
+            if op.condition.kind not in CONDITION_KINDS:
+                raise IRValidationError(
+                    f"{prefix}unknown condition kind {op.condition.kind!r}"
+                )
+            validate_ops(op.body, where)
+
+
+def _validate_value(value: Value, prefix: str) -> None:
+    if value.kind not in VALUE_KINDS:
+        raise IRValidationError(f"{prefix}unknown value kind {value.kind!r}")
+
+
+def validate_function(function: "Function") -> None:
+    """Structural validation of one builder before any backend runs."""
+    if not function.name:
+        raise IRValidationError("function has no name")
+    validate_ops(function.ops, function.name)
+
+
+# -- passes --------------------------------------------------------------------
+
+class IRPass:
+    """One rewrite over a function's op list (order-preserving unless the
+    pass's whole point is reordering)."""
+
+    name = ""
+
+    def run(self, ops: list[Op]) -> list[Op]:
+        raise NotImplementedError
+
+
+class ChecksumFinalizationPass(IRPass):
+    """Stable-sort checksum computations (and their advice) to the end.
+
+    The RFC lists the Checksum field before Identifier/Sequence/Data, but
+    the checksum covers them, so it must be computed after they are filled.
+    Duplicate computations of the same (protocol, field) collapse to one.
+    """
+
+    name = "finalize-checksums"
+
+    def run(self, ops: list[Op]) -> list[Op]:
+        checksum_keys: set[int] = set()
+        for index, op in enumerate(ops):
+            if isinstance(op, ComputeChecksum):
+                checksum_keys.add(index)
+        if not checksum_keys:
+            return list(ops)
+        head = [op for index, op in enumerate(ops) if index not in checksum_keys]
+        tail = [op for index, op in enumerate(ops) if index in checksum_keys]
+        deduped_tail: list[Op] = []
+        seen: set[tuple[str, str]] = set()
+        for op in tail:
+            key = (op.protocol, op.name)
+            if key in seen:
+                continue
+            seen.add(key)
+            deduped_tail.append(op)
+        return head + deduped_tail
+
+
+class AdvicePlacementPass(IRPass):
+    """Move advice ops immediately before their advised function's first op.
+
+    Currently the only advised function is the checksum computation
+    (@AdvBefore in the "For computing the checksum..." sentence); advice for
+    functions that never appear stays in place.
+    """
+
+    name = "place-advice"
+
+    def run(self, ops: list[Op]) -> list[Op]:
+        advice = [op for op in ops if op.advice_before]
+        if not advice:
+            return list(ops)
+        plain = [op for op in ops if not op.advice_before]
+        result: list[Op] = []
+        placed: set[int] = set()
+        for op in plain:
+            if isinstance(op, ComputeChecksum):
+                for index, advice_op in enumerate(advice):
+                    if index not in placed and advice_op.advice_before == "compute_checksum":
+                        result.append(advice_op)
+                        placed.add(index)
+            result.append(op)
+        for index, advice_op in enumerate(advice):
+            if index not in placed:
+                result.append(advice_op)
+        return result
+
+
+class SetFieldDedupePass(IRPass):
+    """Drop exact-duplicate constant field assignments (e.g. the structural
+    type value and a rewrite's explicit "type field is set to 0")."""
+
+    name = "dedupe-setfields"
+
+    def run(self, ops: list[Op]) -> list[Op]:
+        seen: set[tuple[str, str, int]] = set()
+        result: list[Op] = []
+        for op in ops:
+            if isinstance(op, SetField) and op.value.kind == "const":
+                key = (op.protocol, op.name, op.value.const)
+                if key in seen:
+                    continue
+                seen.add(key)
+            result.append(op)
+        return result
+
+
+#: The assembly pipeline: finalization first (checksums move to the end),
+#: THEN advice placement, so zero-before-compute lands directly before the
+#: moved computation; dedupe runs last over the settled order.
+DEFAULT_PASSES: tuple[IRPass, ...] = (
+    ChecksumFinalizationPass(),
+    AdvicePlacementPass(),
+    SetFieldDedupePass(),
+)
+
+
+def run_passes(ops: list[Op],
+               passes: tuple[IRPass, ...] = DEFAULT_PASSES) -> list[Op]:
+    for ir_pass in passes:
+        ops = ir_pass.run(ops)
+    return ops
+
+
+# -- functions and programs ----------------------------------------------------
+
+@dataclass
+class Function:
+    """One assembled builder: ops plus the metadata that names and routes it."""
+
+    protocol: str
+    message_name: str
+    role: str
+    ops: list[Op] = dataclass_field(default_factory=list)
+    name_override: str = ""  # set only when deduping a slug collision
+    _fingerprint: str | None = dataclass_field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def name(self) -> str:
+        return self.name_override or function_name(
+            self.protocol, self.message_name, self.role
+        )
+
+    def symbols(self) -> SymbolTable:
+        return collect_symbols(self.ops)
+
+    def fingerprint(self) -> str:
+        """Content SHA-1: the compiled-program cache key component.
+
+        Ops are dataclasses, so ``repr`` is a complete, deterministic
+        serialization of the tree (Value and Condition are frozen
+        dataclasses and render all fields).  The hash is computed once:
+        like every shared pipeline artifact, a function is treated as
+        frozen after assembly — call :meth:`invalidate_fingerprint` after
+        mutating ``ops``."""
+        if self._fingerprint is None:
+            digest = hashlib.sha1()
+            digest.update(
+                f"{self.name}|{self.protocol}|{self.message_name}|{self.role}".encode()
+            )
+            for op in self.ops:
+                digest.update(repr(op).encode())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def invalidate_fingerprint(self) -> None:
+        self._fingerprint = None
+
+    # -- convenience renderings (the historical MessageProgram surface) -------
+    def render_c(self) -> str:
+        return _backend("c")().emit_function(self)
+
+    def render_python(self) -> str:
+        return _backend("python")().emit_function(self)
+
+
+@dataclass
+class Program:
+    """Everything generated for one protocol: structs plus builders.
+
+    ``add`` is the collision-guarded way in; builders whose names collide
+    raise :class:`FunctionNameCollision` instead of silently merging.
+    """
+
+    protocol: str
+    struct_c: str = ""
+    programs: list[Function] = dataclass_field(default_factory=list)
+    _fingerprint: str | None = dataclass_field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def functions(self) -> list[Function]:
+        """The IR-layer name for the builder list."""
+        return self.programs
+
+    def add(self, function: Function) -> Function:
+        existing = self.program_named(function.name)
+        if existing is not None:
+            raise FunctionNameCollision(
+                function.name, existing.message_name, function.message_name
+            )
+        self.programs.append(function)
+        return function
+
+    def program_named(self, name: str) -> Function | None:
+        for program in self.programs:
+            if program.name == name:
+                return program
+        return None
+
+    def validate(self) -> None:
+        names: dict[str, str] = {}
+        for function in self.programs:
+            validate_function(function)
+            if function.name in names:
+                raise FunctionNameCollision(
+                    function.name, names[function.name], function.message_name
+                )
+            names[function.name] = function.message_name
+
+    def fingerprint(self) -> str:
+        """Content SHA-1 over the struct and every function (memoized; a
+        program is treated as frozen after assembly — call
+        :meth:`invalidate_fingerprint` after mutating it)."""
+        if self._fingerprint is None:
+            digest = hashlib.sha1()
+            digest.update(f"{self.protocol}|{self.struct_c}".encode())
+            for function in self.programs:
+                digest.update(function.fingerprint().encode())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def invalidate_fingerprint(self) -> None:
+        self._fingerprint = None
+        for function in self.programs:
+            function.invalidate_fingerprint()
+
+    def render_c(self) -> str:
+        return _backend("c")().emit_program(self)
+
+    def render_python(self) -> str:
+        return _backend("python")().emit_program(self)
+
+    def compile(self, backend: str = "python") -> dict[str, object]:
+        """Callable builders via an executable backend ("python" or "interp")."""
+        return _backend(backend)().compile_program(self)
+
+
+def build_function(
+    protocol: str,
+    message_name: str,
+    role: str,
+    sentence_codes: list[SentenceCode],
+    type_value: int | None = None,
+    code_value: int | None = None,
+    passes: tuple[IRPass, ...] = DEFAULT_PASSES,
+) -> Function:
+    """Assemble one message's builder from its sentences plus the structural
+    value bindings (the "0 = Echo Reply" idiom and bare field values), then
+    run the pass pipeline and validate the result."""
+    ops: list[Op] = []
+    if type_value is not None:
+        ops.append(SetField(protocol.lower(), "type", Value.constant(type_value)))
+    if code_value is not None:
+        ops.append(SetField(protocol.lower(), "code", Value.constant(code_value)))
+    for code in sentence_codes:
+        if code.status == "non-actionable":
+            ops.append(Comment(text=code.sentence[:70]))
+            continue
+        if code.status != "ok":
+            continue
+        if not goal_matches(code.goal_message, message_name):
+            continue
+        if code.role and code.role != role:
+            continue
+        ops.extend(code.ops)
+    function = Function(
+        protocol=protocol, message_name=message_name, role=role,
+        ops=run_passes(ops, passes),
+    )
+    validate_function(function)
+    return function
+
+
+# -- the backend registry ------------------------------------------------------
+
+class Backend:
+    """The pluggable rendering/execution interface over the IR.
+
+    Text backends (C, Python) implement ``emit_function``; executable
+    backends (Python, the interpreter) implement ``compile_program``.  See
+    DESIGN.md §6 for the contract and the how-to-add-a-backend walkthrough.
+    """
+
+    #: Registry key ("c", "python", "interp", ...).
+    name = ""
+    #: True when emit_function/emit_program produce source text.
+    emits_text = True
+    #: True when compile_program produces callable builders.
+    executable = False
+
+    def emit_function(self, function: Function) -> str:
+        raise NotImplementedError(f"backend {self.name!r} does not emit text")
+
+    def emit_program(self, program: Program) -> str:
+        return "\n\n".join(
+            self.emit_function(function) for function in program.programs
+        )
+
+    def compile_program(self, program: Program) -> dict[str, object]:
+        raise NotImplementedError(f"backend {self.name!r} is not executable")
+
+
+_BACKENDS: dict[str, type[Backend]] = {}
+
+
+def register_backend(backend_class: type[Backend]) -> type[Backend]:
+    """Register a backend class under its ``name`` (usable as a decorator)."""
+    if not backend_class.name:
+        raise ValueError("backend classes need a non-empty name")
+    _BACKENDS[backend_class.name] = backend_class
+    return backend_class
+
+
+def get_backend(name: str) -> type[Backend]:
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}: registered backends are "
+            f"{', '.join(sorted(_BACKENDS)) or '(none)'}"
+        ) from None
+
+
+def backend_names() -> list[str]:
+    return sorted(_BACKENDS)
+
+
+def _ensure_default_backends() -> None:
+    """Import the bundled backend modules so the registry is populated even
+    when ``repro.codegen.ir`` is imported directly (not via the package)."""
+    from . import emitters, interp  # noqa: F401  (import side effect)
+
+
+def _backend(name: str) -> type[Backend]:
+    """`get_backend` with the bundled backends lazily registered."""
+    if name not in _BACKENDS:
+        _ensure_default_backends()
+    return get_backend(name)

@@ -29,9 +29,8 @@ from ..ccg.chart import CCGChartParser, ParseResult
 from ..ccg.lexicon import Lexicon
 from ..ccg.semantics import Sem, iter_calls
 from ..codegen.context import AmbiguousReference, ContextResolver, UnknownReference
-from ..codegen.generator import CodeUnit, SentenceCode, assemble_message_program
+from ..codegen.generator import CodeUnit, SentenceCode
 from ..codegen.handlers import NonActionable
-from ..codegen.ops import SetField, Value
 from ..disambiguation.checks import CheckSuite
 from ..disambiguation.winnow import WinnowTrace
 from ..nlp.chunker import NounPhraseChunker
@@ -312,11 +311,11 @@ class SageEngine:
         runs: dict[str, SageRun] = {}
         for name in names:
             corpus = corpora[name]
-            if chunk_results is not None:
-                results = chunk_results[name]
-            else:
-                results = [self.process_sentence(spec)
-                           for spec in corpus.sentences]
+            if chunk_results is None:
+                # The documented contract: identical to per-protocol runs.
+                runs[name] = self.process_corpus(corpus)
+                continue
+            results = chunk_results[name]
             runs[name] = SageRun(
                 corpus=corpus, results=results,
                 code_unit=self._assemble(corpus, results),
@@ -373,38 +372,19 @@ class SageEngine:
         return by_name
 
     def _assemble(self, corpus: Corpus, results: list[SentenceResult]) -> CodeUnit:
+        """IR assembly (the generate stage emits a typed Program), with the
+        sender-built role metadata resolved from the protocol registry."""
         by_section: dict[str, list[SentenceCode]] = {}
         for result in results:
             by_section.setdefault(result.spec.message, []).extend(result.codes)
-        unit = CodeUnit(protocol=corpus.protocol)
-        struct_parts = []
-        for section in corpus.document.message_sections:
-            if section.diagram is not None:
-                struct_parts.append(section.diagram.layout.to_c_struct())
-            type_values = section.type_values()
-            code_field = section.field_named("code")
-            code_value = code_field.fixed_value if code_field else None
-            code_is_enumerated = bool(
-                code_field and len(code_field.values) > 1
-            )
-            for message_name in section.message_names:
-                program = assemble_message_program(
-                    protocol=corpus.protocol,
-                    message_name=message_name,
-                    sentence_codes=by_section.get(section.title, []),
-                    type_value=type_values.get(message_name),
-                    code_value=code_value,
-                )
-                if code_is_enumerated:
-                    # "0 = net unreachable; 1 = ..." — the scenario picks
-                    # which enumerated code applies at run time.
-                    program.ops.insert(
-                        1, SetField(corpus.protocol.lower(), "code",
-                                    Value.param("code"))
-                    )
-                unit.programs.append(program)
-        unit.struct_c = "\n\n".join(dict.fromkeys(struct_parts))
-        return unit
+        try:
+            sender_built = self.protocol_registry.sender_built(corpus.protocol)
+        except KeyError:
+            # Ad-hoc corpora processed without a registration fall back to
+            # the generator's bundled-ICMP default.
+            sender_built = None
+        return self.generate_stage.assemble(corpus, by_section,
+                                            sender_built=sender_built)
 
 
 # -- process-pool plumbing -----------------------------------------------------
@@ -427,9 +407,11 @@ def _init_worker() -> None:
     # registry lock; the child would inherit it permanently held.  Workers
     # are single-threaded, so fresh locks are safe and unblock them.
     if _WORKER_ENGINE is not None:
-        _WORKER_ENGINE.protocol_registry._lock = threading.RLock()
+        _WORKER_ENGINE.protocol_registry.reset_locks_after_fork()
     cache = _WORKER_ENGINE.parse_stage.cache if _WORKER_ENGINE else None
     if cache is not None:
+        # The stage's cache is usually the registry's (already reset), but
+        # an explicitly passed cache needs its own fresh lock.
         cache._lock = threading.Lock()
     _WORKER_SEEN_KEYS = set(cache.items()) if cache is not None else set()
 

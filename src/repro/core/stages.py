@@ -11,8 +11,10 @@ SageEngine` that composes them:
   engines and modes never crosses grammars);
 * :class:`WinnowStage` — apply the §4.2 check suite to the parsed logical
   forms, producing a :class:`~repro.disambiguation.winnow.WinnowTrace`;
-* :class:`GenerateStage` — resolve the sentence context (Table 4) and route
-  the surviving logical form through the handler registry.
+* :class:`GenerateStage` — resolve the sentence context (Table 4), route
+  the surviving logical form through the handler registry, and assemble the
+  per-sentence ops into the typed codegen IR (a
+  :class:`~repro.codegen.ir.Program` of per-message builder functions).
 
 Stage objects are stateless apart from their substrate (parser, suite,
 handlers): calling ``run`` twice with the same input yields the same output,
@@ -33,7 +35,10 @@ from ..codegen.context import (
     SentenceContext,
     UnknownReference,
 )
+from ..codegen.generator import assemble_message_program
 from ..codegen.handlers import HandlerRegistry, HandlerResult, NonActionable
+from ..codegen.ir import Program, SentenceCode
+from ..codegen.ops import SetField, Value
 from ..disambiguation.checks import CheckSuite
 from ..disambiguation.winnow import WinnowTrace, winnow
 from ..nlp.chunker import NounPhraseChunker
@@ -236,3 +241,47 @@ class GenerateStage:
             except AmbiguousReference:
                 return False
         return True
+
+    def assemble(self, corpus, codes_by_section: dict[str, list[SentenceCode]],
+                 sender_built: frozenset[str] | None = None) -> Program:
+        """Assemble sentence ops into the typed IR: one
+        :class:`~repro.codegen.ir.Function` per (message, role), with the
+        struct declarations from the header diagrams.
+
+        ``codes_by_section`` maps a section title to the
+        :class:`~repro.codegen.ir.SentenceCode` records its sentences
+        produced; ``sender_built`` is the registry's role metadata for the
+        protocol.  Colliding builder names raise
+        :class:`~repro.codegen.ir.FunctionNameCollision` (two messages must
+        never silently merge into one function).
+        """
+        program = Program(protocol=corpus.protocol)
+        struct_parts = []
+        for section in corpus.document.message_sections:
+            if section.diagram is not None:
+                struct_parts.append(section.diagram.layout.to_c_struct())
+            type_values = section.type_values()
+            code_field = section.field_named("code")
+            code_value = code_field.fixed_value if code_field else None
+            code_is_enumerated = bool(
+                code_field and len(code_field.values) > 1
+            )
+            for message_name in section.message_names:
+                function = assemble_message_program(
+                    protocol=corpus.protocol,
+                    message_name=message_name,
+                    sentence_codes=codes_by_section.get(section.title, []),
+                    type_value=type_values.get(message_name),
+                    code_value=code_value,
+                    sender_built=sender_built,
+                )
+                if code_is_enumerated:
+                    # "0 = net unreachable; 1 = ..." — the scenario picks
+                    # which enumerated code applies at run time.
+                    function.ops.insert(
+                        1, SetField(corpus.protocol.lower(), "code",
+                                    Value.param("code"))
+                    )
+                program.add(function)
+        program.struct_c = "\n\n".join(dict.fromkeys(struct_parts))
+        return program

@@ -8,6 +8,14 @@ BFD sessions, and NTP peers cover the generality experiments (§6.3-6.4).
 
 from .bfd_session import BFDSession, run_handshake
 from .core import Link, Network, Node, Transmission
+from .generated import (
+    GeneratedBFDSession,
+    IGMPQueryScenario,
+    generated_bfd_handshake,
+    generated_course_topology,
+    generated_ntp_peer,
+    igmp_query_scenario,
+)
 from .host import Host
 from .icmp_impl import ICMPImplementation, ReferenceICMP
 from .igmp_switch import IGMPSwitch
@@ -21,8 +29,10 @@ from .traceroute import Traceroute, TracerouteResult, traceroute
 __all__ = [
     "BFDSession",
     "CourseTopology",
+    "GeneratedBFDSession",
     "Host",
     "ICMPImplementation",
+    "IGMPQueryScenario",
     "IGMPSwitch",
     "Link",
     "NTPPeer",
@@ -40,6 +50,10 @@ __all__ = [
     "add_redirect_route",
     "course_topology",
     "fill_buffer",
+    "generated_bfd_handshake",
+    "generated_course_topology",
+    "generated_ntp_peer",
+    "igmp_query_scenario",
     "ping",
     "reference_timeout_predicate",
     "run_handshake",

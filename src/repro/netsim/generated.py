@@ -1,0 +1,168 @@
+"""Scenario wiring for SAGE-generated implementations (§6.2–§6.4).
+
+Every bundled protocol gets a one-call way to run *generated* code inside a
+simulator scenario, mirroring how the reference implementations mount:
+
+* :func:`generated_course_topology` — the Appendix A course topology with a
+  :class:`~repro.runtime.harness.GeneratedICMP` router (ping/traceroute
+  interop, §6.2);
+* :func:`igmp_query_scenario` — a host wired to the commodity-switch model,
+  transmitting the *generated* membership query (§6.3);
+* :func:`generated_ntp_peer` — an :class:`NTPPeer` whose timeout policy is
+  the generated Table 11 dispatch (§6.3);
+* :class:`GeneratedBFDSession` / :func:`generated_bfd_handshake` — a BFD
+  session whose receive path is the generated §6.8.6 reception code, ready
+  for :func:`~repro.netsim.bfd_session.run_handshake` against a reference
+  peer (§6.4).
+
+The runtime adapters are imported lazily inside each function:
+``repro.runtime.harness`` itself imports ``repro.netsim.icmp_impl``, so a
+module-level import here would make the package import order matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from ..framework.bfd import BFDControlHeader
+from ..framework.igmp import IGMPHeader
+from ..framework.ip import PROTO_IGMP, IPv4Header
+from .bfd_session import BFDSession
+from .core import Network
+from .host import Host
+from .igmp_switch import IGMPSwitch
+from .ntp_peer import NTPPeer
+from .topologies import CourseTopology, course_topology
+
+
+# -- ICMP (§6.2) ---------------------------------------------------------------
+
+def generated_course_topology(unit, backend: str = "python",
+                              **topology_kwargs) -> CourseTopology:
+    """The course topology with generated ICMP code on the router.
+
+    ``unit`` is an IR :class:`~repro.codegen.ir.Program` (a run's
+    ``code_unit``); ``backend`` selects the executable backend ("python"
+    or "interp").  Compilation goes through the shared compiled-program
+    cache, so building the same topology twice compiles nothing.
+    """
+    from ..runtime.harness import GeneratedICMP  # lazy: see module docstring
+
+    implementation = GeneratedICMP.from_unit(unit, backend=backend)
+    return course_topology(implementation=implementation, **topology_kwargs)
+
+
+# -- IGMP (§6.3) ---------------------------------------------------------------
+
+@dataclass
+class IGMPQueryScenario:
+    """A querier host wired to the commodity-switch model."""
+
+    network: Network
+    sender: Host
+    switch: IGMPSwitch
+    implementation: object  # GeneratedIGMP
+
+    def run_query(self) -> list[IGMPHeader]:
+        """Transmit the generated query; return the reports it elicited."""
+        query = self.implementation.query_datagram(
+            self.sender.interface("eth0").address
+        )
+        if query is None:
+            return []
+        already_sent = len(self.switch.sent_capture)
+        self.sender.send(query)
+        self.network.run()
+        return [
+            IGMPHeader.unpack(IPv4Header.unpack(raw).data)
+            for raw in self.switch.sent_capture[already_sent:]
+        ]
+
+
+def igmp_query_scenario(unit, backend: str = "python",
+                        memberships: list[tuple[int, int]] = (),
+                        ) -> IGMPQueryScenario:
+    """The §6.3 experiment: generated query code against the switch model.
+
+    ``memberships`` is a list of (member address, group) pairs joined on
+    the switch before any query runs.
+    """
+    from ..runtime.harness import GeneratedIGMP  # lazy: see module docstring
+
+    network = Network()
+    sender = Host("querier")
+    sender.add_interface("eth0", "10.0.5.2/24")
+    switch = IGMPSwitch("switch")
+    switch.add_interface("eth0", "10.0.5.1/24")
+    network.add_node(sender)
+    network.add_node(switch)
+    network.connect("querier", "eth0", "switch", "eth0")
+    for member, group in memberships:
+        switch.join(member, group)
+    implementation = GeneratedIGMP.from_unit(unit, backend=backend)
+    return IGMPQueryScenario(network=network, sender=sender, switch=switch,
+                             implementation=implementation)
+
+
+# -- NTP (§6.3) ----------------------------------------------------------------
+
+def generated_ntp_peer(unit, local_address: int, remote_address: int,
+                       backend: str = "python", **peer_kwargs) -> NTPPeer:
+    """An NTP peer whose timeout policy is the generated Table 11 dispatch."""
+    from ..runtime.state_runtime import GeneratedNTP  # lazy: see module docstring
+
+    implementation = GeneratedNTP.from_unit(unit, backend=backend)
+    return NTPPeer(
+        local_address=local_address, remote_address=remote_address,
+        timeout_predicate=implementation.timeout_predicate, **peer_kwargs,
+    )
+
+
+# -- BFD (§6.4) ----------------------------------------------------------------
+
+class GeneratedBFDSession(BFDSession):
+    """A BFD session whose receive path is the generated reception code.
+
+    Drop-in for the reference :class:`BFDSession` in any scenario
+    (handshakes, teardown, demand mode): ``send_control`` is inherited
+    framework behaviour, ``receive_control`` runs the generated §6.8.6
+    code against this session's state variables.
+    """
+
+    def __init__(self, implementation, session_exists: bool = True) -> None:
+        super().__init__()
+        self.implementation = implementation
+        self.session_exists = session_exists
+
+    @classmethod
+    def from_unit(cls, unit, backend: str = "python",
+                  session_exists: bool = True) -> "GeneratedBFDSession":
+        from ..runtime.state_runtime import GeneratedBFD  # lazy: see module docstring
+
+        return cls(GeneratedBFD.from_unit(unit, backend=backend),
+                   session_exists=session_exists)
+
+    def receive_control(self, packet: BFDControlHeader) -> None:
+        context = self.implementation.receive_control(
+            self.state, packet, session_exists=self.session_exists
+        )
+        if context.discarded_reason is not None:
+            # The reference session returns early on discard, leaving the
+            # transmission policy untouched — a discarded packet must not
+            # re-enable periodic transmission ceased by demand mode.
+            self.discarded.append(context.discarded_reason)
+            return
+        self.periodic_transmission_enabled = not context.transmission_ceased
+
+
+def generated_bfd_handshake(unit, backend: str = "python",
+                            rounds: int = 3) -> tuple[GeneratedBFDSession, BFDSession]:
+    """A generated-side session brought up against a reference peer."""
+    from .bfd_session import run_handshake
+
+    generated = GeneratedBFDSession.from_unit(unit, backend=backend)
+    generated.state.LocalDiscr = 1
+    reference = BFDSession()
+    reference.state.LocalDiscr = 2
+    run_handshake(generated, reference, rounds=rounds)
+    return generated, reference

@@ -40,12 +40,17 @@ from .corpus import Corpus, Rewrite, corpus_from_text, sentence_key
 
 DEFAULT_PACKAGE = "repro.data"
 
-#: The corpora bundled with the reproduction (name, data file, description).
-BUNDLED_PROTOCOLS: tuple[tuple[str, str, str], ...] = (
-    ("ICMP", "rfc792_icmp.txt", "RFC 792: all eight ICMP message types"),
-    ("IGMP", "rfc1112_igmp.txt", "RFC 1112 Appendix I: IGMP v1 packet header"),
-    ("NTP", "rfc1059_ntp.txt", "RFC 1059: NTP data format and timeout dispatch"),
-    ("BFD", "rfc5880_bfd.txt", "RFC 5880: control packet and reception rules"),
+#: The corpora bundled with the reproduction
+#: (name, data file, description, sender-built message names).
+BUNDLED_PROTOCOLS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
+    ("ICMP", "rfc792_icmp.txt", "RFC 792: all eight ICMP message types",
+     ("echo", "timestamp", "information request")),
+    ("IGMP", "rfc1112_igmp.txt", "RFC 1112 Appendix I: IGMP v1 packet header",
+     ()),
+    ("NTP", "rfc1059_ntp.txt", "RFC 1059: NTP data format and timeout dispatch",
+     ()),
+    ("BFD", "rfc5880_bfd.txt", "RFC 5880: control packet and reception rules",
+     ()),
 )
 
 
@@ -79,6 +84,10 @@ class ProtocolSpec:
     path: str = ""
     text: str = ""
     description: str = ""
+    #: Messages the probing sender constructs; everything else is built by
+    #: the responding node.  Consumed by the generator's role policy
+    #: (``builder_role``) via :meth:`ProtocolRegistry.sender_built`.
+    sender_built: tuple[str, ...] = ()
 
     def read_text(self) -> str:
         if self.text:
@@ -152,6 +161,21 @@ class ParseCache:
             self.misses = 0
 
 
+class CompiledProgramCache(ParseCache):
+    """A content-addressed store for compiled generated programs.
+
+    Keys are built by the runtime harness as ``(backend_name, sha1)`` where
+    the SHA-1 covers the Python source (exec backend) or the IR fingerprint
+    (interpreter backend), so identical generated code compiles exactly
+    once per process no matter how many engines or scenarios request it.
+    Values are function dictionaries (name → callable); they are shared
+    objects and must be treated as read-only.  Unlike parse-cache entries,
+    compiled functions are not picklable — forked sweep workers inherit the
+    warm cache by memory copy, but entries compiled inside a worker are not
+    merged back.
+    """
+
+
 class ProtocolRegistry:
     """Protocol registration plus memoized corpus/dictionary/lexicon access."""
 
@@ -167,19 +191,22 @@ class ProtocolRegistry:
         self._rewrites: list[Rewrite] | None = None
         self._rewrites_by_original: dict[str, Rewrite] | None = None
         self._parse_cache: ParseCache | None = None
+        self._compiled_cache: CompiledProgramCache | None = None
         self._lock = threading.RLock()
         if bundled:
-            for name, source, description in BUNDLED_PROTOCOLS:
+            for name, source, description, sender_built in BUNDLED_PROTOCOLS:
                 # Bundled corpora always live in repro.data, independent of
                 # the package a custom registry defaults new registrations to.
                 self.register_protocol(
-                    name, source, package=DEFAULT_PACKAGE, description=description
+                    name, source, package=DEFAULT_PACKAGE,
+                    description=description, sender_built=sender_built,
                 )
 
     # -- registration ---------------------------------------------------------
     def register_protocol(self, name: str, source: str = "", *,
                           package: str | None = None, path: str = "",
                           text: str = "", description: str = "",
+                          sender_built: tuple[str, ...] = (),
                           replace: bool = False) -> ProtocolSpec:
         """Declare a protocol; adding a new workload is this one call.
 
@@ -199,6 +226,7 @@ class ProtocolRegistry:
             spec = ProtocolSpec(
                 name=key, source=source, package=package or self.package,
                 path=path, text=text, description=description,
+                sender_built=tuple(sender_built),
             )
             self._specs[key] = spec
             self._corpora.pop(key, None)
@@ -212,6 +240,16 @@ class ProtocolRegistry:
 
     def protocols(self) -> list[str]:
         return list(self._specs)
+
+    def sender_built(self, name: str) -> frozenset[str]:
+        """The messages of ``name`` the probing sender constructs.
+
+        Everything not in the set is built by the responding node.  This is
+        registry metadata (one line per protocol at registration) rather
+        than code: the generator's role policy consults it instead of
+        hardcoding the ICMP message names.
+        """
+        return frozenset(self.spec(name).sender_built)
 
     def spec(self, name: str) -> ProtocolSpec:
         key = name.upper()
@@ -287,6 +325,18 @@ class ProtocolRegistry:
                 self._parse_cache = ParseCache()
             return self._parse_cache
 
+    def compiled_cache(self) -> CompiledProgramCache:
+        """The shared compiled-program cache (see :class:`CompiledProgramCache`).
+
+        Living here rather than on the harness means every consumer of
+        generated code built over this registry — scenario adapters,
+        benchmarks, repeated engine runs — compiles each distinct program
+        once; repeats are a dictionary hit on the content hash."""
+        with self._lock:
+            if self._compiled_cache is None:
+                self._compiled_cache = CompiledProgramCache()
+            return self._compiled_cache
+
     # -- rewrites --------------------------------------------------------------
     REWRITES_FILENAME = "rewrites.json"
 
@@ -338,10 +388,26 @@ class ProtocolRegistry:
             self._rewrites_by_original = None
             if self._parse_cache is not None:
                 self._parse_cache.clear()
+            if self._compiled_cache is not None:
+                self._compiled_cache.clear()
 
     def clear(self) -> None:
         """Alias for full invalidation."""
         self.invalidate()
+
+    def reset_locks_after_fork(self) -> None:
+        """Replace this registry's locks (and its caches') with fresh ones.
+
+        Fork can land while another thread of the parent holds a lock; the
+        child inherits it permanently held.  Single-threaded fork workers
+        call this once at startup.  Living here keeps the reset in sync
+        with every lock the registry owns.
+        """
+        self._lock = threading.RLock()
+        if self._parse_cache is not None:
+            self._parse_cache._lock = threading.Lock()
+        if self._compiled_cache is not None:
+            self._compiled_cache._lock = threading.Lock()
 
 
 # -- the default registry ------------------------------------------------------

@@ -1,9 +1,19 @@
 """Runtime for SAGE-generated code: compilation, execution, integration."""
 
-from .harness import ExecutionContext, GeneratedICMP, load_functions
+from .harness import (
+    ExecutionContext,
+    GeneratedICMP,
+    GeneratedIGMP,
+    GeneratedImplementation,
+    IGMPExecutionContext,
+    compile_unit,
+    generated_implementation,
+    load_functions,
+)
 from .state_runtime import (
     BFDExecutionContext,
     GeneratedBFD,
+    GeneratedNTP,
     GeneratedNTPTimeout,
     NTPExecutionContext,
     StateValue,
@@ -14,8 +24,14 @@ __all__ = [
     "ExecutionContext",
     "GeneratedBFD",
     "GeneratedICMP",
+    "GeneratedIGMP",
+    "GeneratedImplementation",
+    "GeneratedNTP",
     "GeneratedNTPTimeout",
+    "IGMPExecutionContext",
     "NTPExecutionContext",
     "StateValue",
+    "compile_unit",
+    "generated_implementation",
     "load_functions",
 ]

@@ -1,33 +1,92 @@
 """Execution of SAGE-generated code against the static framework.
 
-The Python emitter renders builder functions over a ``ctx`` object; this
-module provides that object (:class:`ExecutionContext`), compiles generated
-source (:func:`load_functions`), and adapts the result to the simulator's
-:class:`~repro.netsim.icmp_impl.ICMPImplementation` interface
-(:class:`GeneratedICMP`) so generated code can replace the reference
-implementation in any scenario — the paper's §6.2 integration.
+The executable backends produce builder functions over a ``ctx`` object;
+this module provides those objects (:class:`ExecutionContext` for ICMP,
+:class:`IGMPExecutionContext` for IGMP — the state-runtime contexts live in
+:mod:`repro.runtime.state_runtime`), compiles generated programs through
+the shared compiled-program cache (:func:`load_functions`,
+:func:`compile_unit`), and adapts the results to the simulator's
+interfaces through the protocol-generic :class:`GeneratedImplementation`
+family — the paper's §6.2 integration, generalized to every bundled
+protocol (§6.3–§6.4):
+
+* :class:`GeneratedICMP` — the `ICMPImplementation` boundary for
+  routers/hosts (ping, traceroute, the Appendix A scenarios);
+* :class:`GeneratedIGMP` — query/report construction for the
+  commodity-switch experiment;
+* :class:`~repro.runtime.state_runtime.GeneratedNTP` /
+  :class:`~repro.runtime.state_runtime.GeneratedBFD` — the state-machine
+  adapters (Table 11 dispatch, §6.8.6 reception).
+
+Every adapter compiles through :func:`compile_unit`: programs are keyed on
+their content SHA-1 (source hash for the exec backend, IR fingerprint for
+the interpreter) in the registry's :class:`~repro.rfc.registry.
+CompiledProgramCache`, so a repeated scenario pays a dictionary hit, not a
+recompile.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field as dataclass_field
 
+from ..codegen.emitters import PyEmitter
 from ..framework import icmp
 from ..framework.checksum import internet_checksum
-from ..framework.ip import PROTO_ICMP, IPv4Header, make_ip_packet
+from ..framework.igmp import ALL_HOSTS_GROUP, IGMPHeader
+from ..framework.ip import PROTO_ICMP, PROTO_IGMP, IPv4Header, make_ip_packet
 from ..framework.netdev import Clock
 from ..netsim.icmp_impl import ICMPImplementation
 
 
-def load_functions(python_source: str) -> dict[str, object]:
-    """Compile generated Python source; returns the defined functions."""
-    namespace: dict[str, object] = {}
-    exec(compile(python_source, "<sage-generated>", "exec"), namespace)
-    return {
-        name: value
-        for name, value in namespace.items()
-        if callable(value) and not name.startswith("__")
-    }
+def _resolve_cache(cache):
+    """``True`` → the default registry's shared compiled-program cache."""
+    if cache is True:
+        from ..rfc.registry import default_registry
+
+        return default_registry().compiled_cache()
+    if cache is False:
+        return None
+    return cache
+
+
+def load_functions(python_source: str, cache=None) -> dict[str, object]:
+    """Compile generated Python source; returns the defined functions.
+
+    With a ``cache`` (a :class:`~repro.rfc.registry.CompiledProgramCache`,
+    or ``True`` for the default registry's), identical source compiles once
+    per process — the key is the source SHA-1.
+    """
+    cache = _resolve_cache(cache)
+    key = ("python-source", hashlib.sha1(python_source.encode()).hexdigest())
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    functions = PyEmitter.compile_source(python_source)
+    if cache is not None:
+        cache.put(key, functions)
+    return functions
+
+
+def compile_unit(unit, backend: str = "python", cache=None) -> dict[str, object]:
+    """Compile an IR :class:`~repro.codegen.ir.Program` to callables.
+
+    ``backend`` names any registered executable backend ("python" execs the
+    rendering; "interp" walks the IR directly).  The cache key is
+    ``(backend, IR fingerprint)``, so the same program compiled under two
+    backends caches independently while a repeat under either is free.
+    """
+    cache = _resolve_cache(cache)
+    key = (backend, unit.fingerprint())
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    functions = unit.compile(backend=backend)
+    if cache is not None:
+        cache.put(key, functions)
+    return functions
 
 
 @dataclass
@@ -187,13 +246,19 @@ class ExecutionContext:
         return packet.pack()
 
 
-class GeneratedICMP(ICMPImplementation):
-    """Adapter: generated builder functions behind the simulator interface.
+class GeneratedImplementation:
+    """Base of the adapter family: generated builders behind a simulator
+    interface.
 
-    Incoming-request validation (checksum verification, type dispatch) is
-    kernel behaviour provided by the framework, mirroring the paper's static
-    framework; the *construction* of every reply is the generated code.
+    Construction is uniform across protocols: a dictionary of compiled
+    builder functions (from any executable backend) plus the scenario
+    substrate (clock, parameters).  Subclasses add the protocol-specific
+    surface the simulator calls (`ICMPImplementation` methods, IGMP message
+    construction, the BFD receive path, the NTP timeout predicate).
     """
+
+    #: The registered protocol this adapter serves (informational).
+    protocol = ""
 
     def __init__(self, functions: dict[str, object], clock: Clock | None = None,
                  params: dict[str, int] | None = None) -> None:
@@ -203,13 +268,45 @@ class GeneratedICMP(ICMPImplementation):
 
     @classmethod
     def from_source(cls, python_source: str, clock: Clock | None = None,
-                    params: dict[str, int] | None = None) -> "GeneratedICMP":
-        return cls(load_functions(python_source), clock=clock, params=params)
+                    params: dict[str, int] | None = None, cache=True,
+                    **kwargs):
+        """Build from rendered Python source (exec backend, cached)."""
+        return cls(load_functions(python_source, cache=cache),
+                   clock=clock, params=params, **kwargs)
+
+    @classmethod
+    def from_unit(cls, unit, backend: str = "python",
+                  clock: Clock | None = None,
+                  params: dict[str, int] | None = None, cache=True,
+                  **kwargs):
+        """Build from an IR Program via any executable backend, cached."""
+        return cls(compile_unit(unit, backend=backend, cache=cache),
+                   clock=clock, params=params, **kwargs)
+
+    @classmethod
+    def from_run(cls, run, **kwargs):
+        """Build from a :class:`~repro.core.engine.SageRun`."""
+        return cls.from_unit(run.code_unit, **kwargs)
+
+    def builder(self, name: str):
+        """The compiled builder function called ``name``, or None."""
+        return self.functions.get(name)
+
+
+class GeneratedICMP(GeneratedImplementation, ICMPImplementation):
+    """Adapter: generated builder functions behind the simulator interface.
+
+    Incoming-request validation (checksum verification, type dispatch) is
+    kernel behaviour provided by the framework, mirroring the paper's static
+    framework; the *construction* of every reply is the generated code.
+    """
+
+    protocol = "ICMP"
 
     # -- plumbing ------------------------------------------------------------
     def _run(self, function_name: str, request: IPv4Header,
              responder_address: int, **params: int) -> bytes | None:
-        function = self.functions.get(function_name)
+        function = self.builder(function_name)
         if function is None:
             return None
         merged = dict(self.params)
@@ -279,3 +376,139 @@ class GeneratedICMP(ICMPImplementation):
         if not self._validated(request, icmp.INFO_REQUEST):
             return None
         return self._run("icmp_information_reply_receiver", request, responder_address)
+
+
+@dataclass
+class IGMPExecutionContext:
+    """The ``ctx`` object generated IGMP builders operate on (§6.3).
+
+    IGMP builders only construct messages (there is no request being
+    replied to), so the context is a field accumulator plus the @Send
+    routing record — the adapter reads ``sends`` to learn where the
+    generated code wants the message addressed ("queries are sent to the
+    all-hosts group").
+    """
+
+    params: dict[str, int] = dataclass_field(default_factory=dict)
+    fields: dict[str, int] = dataclass_field(default_factory=dict)
+    sends: list[tuple[str, str]] = dataclass_field(default_factory=list)
+    checksum_requested: bool = False
+    discarded_reason: str | None = None
+
+    # -- ops API ---------------------------------------------------------------
+    def set_field(self, protocol: str, name: str, value: int) -> None:
+        self.fields[name] = value
+
+    def get_field(self, protocol: str, name: str) -> int:
+        return self.fields.get(name, 0)
+
+    def param(self, name: str) -> int:
+        return self.params.get(name, 0)
+
+    def send(self, message: str, destination: str = "") -> None:
+        self.sends.append((message, destination))
+
+    def compute_checksum(self, protocol: str, name: str, start: str = "type") -> None:
+        self.checksum_requested = True
+
+    def pad_for_checksum(self) -> None:
+        """Odd-length coverage is padded inside the checksum routine."""
+
+    def discard(self, reason: str = "") -> None:
+        self.discarded_reason = reason or "discarded"
+
+    # -- finalization ----------------------------------------------------------
+    def build_igmp(self) -> IGMPHeader:
+        """The assembled message; the checksum is finalized by the framework
+        codec (the kernel-egress rule, as with the IP checksum for ICMP)."""
+        return IGMPHeader(
+            version=self.fields.get("version", 1),
+            type=self.fields.get("type", 0),
+            unused=self.fields.get("unused", 0),
+            group_address=self.fields.get("group_address", 0),
+        ).finalize()
+
+    def sent_to_all_hosts(self) -> bool:
+        """Did the generated code route a send to the all-hosts group?"""
+        return any(destination == "all_hosts_group"
+                   for _message, destination in self.sends)
+
+
+class GeneratedIGMP(GeneratedImplementation):
+    """Adapter: generated IGMP builders construct query/report datagrams.
+
+    The §6.3 experiment: "our generated code sends a host membership query
+    to a commodity switch".  ``query_datagram`` runs the generated query
+    builder and wraps the result in IP addressed per the builder's own
+    @Send routing (the all-hosts group), TTL 1 as RFC 1112 requires.
+    """
+
+    protocol = "IGMP"
+    QUERY_BUILDER = "igmp_host_membership_query_receiver"
+    REPORT_BUILDER = "igmp_host_membership_report_receiver"
+
+    def _build(self, function_name: str,
+               **params: int) -> IGMPExecutionContext | None:
+        function = self.builder(function_name)
+        if function is None:
+            return None
+        merged = dict(self.params)
+        merged.update(params)
+        context = IGMPExecutionContext(params=merged)
+        result = function(context)
+        return result if result is not None else context
+
+    def membership_query(self) -> IGMPHeader | None:
+        context = self._build(self.QUERY_BUILDER, group_address=0)
+        return context.build_igmp() if context is not None else None
+
+    def membership_report(self, group_address: int) -> IGMPHeader | None:
+        context = self._build(self.REPORT_BUILDER, group_address=group_address)
+        return context.build_igmp() if context is not None else None
+
+    def query_datagram(self, source_address: int,
+                       destination: int | None = None) -> bytes | None:
+        """A complete IP datagram carrying the generated query."""
+        context = self._build(self.QUERY_BUILDER, group_address=0)
+        if context is None:
+            return None
+        if destination is None:
+            # The generated @Send op names the destination group.
+            destination = ALL_HOSTS_GROUP if context.sent_to_all_hosts() else 0
+        return make_ip_packet(
+            src=source_address, dst=destination, protocol=PROTO_IGMP,
+            data=context.build_igmp().pack(), ttl=1,
+        ).pack()
+
+    def report_datagram(self, source_address: int, group_address: int) -> bytes | None:
+        """A complete IP datagram carrying a generated report (reports are
+        addressed to the group being reported, TTL 1)."""
+        context = self._build(self.REPORT_BUILDER, group_address=group_address)
+        if context is None:
+            return None
+        return make_ip_packet(
+            src=source_address, dst=group_address, protocol=PROTO_IGMP,
+            data=context.build_igmp().pack(), ttl=1,
+        ).pack()
+
+
+def generated_implementation(protocol: str, unit, backend: str = "python",
+                             **kwargs) -> GeneratedImplementation:
+    """The family factory: the right adapter for ``protocol``, compiled from
+    an IR program through the shared cache."""
+    from .state_runtime import GeneratedBFD, GeneratedNTP
+
+    adapters: dict[str, type[GeneratedImplementation]] = {
+        "ICMP": GeneratedICMP,
+        "IGMP": GeneratedIGMP,
+        "NTP": GeneratedNTP,
+        "BFD": GeneratedBFD,
+    }
+    try:
+        adapter = adapters[protocol.upper()]
+    except KeyError:
+        raise KeyError(
+            f"no generated-implementation adapter for protocol {protocol!r}: "
+            f"known adapters are {', '.join(sorted(adapters))}"
+        ) from None
+    return adapter.from_unit(unit, backend=backend, **kwargs)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field as dataclass_field
 
 from ..framework.bfd import STATE_NAMES, BFDControlHeader, BFDStateVariables
 from ..framework.ntp import PeerVariables
+from .harness import GeneratedImplementation
 
 
 class StateValue(int):
@@ -105,11 +106,16 @@ class BFDExecutionContext:
         return self
 
 
-class GeneratedBFD:
+class GeneratedBFD(GeneratedImplementation):
     """Run generated reception code as a BFD session's receive path."""
 
+    protocol = "BFD"
+    RECEPTION_BUILDER = "bfd_reception_of_bfd_control_packets_receiver"
+
     def __init__(self, functions: dict[str, object],
-                 function_name: str = "bfd_reception_of_bfd_control_packets_receiver"):
+                 function_name: str = RECEPTION_BUILDER,
+                 clock=None, params=None):
+        super().__init__(functions, clock=clock, params=params)
         self.function = functions[function_name]
 
     def receive_control(self, state: BFDStateVariables, packet: BFDControlHeader,
@@ -123,10 +129,17 @@ class GeneratedBFD:
 
 @dataclass
 class NTPExecutionContext:
-    """``ctx`` for the generated NTP timeout dispatch (Table 11)."""
+    """``ctx`` for the generated NTP timeout dispatch (Table 11).
+
+    With ``execute=False`` the context only *records* the dispatch decision
+    (``procedures_called``) without running procedures against the peer —
+    the decision-only mode :class:`GeneratedNTP` uses as a netsim timeout
+    predicate, where the peer driver itself performs the procedure.
+    """
 
     peer: PeerVariables
     procedures_called: list[str] = dataclass_field(default_factory=list)
+    execute: bool = True
 
     def variable(self, name: str) -> int:
         mapping = {
@@ -148,7 +161,7 @@ class NTPExecutionContext:
 
     def call_procedure(self, name: str) -> None:
         self.procedures_called.append(name)
-        if name == "timeout_procedure":
+        if self.execute and name == "timeout_procedure":
             self.peer.timeout_procedure()
 
     def finish(self):
@@ -180,4 +193,37 @@ class GeneratedNTPTimeout:
     def run(self, peer: PeerVariables) -> NTPExecutionContext:
         context = NTPExecutionContext(peer=peer)
         self.function(context)
+        return context
+
+
+class GeneratedNTP(GeneratedImplementation):
+    """Adapter: the generated Table 11 dispatch as an NTP peer's timeout
+    policy.
+
+    ``timeout_predicate`` has the :class:`~repro.netsim.ntp_peer.NTPPeer`
+    predicate contract — the generated code *decides* (decision-only
+    context), the peer driver performs the timeout procedure and the
+    NTP-in-UDP encapsulation, so the procedure never double-fires.
+    """
+
+    protocol = "NTP"
+    DISPATCH_BUILDER = "ntp_peer_variables_and_timeout_receiver"
+
+    def timeout_predicate(self, peer: PeerVariables) -> bool:
+        function = self.builder(self.DISPATCH_BUILDER)
+        if function is None:
+            return False
+        context = NTPExecutionContext(peer=peer, execute=False)
+        function(context)
+        return "timeout_procedure" in context.procedures_called
+
+    def run(self, peer: PeerVariables) -> NTPExecutionContext:
+        """The dispatch with procedures executed (the historical surface)."""
+        function = self.builder(self.DISPATCH_BUILDER)
+        if function is None:
+            raise KeyError(
+                f"compiled unit has no {self.DISPATCH_BUILDER!r} builder"
+            )
+        context = NTPExecutionContext(peer=peer)
+        function(context)
         return context

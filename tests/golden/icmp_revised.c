@@ -1,0 +1,265 @@
+struct destination_unreachable_message_hdr {
+    uint8_t type;
+    uint8_t code;
+    uint16_t checksum;
+    uint32_t unused;
+};
+
+struct time_exceeded_message_hdr {
+    uint8_t type;
+    uint8_t code;
+    uint16_t checksum;
+    uint32_t unused;
+};
+
+struct parameter_problem_message_hdr {
+    uint8_t type;
+    uint8_t code;
+    uint16_t checksum;
+    uint8_t pointer;
+    uint32_t unused : 24;
+};
+
+struct source_quench_message_hdr {
+    uint8_t type;
+    uint8_t code;
+    uint16_t checksum;
+    uint32_t unused;
+};
+
+struct redirect_message_hdr {
+    uint8_t type;
+    uint8_t code;
+    uint16_t checksum;
+    uint32_t gateway_internet_address;
+};
+
+struct echo_or_echo_reply_message_hdr {
+    uint8_t type;
+    uint8_t code;
+    uint16_t checksum;
+    uint16_t identifier;
+    uint16_t sequence_number;
+};
+
+struct timestamp_or_timestamp_reply_message_hdr {
+    uint8_t type;
+    uint8_t code;
+    uint16_t checksum;
+    uint16_t identifier;
+    uint16_t sequence_number;
+    uint32_t originate_timestamp;
+    uint32_t receive_timestamp;
+    uint32_t transmit_timestamp;
+};
+
+struct information_request_or_information_reply_message_hdr {
+    uint8_t type;
+    uint8_t code;
+    uint16_t checksum;
+    uint16_t identifier;
+    uint16_t sequence_number;
+};
+
+void icmp_destination_unreachable_receiver(struct icmp_hdr *hdr, struct ip_hdr *ip) {
+    hdr->type = 3;
+    hdr->code = params.code;
+    ip->dst = req_ip->src;
+    memcpy(hdr->data, req_ip, ihl_bytes(req_ip));
+    memcpy(hdr->data + ihl_bytes(req_ip), req_ip_payload, 8);
+    /* This data is used by the host to match the message to the appropriate  */
+    /* The gateway may send a destination unreachable message to the source h */
+    /* The destination host may also send a destination unreachable message t */
+    /* The network specified in the destination field is unreachable. */
+    hdr->checksum = 0;
+    hdr->checksum = 0;
+    hdr->checksum = internet_checksum((uint8_t *)&hdr->type, message_len_from(hdr, &hdr->type));
+}
+
+void icmp_time_exceeded_receiver(struct icmp_hdr *hdr, struct ip_hdr *ip) {
+    hdr->type = 11;
+    hdr->code = params.code;
+    ip->dst = req_ip->src;
+    memcpy(hdr->data, req_ip, ihl_bytes(req_ip));
+    memcpy(hdr->data + ihl_bytes(req_ip), req_ip_payload, 8);
+    /* This data is used by the host to match the message to the appropriate  */
+    if (ip->ttl == 0) {
+        discard_packet(); return;
+    }
+    /* The gateway may also notify the source host via the time exceeded mess */
+    /* The time exceeded message may also be sent by a host. */
+    hdr->checksum = 0;
+    hdr->checksum = 0;
+    hdr->checksum = internet_checksum((uint8_t *)&hdr->type, message_len_from(hdr, &hdr->type));
+}
+
+void icmp_parameter_problem_receiver(struct icmp_hdr *hdr, struct ip_hdr *ip) {
+    hdr->type = 12;
+    hdr->code = 0;
+    ip->dst = req_ip->src;
+    if (hdr->code == 0) {
+        hdr->pointer = params.error_octet;
+    }
+    memcpy(hdr->data, req_ip, ihl_bytes(req_ip));
+    memcpy(hdr->data + ihl_bytes(req_ip), req_ip_payload, 8);
+    /* This data is used by the host to match the message to the appropriate  */
+    /* If the gateway processing a datagram finds a problem with the header p */
+    /* The gateway may also notify the source host via the parameter problem  */
+    hdr->checksum = 0;
+    hdr->checksum = 0;
+    hdr->checksum = internet_checksum((uint8_t *)&hdr->type, message_len_from(hdr, &hdr->type));
+}
+
+void icmp_source_quench_receiver(struct icmp_hdr *hdr, struct ip_hdr *ip) {
+    hdr->type = 4;
+    hdr->code = 0;
+    ip->dst = req_ip->src;
+    memcpy(hdr->data, req_ip, ihl_bytes(req_ip));
+    memcpy(hdr->data + ihl_bytes(req_ip), req_ip_payload, 8);
+    /* This data is used by the host to match the message to the appropriate  */
+    /* A gateway may discard internet datagrams if it does not have the buffe */
+    /* The gateway may send a source quench message for every message that it */
+    hdr->checksum = 0;
+    hdr->checksum = 0;
+    hdr->checksum = internet_checksum((uint8_t *)&hdr->type, message_len_from(hdr, &hdr->type));
+}
+
+void icmp_redirect_receiver(struct icmp_hdr *hdr, struct ip_hdr *ip) {
+    hdr->type = 5;
+    hdr->code = params.code;
+    ip->dst = req_ip->src;
+    hdr->gateway_internet_address = params.gateway_address;
+    memcpy(hdr->data, req_ip, ihl_bytes(req_ip));
+    memcpy(hdr->data + ihl_bytes(req_ip), req_ip_payload, 8);
+    /* This data is used by the host to match the message to the appropriate  */
+    /* The gateway may send a redirect message to the source host of the data */
+    /* The redirect message advises the host of a shorter path to the destina */
+    /* The gateway forwards the original datagram's data to the internet dest */
+    hdr->checksum = 0;
+    hdr->checksum = 0;
+    hdr->checksum = internet_checksum((uint8_t *)&hdr->type, message_len_from(hdr, &hdr->type));
+}
+
+void icmp_echo_sender(struct icmp_hdr *hdr, struct ip_hdr *ip) {
+    hdr->type = 8;
+    hdr->code = 0;
+    /* The address of the source in an echo message will be the destination o */
+    swap(&ip->src, &ip->dst);
+    if (ip->total_length % 2 == 1) {
+        /* odd-length data padded with one zero octet for checksumming */
+    }
+    if (hdr->code == 0) {
+        hdr->identifier = req->identifier;
+    }
+    if (hdr->code == 0) {
+        hdr->sequence_number = req->sequence_number;
+    }
+    memcpy(hdr->data, req->data, req_data_len);
+    /* The echoer returns the data in an echo reply message. */
+    /* The identifier and sequence number may be used by the echo sender to a */
+    hdr->checksum = 0;
+    hdr->checksum = internet_checksum((uint8_t *)&hdr->type, message_len_from(hdr, &hdr->type));
+}
+
+void icmp_echo_reply_receiver(struct icmp_hdr *hdr, struct ip_hdr *ip) {
+    hdr->type = 0;
+    hdr->code = 0;
+    /* The address of the source in an echo message will be the destination o */
+    swap(&ip->src, &ip->dst);
+    if (ip->total_length % 2 == 1) {
+        /* odd-length data padded with one zero octet for checksumming */
+    }
+    if (hdr->code == 0) {
+        hdr->identifier = req->identifier;
+    }
+    if (hdr->code == 0) {
+        hdr->sequence_number = req->sequence_number;
+    }
+    memcpy(hdr->data, req->data, req_data_len);
+    /* The echoer returns the data in an echo reply message. */
+    /* The identifier and sequence number may be used by the echo sender to a */
+    hdr->checksum = 0;
+    hdr->checksum = internet_checksum((uint8_t *)&hdr->type, message_len_from(hdr, &hdr->type));
+}
+
+void icmp_timestamp_sender(struct icmp_hdr *hdr, struct ip_hdr *ip) {
+    hdr->type = 13;
+    hdr->code = 0;
+    /* The address of the source in a timestamp message will be the destinati */
+    swap(&ip->src, &ip->destination_address);
+    if (hdr->code == 0) {
+        hdr->identifier = req->identifier;
+    }
+    if (hdr->code == 0) {
+        hdr->sequence_number = req->sequence_number;
+    }
+    hdr->originate_timestamp = req->originate_timestamp;
+    hdr->receive_timestamp = params.current_time;
+    hdr->transmit_timestamp = params.current_time;
+    /* The timestamp is 32 bits of milliseconds since midnight universal time */
+    /* The timestamps are recomputed for each reply. */
+    /* If the time is not available in milliseconds, the timestamp may be ins */
+    hdr->checksum = 0;
+    hdr->checksum = 0;
+    hdr->checksum = internet_checksum((uint8_t *)&hdr->type, message_len_from(hdr, &hdr->type));
+}
+
+void icmp_timestamp_reply_receiver(struct icmp_hdr *hdr, struct ip_hdr *ip) {
+    hdr->type = 14;
+    hdr->code = 0;
+    /* The address of the source in a timestamp message will be the destinati */
+    swap(&ip->src, &ip->destination_address);
+    if (hdr->code == 0) {
+        hdr->identifier = req->identifier;
+    }
+    if (hdr->code == 0) {
+        hdr->sequence_number = req->sequence_number;
+    }
+    hdr->originate_timestamp = req->originate_timestamp;
+    hdr->receive_timestamp = params.current_time;
+    hdr->transmit_timestamp = params.current_time;
+    /* The timestamp is 32 bits of milliseconds since midnight universal time */
+    /* The timestamps are recomputed for each reply. */
+    /* If the time is not available in milliseconds, the timestamp may be ins */
+    hdr->checksum = 0;
+    hdr->checksum = 0;
+    hdr->checksum = internet_checksum((uint8_t *)&hdr->type, message_len_from(hdr, &hdr->type));
+}
+
+void icmp_information_request_sender(struct icmp_hdr *hdr, struct ip_hdr *ip) {
+    hdr->type = 15;
+    hdr->code = 0;
+    /* The address of the source in an information request message will be th */
+    swap(&ip->src, &ip->dst);
+    if (hdr->code == 0) {
+        hdr->identifier = req->identifier;
+    }
+    if (hdr->code == 0) {
+        hdr->sequence_number = req->sequence_number;
+    }
+    /* This message may be sent with the source network in the IP header sour */
+    /* The replying IP module should send the reply with the addresses fully  */
+    /* The information reply message contains the network number of the local */
+    hdr->checksum = 0;
+    hdr->checksum = 0;
+    hdr->checksum = internet_checksum((uint8_t *)&hdr->type, message_len_from(hdr, &hdr->type));
+}
+
+void icmp_information_reply_receiver(struct icmp_hdr *hdr, struct ip_hdr *ip) {
+    hdr->type = 16;
+    hdr->code = 0;
+    /* The address of the source in an information request message will be th */
+    swap(&ip->src, &ip->dst);
+    if (hdr->code == 0) {
+        hdr->identifier = req->identifier;
+    }
+    if (hdr->code == 0) {
+        hdr->sequence_number = req->sequence_number;
+    }
+    /* This message may be sent with the source network in the IP header sour */
+    /* The replying IP module should send the reply with the addresses fully  */
+    /* The information reply message contains the network number of the local */
+    hdr->checksum = 0;
+    hdr->checksum = 0;
+    hdr->checksum = internet_checksum((uint8_t *)&hdr->type, message_len_from(hdr, &hdr->type));
+}
