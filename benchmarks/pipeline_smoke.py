@@ -20,7 +20,11 @@ Measures, with wall-clock timers:
   compile-cold (every call re-execs the rendering), compile-cached (the
   registry's compiled-program cache answers on the content SHA-1), a
   direct-interpreter compile, and one generated echo-reply execution per
-  executable backend.
+  executable backend;
+* the service layer: SageRun serialization to the schema-versioned JSON
+  contract and back (with a round-trip equality check), and the batch
+  sweep endpoint against the warm cache — the production configuration of
+  a repeated ``SageService.sweep`` call.
 
 Writes ``BENCH_pipeline.json`` at the repository root so successive PRs can
 diff the numbers, and exits non-zero when a headline speedup regresses
@@ -34,7 +38,10 @@ diff the numbers, and exits non-zero when a headline speedup regresses
 * the warm parallel sweep must beat the cold sequential sweep, and — on
   machines with ≥2 workers — so must the cold parallel sweep;
 * a cached compile of the ICMP program must stay >10x cheaper than a cold
-  compile (the compiled-program-cache regression gate).
+  compile (the compiled-program-cache regression gate);
+* the serialized ICMP run must deserialize back equal to the original
+  (wire-contract correctness), and the warm batch sweep endpoint must stay
+  faster than the cold sequential engine sweep (bounded service overhead).
 
 Run:  PYTHONPATH=src python benchmarks/pipeline_smoke.py
 """
@@ -198,6 +205,26 @@ def main() -> int:
     )
     numbers["compiled_cache"] = compiled_cache.stats()
 
+    # -- the service layer: contracts + batch endpoint ----------------------
+    from repro.api import SageService, SweepRequest, from_json, to_json
+
+    numbers["api_serialize_run_s"], run_json = timed(
+        lambda: to_json(revised, registry=registry), repeat=20
+    )
+    numbers["api_run_json_bytes"] = len(run_json)
+    numbers["api_deserialize_run_s"], run_back = timed(
+        lambda: from_json(run_json, registry=registry), repeat=20
+    )
+    numbers["api_roundtrip_equal"] = run_back == revised
+
+    service = SageService(registry=registry)
+    sweep_request = SweepRequest(parallel=False)
+    service.sweep(sweep_request)  # warm the service path once
+    numbers["api_sweep_warm_s"], _ = timed(lambda: service.sweep(sweep_request))
+    numbers["api_sweep_warm_sentences_per_s"] = (
+        total_sentences / numbers["api_sweep_warm_s"]
+    )
+
     out = REPO_ROOT / "BENCH_pipeline.json"
     out.write_text(json.dumps(numbers, indent=2) + "\n")
     print(json.dumps(numbers, indent=2))
@@ -222,6 +249,11 @@ def main() -> int:
                         f"with {numbers['parallel_workers']} workers")
     if not numbers["codegen_compile_cached_s"] < numbers["codegen_compile_cold_s"] / 10:
         failures.append("cached program compile is not >10x cheaper than cold")
+    if not numbers["api_roundtrip_equal"]:
+        failures.append("serialized SageRun did not deserialize back equal")
+    if not numbers["api_sweep_warm_s"] < numbers["sweep_sequential_cold_s"]:
+        failures.append("warm service sweep endpoint is not faster than the "
+                        "cold sequential engine sweep")
     if failures:
         for failure in failures:
             print(f"SMOKE FAILURE: {failure}", file=sys.stderr)

@@ -1,39 +1,43 @@
 """Ambiguity audit: run SAGE as a *specification linter* over an RFC.
 
-This is the workflow the paper proposes for spec authors (Figure 4): feed a
-draft through the pipeline; every sentence that parses to zero or multiple
-logical forms, or whose terms cannot be resolved unambiguously to protocol
-fields, is reported with the competing interpretations so the author can
-revise it.
+This is the workflow the paper proposes for spec authors (Figure 4), driven
+through the interactive service surface: open a
+:class:`~repro.api.DisambiguationSession` on a protocol; every sentence
+that parses to zero or multiple logical forms, or whose terms cannot be
+resolved unambiguously to protocol fields, surfaces as a
+:class:`~repro.api.SentenceReport` with its per-check winnow provenance
+and the competing interpretations — then a resolution is journaled and the
+replayed run shows the flag disappear.
 
 Run:  python examples/ambiguity_audit.py
 """
 
-from repro.ccg.semantics import signature
-from repro.core import SageEngine
+from repro.api import DisambiguationSession, SageService
 from repro.disambiguation import summarize
-from repro.rfc import load_corpus
+from repro.rfc.registry import ProtocolRegistry
 
 
 def main() -> None:
-    corpus = load_corpus("ICMP")
-    engine = SageEngine(mode="strict")
-    run = engine.process_corpus(corpus)
+    # A journal-only registry (no bundled rewrites): the linter sees the
+    # RFC text exactly as written.
+    registry = ProtocolRegistry(bundled_rewrites=False)
+    session = DisambiguationSession("ICMP", mode="revised", registry=registry)
+    run = session.run
 
-    print(f"audited {len(run.results)} sentences from RFC {corpus.document.number}")
+    print(f"audited {len(run.results)} sentences from RFC "
+          f"{run.corpus.document.number}")
     print("statuses:", run.by_status())
 
     print("\n--- sentences needing revision ---")
-    for result in run.flagged():
-        print(f"\n[{result.status}] {result.spec.message} / "
-              f"{result.spec.field or 'description'}")
-        print(f"  {result.spec.text}")
-        if result.reason:
-            print(f"  reason: {result.reason}")
-        if result.trace and result.trace.final_count > 1:
-            print(f"  {result.trace.final_count} competing interpretations, e.g.:")
-            for form in result.trace.survivors[:2]:
-                print(f"    {signature(form)[:100]}")
+    for report in session.flagged():
+        print(f"\n[{report.status}] #{report.index} {report.message} / "
+              f"{report.field or 'description'}")
+        print(f"  {report.text}")
+        if report.reason:
+            print(f"  reason: {report.reason}")
+        print(f"  LF count after each check: {report.check_counts}")
+        for position, survivor in enumerate(report.survivors[:2]):
+            print(f"  LF {position}: {survivor['signature'][:100]}")
 
     summary = summarize(run.traces())
     print("\n--- winnowing effectiveness (Figure 5a) ---")
@@ -41,18 +45,21 @@ def main() -> None:
     for stage, maximum, average, minimum in summary.rows():
         print(f"  after {stage:<18} max={maximum:<3} avg={average:5.2f} min={minimum}")
 
-    modal = [r for r in run.results
-             if r.logical_form is not None and "May" in str(r.logical_form)]
-    print(f"\n--- optional ('may') behaviours to unit-test (§6.5) ---")
-    for result in modal:
-        print(f"  {result.spec.text[:80]}")
+    # Resolve one flag the way an operator would, and replay.
+    first = session.pending()[0]
+    session.resolve(first.index, annotate=True,
+                    note="descriptive prose; no protocol behaviour")
+    print(f"\nresolved #{first.index} (annotate): "
+          f"{len(session.pending())} sentences still pending; "
+          f"{len(session.resolutions())} decisions journaled")
 
-    # Lint every registered RFC in one parallel batch call.
-    print("\n--- all registered protocols (one process_corpora sweep) ---")
-    for name, sweep_run in engine.process_corpora().items():
-        flagged = len(sweep_run.flagged())
-        print(f"  {name:<5} {len(sweep_run.results):>3} sentences, "
-              f"{flagged} flagged for revision")
+    # Lint every registered RFC in one batch service call.
+    print("\n--- all registered protocols (one sweep endpoint call) ---")
+    sweep = SageService(registry=registry).sweep(parallel=True)
+    for name in sweep.protocols:
+        response = sweep.responses[name]
+        print(f"  {name:<5} {response.sentence_count:>3} sentences, "
+              f"{response.flagged_count} flagged for revision")
 
 
 if __name__ == "__main__":

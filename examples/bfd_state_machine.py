@@ -1,13 +1,15 @@
 """BFD generality (§6.4): state-management sentences → a live state machine.
 
-Processes the RFC 5880 §6.8.6 corpus, compiles the generated reception code,
-and drives a three-way handshake between a generated session and a reference
-session — then exercises the Table 5 demand-mode sentence.
+Processes the RFC 5880 §6.8.6 corpus through the service layer, fetches the
+generated reception code as a fingerprint-verified
+:class:`~repro.api.GeneratedArtifact`, and drives a three-way handshake
+between a generated session and a reference session — then exercises the
+Table 5 demand-mode sentence.
 
 Run:  python examples/bfd_state_machine.py
 """
 
-from repro.core import SageEngine
+from repro.api import SageService
 from repro.framework.bfd import (
     STATE_NAMES,
     BFDControlHeader,
@@ -17,12 +19,12 @@ from repro.framework.bfd import (
     make_control_packet,
 )
 from repro.netsim import BFDSession
-from repro.rfc import load_corpus
 from repro.runtime import GeneratedBFD
 
 
 def main() -> None:
-    run = SageEngine(mode="revised").process_corpus(load_corpus("BFD"))
+    service = SageService()
+    run = service.run("BFD", mode="revised")
     print("BFD sentence statuses:", run.by_status())
     program = run.code_unit.program_named(
         "bfd_reception_of_bfd_control_packets_receiver"
@@ -30,10 +32,12 @@ def main() -> None:
     print(f"\ngenerated reception code ({len(program.ops)} ops):\n")
     print(program.render_python())
 
-    # The family constructor: compile the IR through the shared cache
-    # (equivalent to GeneratedBFD(load_functions(...render_python())),
-    # minus the re-compile on every construction).
-    generated = GeneratedBFD.from_unit(run.code_unit)
+    # The artifact endpoint: the serialized IR plus its content SHA-1 —
+    # rebuilding verifies the fingerprint, then compiles through the shared
+    # cache (equivalent to GeneratedBFD.from_unit(run.code_unit), plus the
+    # integrity check a wire hop needs).
+    artifact = service.artifact("BFD", backend="python", mode="revised")
+    generated = GeneratedBFD.from_artifact(artifact)
 
     # A handshake: the generated side vs a reference responder.
     mine = BFDStateVariables(LocalDiscr=1)

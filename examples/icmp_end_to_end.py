@@ -1,37 +1,47 @@
 """End-to-end ICMP: RFC 792 text → generated code → ping/traceroute interop.
 
-Reproduces the paper's §6.2 headline: the SAGE pipeline reads the bundled
-RFC 792 corpus, generates Python builders for all eight ICMP message types,
-mounts them on the course-topology router, and drives the Linux-faithful
-ping and traceroute against them — first in strict mode (showing the §6.5
-under-specification failure), then in revised mode (clean interop).
+Reproduces the paper's §6.2 headline — through the service layer: a
+:class:`~repro.api.SageService` processes the bundled RFC 792 corpus
+(request/response contracts, exactly what ``python -m repro process ICMP
+--json`` speaks), the generated builders travel as a serialized
+:class:`~repro.api.GeneratedArtifact` (fingerprint-verified IR), and the
+rehydrated implementation mounts on the course-topology router under the
+Linux-faithful ping and traceroute — first in strict mode (showing the
+§6.5 under-specification failure), then in revised mode (clean interop).
 
 Run:  python examples/icmp_end_to_end.py
 """
 
-from repro.core import SageEngine
+from repro.api import ProcessRequest, SageService, from_json, to_json
 from repro.framework import verify_clean
 from repro.framework.addressing import ip_to_int
 from repro.netsim import Ping, course_topology, ping, traceroute
 from repro.rfc.registry import default_registry
 from repro.runtime import GeneratedICMP
 
+SERVICE = SageService()
+
 
 def run_mode(mode: str) -> None:
     print(f"\n===== mode: {mode} =====")
     # Both modes share the registry's parse cache: the revised engine
     # re-parses only the rewritten sentences the strict run never saw.
-    run = SageEngine(mode=mode).process_corpus("ICMP")
-    print("sentence statuses:", run.by_status())
-    for result in run.flagged():
-        print(f"  needs human attention [{result.status}]: "
-              f"{result.spec.text[:70]}...")
+    response = SERVICE.process(ProcessRequest(
+        protocol="ICMP", mode=mode, artifacts=("python",),
+    ))
+    print("sentence statuses:", response.status_counts)
+    for report in response.flagged():
+        print(f"  needs human attention [{report.status}]: "
+              f"{report.text[:70]}...")
 
-    source = run.code_unit.render_python()
-    print(f"\ngenerated {len(run.code_unit.programs)} builder functions, "
-          f"{len(source.splitlines())} lines of Python")
+    # The artifact round-trips through its wire form: what a remote client
+    # would fetch, verify (IR content SHA-1), and execute locally.
+    artifact = from_json(to_json(response.artifacts[0]))
+    print(f"\ngenerated {len(artifact.functions)} builder functions, "
+          f"{len(artifact.source.splitlines())} lines of Python "
+          f"(IR sha1 {artifact.fingerprint[:12]}…)")
 
-    topology = course_topology(implementation=GeneratedICMP.from_source(source))
+    topology = course_topology(implementation=GeneratedICMP.from_artifact(artifact))
     echo = ping(topology.client, ip_to_int("10.0.1.1"), count=4)
     print(f"ping router:            {echo.received}/{echo.transmitted} replies "
           f"{echo.rejections[:1] or ''}")
@@ -56,9 +66,9 @@ def run_mode(mode: str) -> None:
 def run_interpreter_backend() -> None:
     """The same interop, executing the IR directly — no exec(), no source."""
     print("\n===== backend: interp (direct IR interpreter) =====")
-    run = SageEngine(mode="revised").process_corpus("ICMP")
+    artifact = SERVICE.artifact("ICMP", backend="interp", mode="revised")
     topology = course_topology(
-        implementation=GeneratedICMP.from_unit(run.code_unit, backend="interp")
+        implementation=GeneratedICMP.from_artifact(artifact, backend="interp")
     )
     echo = ping(topology.client, ip_to_int("10.0.1.1"), count=4)
     route = traceroute(topology.client, ip_to_int("192.168.2.2"))

@@ -4,11 +4,13 @@ Drives the three pipeline stage objects directly — the same objects a
 :class:`~repro.core.SageEngine` composes: the parse stage (NP chunking +
 CCG, with the shared registry parse cache), the winnow stage (§4.2 checks),
 and the generate stage (Table 4 context + handler dispatch), compiling the
-surviving logical form to both C and Python.
+surviving logical form to both C and Python — then the same pipeline again
+as one :class:`~repro.api.SageService` request/response round trip.
 
 Run:  python examples/quickstart.py
 """
 
+from repro.api import ProcessRequest, SageService, to_json
 from repro.ccg.semantics import signature
 from repro.codegen import CEmitter, PyEmitter
 from repro.core import GenerateStage, ParseStage, WinnowStage
@@ -62,6 +64,19 @@ def main() -> None:
     again = parse.run(spec)
     print(f"\nre-parse served from cache: {again.from_cache} "
           f"({registry.parse_cache().stats()})")
+
+    # 5. The same pipeline as a service call: one request object in, one
+    # JSON-round-trippable response out (what `python -m repro process
+    # ICMP --json` prints).
+    service = SageService(registry=registry)
+    response = service.process(ProcessRequest(protocol="ICMP",
+                                              include_sentences=False,
+                                              artifacts=("c",)))
+    artifact = response.artifacts[0]
+    print(f"\nservice response: {response.status_counts} "
+          f"({len(to_json(response))} bytes as JSON)")
+    print(f"C artifact: {len(artifact.source.splitlines())} lines, "
+          f"IR sha1 {artifact.fingerprint[:12]}…")
 
 
 if __name__ == "__main__":

@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 verification + the pipeline perf smoke, exactly as CI runs them.
+# Tier-1 verification + the CLI smoke + the pipeline perf smoke, exactly as
+# CI runs them.
 #
-#   ./scripts/ci.sh          # tests + smoke benchmark (perf gates)
+#   ./scripts/ci.sh          # tests + CLI smoke + smoke benchmark (perf gates)
 #   ./scripts/ci.sh tests    # tier-1 tests only
-#   ./scripts/ci.sh bench    # smoke benchmark only
+#   ./scripts/ci.sh bench    # CLI smoke + smoke benchmark only
+#
+# The CLI smoke drives the `python -m repro` service entry point (a full
+# four-protocol sweep emitting the JSON wire contract) — a packaging check
+# that the api layer is importable and executable outside pytest.
 #
 # The smoke benchmark writes BENCH_pipeline.json and exits non-zero when a
 # headline speedup regresses (cached-vs-cold load/construction, the
-# warm-cache sweep re-run, the parallel engine sweep, or the codegen
+# warm-cache sweep re-run, the parallel engine sweep, the codegen
 # compiled-program cache: a cached compile must stay >10x cheaper than a
-# cold one) — see benchmarks/pipeline_smoke.py for the exact gates.
+# cold one, or the service layer: the serialized run must round-trip equal
+# and the warm sweep endpoint must beat the cold sequential engine sweep)
+# — see benchmarks/pipeline_smoke.py for the exact gates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +28,10 @@ if [ "${1:-all}" != "bench" ]; then
 fi
 
 if [ "${1:-all}" != "tests" ]; then
+  echo "== cli smoke: python -m repro sweep --all --json =="
+  python -m repro sweep --all --json > /dev/null
+  echo "ok"
+
   echo "== benchmarks: pipeline smoke (writes BENCH_pipeline.json, gates perf) =="
   python benchmarks/pipeline_smoke.py
 fi

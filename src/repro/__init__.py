@@ -1,15 +1,45 @@
 """SAGE: semi-automated protocol disambiguation and code generation.
 
-A reproduction of the SIGCOMM 2021 paper.  Public entry points:
+A reproduction of the SIGCOMM 2021 paper, grown into a service.  Public
+entry points:
 
-* :class:`repro.core.Sage` — the pipeline (parse → disambiguate → codegen);
-* :mod:`repro.rfc` — bundled RFC corpora (ICMP, IGMP, NTP, BFD);
-* :mod:`repro.runtime` — executes generated code;
+* :mod:`repro.api` — the versioned service layer: :class:`~repro.api.
+  SageService` (``process`` / ``sweep`` / ``artifact`` endpoints over
+  JSON-round-trippable request/response contracts), the interactive
+  :class:`~repro.api.DisambiguationSession` (iterate flagged sentences,
+  journal :class:`~repro.api.Resolution` decisions the registry replays),
+  and the ``python -m repro`` CLI (``process``, ``sweep``, ``resolve``,
+  ``emit``);
+* :class:`repro.core.Sage` — the pipeline facade (parse → disambiguate →
+  codegen) over the staged :class:`~repro.core.SageEngine`;
+* :mod:`repro.rfc` — bundled RFC corpora (ICMP, IGMP, NTP, BFD) behind the
+  cached protocol registry;
+* :mod:`repro.codegen` — the typed IR with C / Python / interpreter
+  backends;
+* :mod:`repro.runtime` — executes generated code (including serialized
+  :class:`~repro.api.GeneratedArtifact` payloads);
 * :mod:`repro.netsim` — the Mininet-like simulator with ping/traceroute;
 * :mod:`repro.framework` — the static framework (codecs, checksums, pcap).
 """
 
-from .core import Sage, SageRun
+from .api import (
+    DisambiguationSession,
+    ProcessRequest,
+    ProcessResponse,
+    Resolution,
+    SageService,
+)
+from .core import Sage, SageRun, SentenceStatus
 
-__version__ = "1.0.0"
-__all__ = ["Sage", "SageRun", "__version__"]
+__version__ = "1.1.0"
+__all__ = [
+    "DisambiguationSession",
+    "ProcessRequest",
+    "ProcessResponse",
+    "Resolution",
+    "Sage",
+    "SageRun",
+    "SageService",
+    "SentenceStatus",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the pipeline service CLI (see repro.api.cli)."""
+
+import sys
+
+from .api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

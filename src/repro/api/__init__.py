@@ -1,0 +1,68 @@
+"""``repro.api`` — the versioned public service layer (schema v1).
+
+Three surfaces over the SAGE pipeline:
+
+* **contracts** — JSON-round-trippable request/response dataclasses
+  (:class:`ProcessRequest`, :class:`ProcessResponse`, :class:`SweepRequest`,
+  :class:`SweepResponse`, :class:`SentenceReport`,
+  :class:`GeneratedArtifact`) plus schema-versioned :func:`to_json` /
+  :func:`from_json` for every pipeline result (``SageRun``,
+  ``WinnowTrace``, ``CodeUnit``, ``SentenceResult``, ``Resolution``);
+* **sessions** — the interactive :class:`DisambiguationSession`: iterate
+  flagged sentences, inspect surviving LFs with per-check provenance,
+  apply :class:`~repro.disambiguation.resolution.Resolution` records that a
+  :class:`~repro.disambiguation.resolution.DecisionJournal` persists and
+  the registry replays on later runs;
+* **service** — :class:`SageService`, the front door: ``process`` /
+  ``sweep`` / ``artifact`` / ``session`` endpoints with structured
+  :class:`ApiError` failures, driven from Python or the ``python -m
+  repro`` CLI.
+"""
+
+from ..disambiguation.resolution import DecisionJournal, Resolution
+from .contracts import (
+    SCHEMA_VERSION,
+    GeneratedArtifact,
+    ProcessRequest,
+    ProcessResponse,
+    SentenceReport,
+    SweepRequest,
+    SweepResponse,
+    from_json,
+    to_json,
+)
+from .errors import (
+    ApiError,
+    BackendNotFound,
+    ContractError,
+    ProtocolNotFound,
+    RequestError,
+    SchemaVersionError,
+    SentenceNotFound,
+)
+from .service import SageService
+from .session import DisambiguationSession, open_session
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ApiError",
+    "BackendNotFound",
+    "ContractError",
+    "DecisionJournal",
+    "DisambiguationSession",
+    "GeneratedArtifact",
+    "ProcessRequest",
+    "ProcessResponse",
+    "ProtocolNotFound",
+    "RequestError",
+    "Resolution",
+    "SageService",
+    "SchemaVersionError",
+    "SentenceNotFound",
+    "SentenceReport",
+    "SweepRequest",
+    "SweepResponse",
+    "from_json",
+    "open_session",
+    "to_json",
+]

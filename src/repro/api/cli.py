@@ -1,0 +1,278 @@
+"""The ``python -m repro`` command line, a thin shell over the service.
+
+Four subcommands mirror the :class:`~repro.api.service.SageService`
+endpoints::
+
+    python -m repro process ICMP --json --artifact c
+    python -m repro sweep --all --json
+    python -m repro resolve ICMP --journal decisions.json --list
+    python -m repro resolve ICMP --journal decisions.json \
+        --sentence 12 --rewrite "The revised sentence." --category ambiguous
+    python -m repro emit ICMP --backend c --output icmp.c
+
+Everything ``--json`` prints is a schema-versioned contract payload
+(:mod:`repro.api.contracts`), so shell pipelines and test harnesses consume
+the same wire format a network transport would carry.  Structured
+:class:`~repro.api.errors.ApiError` failures print as error payloads and
+exit 2; unexpected exceptions propagate (a traceback is a bug).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .contracts import ProcessRequest, SweepRequest, to_json
+from .errors import ApiError, RequestError
+from .service import SageService
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SAGE pipeline service: process RFC corpora, resolve "
+                    "ambiguities, emit generated code.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--mode", choices=("strict", "revised"),
+                       default="revised", help="pipeline mode (default: revised)")
+        p.add_argument("--json", action="store_true",
+                       help="print the schema-versioned contract payload")
+        p.add_argument("--journal", metavar="PATH",
+                       help="decision journal to replay (and append to)")
+        p.add_argument("--no-bundled-rewrites", action="store_true",
+                       help="ignore the bundled rewrites.json (journal-only "
+                            "operation, for replay verification)")
+
+    p_process = sub.add_parser("process", help="run one protocol")
+    p_process.add_argument("protocol")
+    p_process.add_argument("--artifact", action="append", default=[],
+                           metavar="BACKEND",
+                           help="render an artifact (repeatable: c, python)")
+    p_process.add_argument("--no-sentences", action="store_true",
+                           help="omit per-sentence reports from the response")
+    common(p_process)
+
+    p_sweep = sub.add_parser("sweep", help="run many protocols in one batch")
+    p_sweep.add_argument("protocols", nargs="*", metavar="PROTOCOL",
+                         help="protocols to run (default with --all: every "
+                              "registered one)")
+    p_sweep.add_argument("--all", action="store_true",
+                         help="run every registered protocol")
+    p_sweep.add_argument("--sequential", action="store_true",
+                         help="disable the fork worker pool")
+    p_sweep.add_argument("--max-workers", type=int, default=None)
+    common(p_sweep)
+
+    p_resolve = sub.add_parser(
+        "resolve", help="inspect flagged sentences and journal decisions"
+    )
+    p_resolve.add_argument("protocol")
+    p_resolve.add_argument("--list", action="store_true",
+                           help="list flagged sentences (the default action)")
+    p_resolve.add_argument("--pending", action="store_true",
+                           help="list only still-unresolved flagged sentences")
+    p_resolve.add_argument("--sentence", metavar="INDEX|TEXT",
+                           help="the sentence to resolve (corpus index or "
+                                "unique text fragment)")
+    p_resolve.add_argument("--rewrite", metavar="TEXT",
+                           help="record a rewrite resolution")
+    p_resolve.add_argument("--category",
+                           choices=("ambiguous", "unparsed", "imprecise"),
+                           default="",
+                           help="rewrite category (default: derived from the "
+                                "sentence's status)")
+    p_resolve.add_argument("--annotate", action="store_true",
+                           help="record a non-actionable annotation")
+    p_resolve.add_argument("--select-lf", metavar="SIGNATURE|INDEX",
+                           help="force one surviving logical form")
+    p_resolve.add_argument("--note", default="", help="free-form provenance")
+    p_resolve.add_argument("--replay", action="store_true",
+                           help="re-run after resolving and print the "
+                                "resulting status counts")
+    common(p_resolve)
+
+    p_emit = sub.add_parser("emit", help="emit a generated-code artifact")
+    p_emit.add_argument("protocol")
+    p_emit.add_argument("--backend", default="c",
+                        help="codegen backend (default: c)")
+    p_emit.add_argument("--output", metavar="PATH",
+                        help="write the rendered source here instead of stdout")
+    common(p_emit)
+    return parser
+
+
+def _service(args) -> SageService:
+    if args.no_bundled_rewrites or args.journal:
+        from ..rfc.registry import ProtocolRegistry
+
+        registry = ProtocolRegistry(
+            bundled_rewrites=not args.no_bundled_rewrites
+        )
+    else:
+        registry = None
+    journal = None
+    if args.journal:
+        from ..disambiguation.resolution import DecisionJournal, ResolutionError
+
+        try:
+            journal = DecisionJournal.load(args.journal)
+        except (json.JSONDecodeError, ResolutionError, OSError) as exc:
+            raise RequestError(
+                f"cannot read journal {args.journal}: {exc}"
+            ) from exc
+    return SageService(registry=registry, journal=journal)
+
+
+def _print_response(response, out) -> None:
+    print(f"{response.protocol} ({response.mode} mode): "
+          f"{response.sentence_count} sentences", file=out)
+    for status, count in sorted(response.status_counts.items()):
+        print(f"  {status:<16} {count}", file=out)
+    for report in response.flagged():
+        print(f"  [{report.status}] #{report.index} {report.text[:70]}",
+              file=out)
+    for artifact in response.artifacts:
+        print(f"  artifact: {artifact.backend} "
+              f"({len(artifact.source.splitlines())} lines, "
+              f"sha1 {artifact.fingerprint[:12]})", file=out)
+
+
+def _cmd_process(service: SageService, args, out) -> int:
+    response = service.process(ProcessRequest(
+        protocol=args.protocol, mode=args.mode,
+        include_sentences=not args.no_sentences,
+        artifacts=tuple(args.artifact),
+    ))
+    if args.json:
+        print(to_json(response), file=out)
+    else:
+        _print_response(response, out)
+    return 0
+
+
+def _cmd_sweep(service: SageService, args, out) -> int:
+    if not args.protocols and not args.all:
+        raise RequestError("sweep needs protocol names or --all")
+    response = service.sweep(SweepRequest(
+        protocols=tuple(args.protocols), mode=args.mode,
+        parallel=not args.sequential, max_workers=args.max_workers,
+    ))
+    if args.json:
+        print(to_json(response), file=out)
+        return 0
+    workers = response.parallel_workers
+    print(f"swept {len(response.protocols)} protocols "
+          f"({'sequential' if not workers else f'{workers} workers'})",
+          file=out)
+    for name in response.protocols:
+        sub = response.responses[name]
+        flagged = sub.flagged_count
+        print(f"  {name:<6} {sub.sentence_count:>3} sentences, "
+              f"{flagged} flagged", file=out)
+    return 0
+
+
+def _cmd_resolve(service: SageService, args, out) -> int:
+    session = service.session(args.protocol, mode=args.mode)
+    resolving = bool(args.rewrite or args.annotate or args.select_lf)
+    if resolving:
+        if not args.sentence:
+            raise RequestError("--rewrite/--annotate/--select-lf need "
+                               "--sentence")
+        if not args.journal:
+            # Without a journal path the decision would die with the
+            # process while claiming success — refuse instead.
+            raise RequestError("recording a resolution needs --journal PATH "
+                               "(the decision must outlive this process)")
+        selector: int | str = args.sentence
+        if selector.lstrip("-").isdigit():
+            selector = int(selector)
+        select_lf = args.select_lf
+        if select_lf is not None and select_lf.isdigit():
+            select_lf = int(select_lf)
+        resolution = session.resolve(
+            selector, rewrite=args.rewrite, category=args.category,
+            annotate=args.annotate, select_lf=select_lf, note=args.note,
+        )
+        if args.json:
+            print(to_json(resolution), file=out)
+        else:
+            print(f"journaled {resolution.kind} for: "
+                  f"{resolution.original[:70]}", file=out)
+        if args.replay:
+            response = session.response(include_sentences=False)
+            if args.json:
+                print(to_json(response), file=out)
+            else:
+                _print_response(response, out)
+        return 0
+    reports = session.pending() if args.pending else session.flagged()
+    if args.json:
+        payload = {
+            "schema": 1, "kind": "sentence_report_list",
+            "data": {"protocol": session.protocol,
+                     "reports": [report.to_dict() for report in reports]},
+        }
+        print(json.dumps(payload), file=out)
+        return 0
+    label = "pending" if args.pending else "flagged"
+    print(f"{session.protocol}: {len(reports)} {label} sentences", file=out)
+    for report in reports:
+        print(f"\n[{report.status}] #{report.index} "
+              f"{report.message} / {report.field or 'description'}", file=out)
+        print(f"  {report.text}", file=out)
+        if report.reason:
+            print(f"  reason: {report.reason}", file=out)
+        for position, survivor in enumerate(report.survivors):
+            print(f"  LF {position}: {survivor['signature'][:90]}", file=out)
+    return 0
+
+
+def _cmd_emit(service: SageService, args, out) -> int:
+    artifact = service.artifact(args.protocol, backend=args.backend,
+                                mode=args.mode)
+    if args.json:
+        text = to_json(artifact)
+    else:
+        text = artifact.source
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.output} "
+              f"(sha1 {artifact.fingerprint[:12]})", file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+_COMMANDS = {
+    "process": _cmd_process,
+    "sweep": _cmd_sweep,
+    "resolve": _cmd_resolve,
+    "emit": _cmd_emit,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    args = _build_parser().parse_args(argv)
+    out = out or sys.stdout
+    try:
+        service = _service(args)
+        return _COMMANDS[args.command](service, args, out)
+    except ApiError as exc:
+        if getattr(args, "json", False):
+            print(json.dumps(exc.to_dict()), file=sys.stderr)
+        else:
+            print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe (`... | head`); exit quietly, pointing
+        # stdout at devnull so interpreter shutdown does not re-raise.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

@@ -1,0 +1,91 @@
+"""Structured error types for the service layer.
+
+Every failure a caller can provoke through the public API maps to one
+:class:`ApiError` subclass with a stable machine-readable ``code``; the
+:meth:`ApiError.to_dict` rendering is the error half of the wire contract
+(the CLI prints it under ``--json``, a transport layer would return it as
+the response body).
+"""
+
+from __future__ import annotations
+
+
+class ApiError(Exception):
+    """Base class: a structured, serializable service-layer failure."""
+
+    code = "api-error"
+
+    def to_dict(self) -> dict:
+        return {"error": self.code, "message": str(self)}
+
+
+class RequestError(ApiError):
+    """A malformed request (unknown mode, missing field, bad payload)."""
+
+    code = "bad-request"
+
+
+class ProtocolNotFound(ApiError):
+    """The request names a protocol no registry entry covers."""
+
+    code = "protocol-not-found"
+
+    def __init__(self, name: str, known: list[str] | None = None):
+        self.name = name
+        self.known = list(known or [])
+        message = f"unknown protocol {name!r}"
+        if self.known:
+            message += f": registered protocols are {', '.join(self.known)}"
+        super().__init__(message)
+
+    def to_dict(self) -> dict:
+        record = super().to_dict()
+        record["protocol"] = self.name
+        record["known"] = self.known
+        return record
+
+
+class BackendNotFound(ApiError):
+    """The request names a codegen backend the registry does not hold."""
+
+    code = "backend-not-found"
+
+    def __init__(self, name: str, known: list[str] | None = None):
+        self.name = name
+        self.known = list(known or [])
+        message = f"unknown backend {name!r}"
+        if self.known:
+            message += f": registered backends are {', '.join(self.known)}"
+        super().__init__(message)
+
+    def to_dict(self) -> dict:
+        record = super().to_dict()
+        record["backend"] = self.name
+        record["known"] = self.known
+        return record
+
+
+class ContractError(ApiError):
+    """A payload that cannot be (de)serialized under the contract."""
+
+    code = "contract-error"
+
+
+class SchemaVersionError(ContractError):
+    """A payload written under a schema this build does not read."""
+
+    code = "schema-version"
+
+    def __init__(self, found, supported: int):
+        self.found = found
+        self.supported = supported
+        super().__init__(
+            f"unsupported schema version {found!r} "
+            f"(this build reads schema {supported})"
+        )
+
+
+class SentenceNotFound(ApiError):
+    """A resolve call addressed a sentence the corpus does not contain."""
+
+    code = "sentence-not-found"

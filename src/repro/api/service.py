@@ -1,0 +1,184 @@
+"""The service front door: one object, every pipeline entry point.
+
+:class:`SageService` wraps a :class:`~repro.core.engine.SageEngine` pair
+(one per mode, sharing the registry's memoized substrate and parse cache)
+behind request/response contracts:
+
+* :meth:`process` — one protocol, one :class:`~repro.api.contracts.
+  ProcessRequest` in (object, dict, or JSON envelope), one
+  :class:`~repro.api.contracts.ProcessResponse` out;
+* :meth:`sweep` — the batch endpoint: every requested protocol in one
+  call, fanned out across the engine's fork worker pool under
+  ``max_workers``;
+* :meth:`artifact` — compiled-artifact retrieval by backend, fingerprinted
+  and self-contained (see :class:`~repro.api.contracts.GeneratedArtifact`);
+* :meth:`session` — open the interactive
+  :class:`~repro.api.session.DisambiguationSession` on a protocol.
+
+Failures surface as structured :class:`~repro.api.errors.ApiError`
+subclasses, never registry ``KeyError`` leaks — the transport layer (the
+``python -m repro`` CLI today, an HTTP shim tomorrow) maps them 1:1 onto
+error payloads.
+"""
+
+from __future__ import annotations
+
+from ..codegen.ir import backend_names
+from ..core.engine import SageEngine, SageRun
+from ..rfc.registry import ProtocolRegistry, UnknownProtocolError
+from .contracts import (
+    GeneratedArtifact,
+    ProcessRequest,
+    ProcessResponse,
+    SweepRequest,
+    SweepResponse,
+    _check_mode,
+    from_json,
+)
+from .errors import ApiError, ProtocolNotFound, RequestError
+from .session import DisambiguationSession
+
+
+def _coerce_request(request, request_type, **kwargs):
+    """Accept a request object, a plain dict, a JSON envelope, or kwargs."""
+    if request is None:
+        return request_type.from_dict(kwargs) if kwargs else request_type.from_dict({})
+    if kwargs:
+        raise RequestError(
+            f"pass either a {request_type.__name__} or keyword arguments, "
+            "not both"
+        )
+    if isinstance(request, request_type):
+        return request
+    if isinstance(request, str):
+        decoded = from_json(request)
+        if not isinstance(decoded, request_type):
+            raise RequestError(
+                f"expected a {request_type.__name__} payload, got "
+                f"{type(decoded).__name__}"
+            )
+        return decoded
+    if isinstance(request, dict):
+        return request_type.from_dict(request)
+    raise RequestError(
+        f"cannot interpret {type(request).__name__} as a "
+        f"{request_type.__name__}"
+    )
+
+
+class SageService:
+    """The versioned public pipeline service over one protocol registry."""
+
+    def __init__(self, registry: ProtocolRegistry | None = None,
+                 journal=None) -> None:
+        if registry is None:
+            from ..rfc.registry import default_registry
+
+            registry = default_registry()
+        self.registry = registry
+        if journal is not None:
+            registry.attach_journal(journal)
+        self._engines: dict[str, SageEngine] = {}
+
+    # -- engines ----------------------------------------------------------------
+    def engine(self, mode: str = "revised") -> SageEngine:
+        """The service's engine for ``mode`` (built once, decisions
+        refreshed on every request so journal updates always apply)."""
+        mode = _check_mode(mode)
+        engine = self._engines.get(mode)
+        if engine is None:
+            engine = SageEngine(mode=mode, protocol_registry=self.registry)
+            self._engines[mode] = engine
+        engine.refresh_decisions()
+        return engine
+
+    def _load_corpus(self, protocol: str):
+        try:
+            return self.registry.load_corpus(protocol)
+        except KeyError:
+            raise ProtocolNotFound(protocol, self.registry.protocols()) from None
+
+    # -- endpoints --------------------------------------------------------------
+    def run(self, protocol: str, mode: str = "revised") -> SageRun:
+        """The raw pipeline run (power users; everything else wraps this)."""
+        return self.engine(mode).process_corpus(self._load_corpus(protocol))
+
+    def process(self, request: ProcessRequest | dict | str | None = None,
+                **kwargs) -> ProcessResponse:
+        """One protocol through the pipeline, as a wire response."""
+        request = _coerce_request(request, ProcessRequest, **kwargs)
+        self._check_artifacts(request.artifacts)
+        run = self.run(request.protocol, request.mode)
+        return ProcessResponse.from_run(
+            run, request.mode,
+            include_sentences=request.include_sentences,
+            artifacts=request.artifacts,
+        )
+
+    def sweep(self, request: SweepRequest | dict | str | None = None,
+              **kwargs) -> SweepResponse:
+        """The batch endpoint: many protocols, optionally fanned out over
+        the engine's fork worker pool."""
+        request = _coerce_request(request, SweepRequest, **kwargs)
+        self._check_artifacts(request.artifacts)
+        engine = self.engine(request.mode)
+        names = [name.upper() for name in request.protocols] or None
+        if names:
+            for name in names:
+                self._load_corpus(name)  # fail structured before the sweep
+        try:
+            runs = engine.process_corpora(
+                names, parallel=request.parallel,
+                max_workers=request.max_workers,
+            )
+        except UnknownProtocolError as exc:
+            raise ProtocolNotFound(exc.name, exc.known) from None
+        responses = {
+            name: ProcessResponse.from_run(
+                run, request.mode,
+                include_sentences=request.include_sentences,
+                artifacts=request.artifacts,
+            )
+            for name, run in runs.items()
+        }
+        return SweepResponse(
+            mode=request.mode,
+            protocols=list(runs),
+            responses=responses,
+            parallel_workers=engine.last_parallel_workers or 0,
+        )
+
+    def artifact(self, protocol: str, backend: str = "c",
+                 mode: str = "revised") -> GeneratedArtifact:
+        """The compiled artifact for one protocol under one backend."""
+        self._check_artifacts((backend,))  # fail fast, before the run
+        run = self.run(protocol, mode)
+        return GeneratedArtifact.from_program(run.code_unit, backend=backend,
+                                              mode=mode)
+
+    def session(self, protocol: str, mode: str = "revised",
+                **kwargs) -> DisambiguationSession:
+        """Open the interactive disambiguation surface on ``protocol``."""
+        return DisambiguationSession(protocol, mode=mode,
+                                     registry=self.registry, **kwargs)
+
+    # -- validation -------------------------------------------------------------
+    @staticmethod
+    def _check_artifacts(backends: tuple[str, ...]) -> None:
+        from .errors import BackendNotFound
+
+        known = backend_names()
+        # The registry lazily imports the bundled backends on first use;
+        # resolve through the ir helper so "c"/"python"/"interp" always
+        # validate even before anything rendered.
+        if not known:
+            from ..codegen.ir import _ensure_default_backends
+
+            _ensure_default_backends()
+            known = backend_names()
+        for backend in backends:
+            if backend not in known:
+                raise BackendNotFound(backend, known)
+
+
+__all__ = ["SageService", "ApiError"]

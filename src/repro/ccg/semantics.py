@@ -26,6 +26,13 @@ _fresh_counter = itertools.count()
 class Sem:
     """Base class for semantic terms."""
 
+    def sort_key(self) -> str:
+        """A stable, provenance-free ordering key (the structural
+        signature).  Sorting LF lists by it makes survivor order — and
+        everything derived from it: session diffs, JSON snapshots —
+        reproducible across runs and processes."""
+        return signature(self)
+
 
 @dataclass(frozen=True)
 class Var(Sem):

@@ -80,6 +80,20 @@ class IRValidationError(IRError):
     """A function contains an op, value, or condition no backend knows."""
 
 
+class FingerprintMismatch(IRError):
+    """A deserialized function/program's recorded content SHA-1 does not
+    match the rebuilt IR — the artifact was corrupted or hand-edited."""
+
+    def __init__(self, where: str, recorded: str, computed: str):
+        self.where = where
+        self.recorded = recorded
+        self.computed = computed
+        super().__init__(
+            f"{where}: recorded fingerprint {recorded} does not match the "
+            f"deserialized IR ({computed})"
+        )
+
+
 class FunctionNameCollision(IRError):
     """Two messages slug to the same builder name (they would silently
     merge into one function; the spec author must rename one)."""
@@ -509,6 +523,179 @@ def build_function(
     )
     validate_function(function)
     return function
+
+
+# -- serialization -------------------------------------------------------------
+#
+# Ops, Value, and Condition are plain dataclasses over JSON-safe scalars
+# (plus nested Value/Condition/list[Op]), so serialization is generic over
+# dataclasses.fields.  Functions and programs additionally carry their
+# content SHA-1: `function_from_dict`/`program_from_dict` recompute it over
+# the rebuilt IR and raise :class:`FingerprintMismatch` on drift, making a
+# serialized artifact tamper-evident end to end.
+
+import dataclasses as _dataclasses
+
+_OP_BY_NAME: dict[str, type] = {op_type.__name__: op_type for op_type in OP_TYPES}
+
+
+def value_to_dict(value: Value) -> dict:
+    record = {"kind": value.kind}
+    if value.const:
+        record["const"] = value.const
+    if value.name:
+        record["name"] = value.name
+    if value.protocol:
+        record["protocol"] = value.protocol
+    return record
+
+
+def value_from_dict(record: dict) -> Value:
+    return Value(kind=record["kind"], const=record.get("const", 0),
+                 name=record.get("name", ""),
+                 protocol=record.get("protocol", ""))
+
+
+def condition_to_dict(condition: Condition) -> dict:
+    record = {"kind": condition.kind}
+    if condition.protocol:
+        record["protocol"] = condition.protocol
+    if condition.name:
+        record["name"] = condition.name
+    if condition.value:
+        record["value"] = condition.value
+    if condition.other:
+        record["other"] = condition.other
+    if condition.modes:
+        record["modes"] = list(condition.modes)
+    if condition.negated:
+        record["negated"] = True
+    return record
+
+
+def condition_from_dict(record: dict) -> Condition:
+    return Condition(
+        kind=record["kind"], protocol=record.get("protocol", ""),
+        name=record.get("name", ""), value=record.get("value", 0),
+        other=record.get("other", ""),
+        modes=tuple(record.get("modes", ())),
+        negated=record.get("negated", False),
+    )
+
+
+def op_to_dict(op: Op) -> dict:
+    """One op as a JSON-safe dict, tagged with its type name."""
+    if not isinstance(op, OP_TYPES):
+        raise IRValidationError(f"cannot serialize op type {type(op).__name__}")
+    record: dict = {"op": type(op).__name__}
+    for field_info in _dataclasses.fields(op):
+        value = getattr(op, field_info.name)
+        if value == field_info.default and field_info.name != "condition":
+            continue  # defaults stay implicit (compact, stable JSON)
+        if isinstance(value, Value):
+            value = value_to_dict(value)
+        elif isinstance(value, Condition):
+            value = condition_to_dict(value)
+        elif isinstance(value, list):
+            value = [op_to_dict(inner) for inner in value]
+        record[field_info.name] = value
+    return record
+
+
+def op_from_dict(record: dict) -> Op:
+    op_type = _OP_BY_NAME.get(record.get("op", ""))
+    if op_type is None:
+        raise IRValidationError(f"unknown serialized op {record.get('op')!r}")
+    kwargs: dict = {}
+    for field_info in _dataclasses.fields(op_type):
+        if field_info.name not in record:
+            continue
+        value = record[field_info.name]
+        if field_info.name == "value" and isinstance(value, dict):
+            value = value_from_dict(value)
+        elif field_info.name == "condition" and isinstance(value, dict):
+            value = condition_from_dict(value)
+        elif field_info.name == "body" and isinstance(value, list):
+            value = [op_from_dict(inner) for inner in value]
+        kwargs[field_info.name] = value
+    return op_type(**kwargs)
+
+
+def sentence_code_to_dict(code: SentenceCode) -> dict:
+    record: dict = {"sentence": code.sentence}
+    if code.ops:
+        record["ops"] = [op_to_dict(op) for op in code.ops]
+    if code.goal_message:
+        record["goal_message"] = code.goal_message
+    if code.role:
+        record["role"] = code.role
+    if code.status != "ok":
+        record["status"] = code.status
+    if code.reason:
+        record["reason"] = code.reason
+    return record
+
+
+def sentence_code_from_dict(record: dict) -> SentenceCode:
+    return SentenceCode(
+        sentence=record["sentence"],
+        ops=[op_from_dict(op) for op in record.get("ops", [])],
+        goal_message=record.get("goal_message", ""),
+        role=record.get("role", ""),
+        status=record.get("status", "ok"),
+        reason=record.get("reason", ""),
+    )
+
+
+def function_to_dict(function: Function) -> dict:
+    record: dict = {
+        "protocol": function.protocol,
+        "message_name": function.message_name,
+        "role": function.role,
+        "ops": [op_to_dict(op) for op in function.ops],
+        "fingerprint": function.fingerprint(),
+    }
+    if function.name_override:
+        record["name_override"] = function.name_override
+    return record
+
+
+def function_from_dict(record: dict, verify: bool = True) -> Function:
+    function = Function(
+        protocol=record["protocol"],
+        message_name=record["message_name"],
+        role=record["role"],
+        ops=[op_from_dict(op) for op in record.get("ops", [])],
+        name_override=record.get("name_override", ""),
+    )
+    recorded = record.get("fingerprint", "")
+    if verify and recorded and recorded != function.fingerprint():
+        raise FingerprintMismatch(
+            f"function {function.name}", recorded, function.fingerprint()
+        )
+    return function
+
+
+def program_to_dict(program: Program) -> dict:
+    return {
+        "protocol": program.protocol,
+        "struct_c": program.struct_c,
+        "functions": [function_to_dict(fn) for fn in program.programs],
+        "fingerprint": program.fingerprint(),
+    }
+
+
+def program_from_dict(record: dict, verify: bool = True) -> Program:
+    program = Program(protocol=record["protocol"],
+                      struct_c=record.get("struct_c", ""))
+    for entry in record.get("functions", []):
+        program.add(function_from_dict(entry, verify=verify))
+    recorded = record.get("fingerprint", "")
+    if verify and recorded and recorded != program.fingerprint():
+        raise FingerprintMismatch(
+            f"program {program.protocol}", recorded, program.fingerprint()
+        )
+    return program
 
 
 # -- the backend registry ------------------------------------------------------

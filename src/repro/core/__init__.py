@@ -10,6 +10,7 @@ from .engine import (
     SageEngine,
     SageRun,
     SentenceResult,
+    SentenceStatus,
     modal_sentences,
 )
 from .pipeline import Sage
@@ -35,6 +36,7 @@ __all__ = [
     "SageEngine",
     "SageRun",
     "SentenceResult",
+    "SentenceStatus",
     "WinnowStage",
     "modal_sentences",
     "role_of",

@@ -20,6 +20,7 @@ facade over this engine.
 
 from __future__ import annotations
 
+import enum
 import os
 import threading
 from concurrent.futures import ProcessPoolExecutor
@@ -27,7 +28,7 @@ from dataclasses import dataclass, field as dataclass_field
 
 from ..ccg.chart import CCGChartParser, ParseResult
 from ..ccg.lexicon import Lexicon
-from ..ccg.semantics import Sem, iter_calls
+from ..ccg.semantics import Sem, iter_calls, signature
 from ..codegen.context import AmbiguousReference, ContextResolver, UnknownReference
 from ..codegen.generator import CodeUnit, SentenceCode
 from ..codegen.handlers import NonActionable
@@ -39,13 +40,54 @@ from ..rfc.corpus import Corpus, Rewrite, SpecSentence, sentence_key
 from ..rfc.registry import ParseCache, ProtocolRegistry, default_registry
 from .stages import GenerateStage, ParseStage, WinnowStage, role_of
 
-# Sentence statuses.
-STATUS_OK = "ok"
-STATUS_NON_ACTIONABLE = "non-actionable"
-STATUS_AMBIGUOUS_LF = "ambiguous-lf"
-STATUS_AMBIGUOUS_REF = "ambiguous-ref"
-STATUS_UNPARSED = "unparsed"
-STATUS_REWRITTEN = "rewritten"
+
+class SentenceStatus(str, enum.Enum):
+    """What the pipeline concluded about one sentence.
+
+    Members are plain strings (``SentenceStatus.OK == "ok"``, hashes like
+    ``"ok"``, serializes as ``"ok"``), so every historical call site that
+    compared against the old string constants — and every JSON consumer —
+    keeps working; the enum adds the closed set and the ``flagged`` property
+    the service layer dispatches on.
+    """
+
+    OK = "ok"
+    NON_ACTIONABLE = "non-actionable"
+    AMBIGUOUS_LF = "ambiguous-lf"
+    AMBIGUOUS_REF = "ambiguous-ref"
+    UNPARSED = "unparsed"
+    REWRITTEN = "rewritten"
+
+    # String transparency: render and hash as the value so enum members and
+    # raw strings interoperate as dict keys and in f-strings.
+    __str__ = str.__str__
+    __format__ = str.__format__
+
+    def __hash__(self) -> int:
+        return str.__hash__(self)
+
+    @property
+    def flagged(self) -> bool:
+        """True when a human must look at the sentence (Figure 4)."""
+        return self in FLAGGED_STATUSES
+
+    @classmethod
+    def coerce(cls, value: "SentenceStatus | str") -> "SentenceStatus | str":
+        """The member for ``value`` when it names one, else the raw string
+        (ad-hoc experiment statuses pass through untouched)."""
+        try:
+            return cls(value)
+        except ValueError:
+            return value
+
+
+# Historical constant names, kept as aliases of the enum members.
+STATUS_OK = SentenceStatus.OK
+STATUS_NON_ACTIONABLE = SentenceStatus.NON_ACTIONABLE
+STATUS_AMBIGUOUS_LF = SentenceStatus.AMBIGUOUS_LF
+STATUS_AMBIGUOUS_REF = SentenceStatus.AMBIGUOUS_REF
+STATUS_UNPARSED = SentenceStatus.UNPARSED
+STATUS_REWRITTEN = SentenceStatus.REWRITTEN
 
 #: Statuses a human must look at (Figure 4's feedback arrows).
 FLAGGED_STATUSES = (STATUS_AMBIGUOUS_LF, STATUS_AMBIGUOUS_REF, STATUS_UNPARSED)
@@ -56,7 +98,7 @@ class SentenceResult:
     """Everything the pipeline derived from one specification sentence."""
 
     spec: SpecSentence
-    status: str
+    status: SentenceStatus | str
     trace: WinnowTrace | None = None
     logical_form: Sem | None = None
     codes: list[SentenceCode] = dataclass_field(default_factory=list)
@@ -150,9 +192,23 @@ class SageEngine:
         self.winnow_stage = WinnowStage(suite)
         self.generate_stage = GenerateStage(resolver=resolver)
         self.rewrites = self.protocol_registry.rewrites()
+        #: Journaled LF selections (sentence key → chosen LF signature),
+        #: applied in revised mode when winnowing leaves several survivors.
+        self.selections = self.protocol_registry.selections()
         #: Pool size of the most recent parallel fan-out (None before one
         #: runs, or when the sweep degraded to sequential execution).
         self.last_parallel_workers: int | None = None
+
+    def refresh_decisions(self) -> None:
+        """Re-pull the human-decision tables from the registry.
+
+        An engine snapshots ``rewrites``/``selections`` at construction;
+        after new resolutions land in the registry's journal (a
+        :class:`~repro.api.session.DisambiguationSession` resolving
+        sentences), this picks them up without rebuilding the substrate.
+        """
+        self.rewrites = self.protocol_registry.rewrites()
+        self.selections = self.protocol_registry.selections()
 
     # -- convenience views over the stages -------------------------------------
     @property
@@ -184,8 +240,25 @@ class SageEngine:
         parsed = self.parse_stage.run(spec)
         return parsed.result, parsed.subject_supplied
 
+    @staticmethod
+    def _decision_for(table: dict, spec: SpecSentence):
+        """Look up a journaled/bundled decision for ``spec``.
+
+        Journal entries are protocol-scoped (``(PROTOCOL, key)`` tuple
+        keys) so a decision made in one protocol's session never leaks
+        onto an identical sentence in another corpus; the bundled table
+        and protocol-less resolutions use bare sentence keys and apply
+        everywhere.  A scoped entry wins over an unscoped one.
+        """
+        key = sentence_key(spec.text)
+        if spec.protocol:
+            scoped = table.get((spec.protocol.upper(), key))
+            if scoped is not None:
+                return scoped
+        return table.get(key)
+
     def process_sentence(self, spec: SpecSentence) -> SentenceResult:
-        rewrite = self.rewrites.get(sentence_key(spec.text))
+        rewrite = self._decision_for(self.rewrites, spec)
         if rewrite is not None and rewrite.category == "non-actionable":
             return SentenceResult(
                 spec=spec, status=STATUS_NON_ACTIONABLE, rewrite=rewrite,
@@ -204,16 +277,19 @@ class SageEngine:
         if trace.final_count == 0:
             return self._flagged(result, STATUS_UNPARSED, rewrite)
         if trace.final_count > 1:
-            if self.generate_stage.all_non_actionable(trace.survivors, context):
-                if rewrite is not None and rewrite.revised:
-                    return self._flagged(result, STATUS_NON_ACTIONABLE, rewrite)
-                result.status = STATUS_NON_ACTIONABLE
-                result.reason = "descriptive prose (no actionable reading)"
-                result.codes = [SentenceCode(sentence=spec.text, status="non-actionable")]
-                return result
-            return self._flagged(result, STATUS_AMBIGUOUS_LF, rewrite)
-
-        form = trace.survivors[0]
+            form = self._journaled_selection(spec, trace.survivors)
+            if form is None:
+                if self.generate_stage.all_non_actionable(trace.survivors, context):
+                    if rewrite is not None and rewrite.revised:
+                        return self._flagged(result, STATUS_NON_ACTIONABLE, rewrite)
+                    result.status = STATUS_NON_ACTIONABLE
+                    result.reason = "descriptive prose (no actionable reading)"
+                    result.codes = [SentenceCode(sentence=spec.text, status="non-actionable")]
+                    return result
+                return self._flagged(result, STATUS_AMBIGUOUS_LF, rewrite)
+            result.reason = "journaled LF selection"
+        else:
+            form = trace.survivors[0]
         result.logical_form = form
         if (
             self.mode == "revised"
@@ -248,7 +324,26 @@ class SageEngine:
         ]
         return result
 
-    def _flagged(self, result: SentenceResult, status: str,
+    def _journaled_selection(self, spec: SpecSentence,
+                             survivors: list[Sem]) -> Sem | None:
+        """The survivor a journaled force-select resolution names, if any.
+
+        Selections are human decisions, so — like rewrites — they only apply
+        in revised mode; a selection whose signature matches none of the
+        current survivors is ignored (the grammar moved under it), leaving
+        the sentence flagged for a fresh decision.
+        """
+        if self.mode != "revised" or not self.selections:
+            return None
+        chosen = self._decision_for(self.selections, spec)
+        if chosen is None:
+            return None
+        for form in survivors:
+            if signature(form) == chosen:
+                return form
+        return None
+
+    def _flagged(self, result: SentenceResult, status: SentenceStatus,
                  rewrite: Rewrite | None) -> SentenceResult:
         """A sentence needing human attention; apply its rewrite if allowed."""
         result.status = status

@@ -44,6 +44,7 @@ from .engine import (
     SageEngine,
     SageRun,
     SentenceResult,
+    SentenceStatus,
     modal_sentences,
 )
 from .stages import ParseStage, role_of
@@ -58,6 +59,7 @@ __all__ = [
     "Sage",
     "SageRun",
     "SentenceResult",
+    "SentenceStatus",
     "modal_sentences",
 ]
 

@@ -1,4 +1,4 @@
-"""The §4.2 disambiguation stage: five checks plus the winnowing driver."""
+"""The §4.2 disambiguation stage: checks, winnowing, and human resolutions."""
 
 from .checks import (
     ArgumentOrderingCheck,
@@ -8,6 +8,13 @@ from .checks import (
     DistributivityCheck,
     PredicateOrderingCheck,
     TypeCheck,
+)
+from .resolution import (
+    RESOLUTION_KINDS,
+    DecisionJournal,
+    Resolution,
+    ResolutionError,
+    resolution_for_rewrite,
 )
 from .winnow import (
     IsolatedEffect,
@@ -23,13 +30,18 @@ __all__ = [
     "AssociativityCheck",
     "Check",
     "CheckSuite",
+    "DecisionJournal",
     "DistributivityCheck",
     "IsolatedEffect",
     "PredicateOrderingCheck",
+    "RESOLUTION_KINDS",
+    "Resolution",
+    "ResolutionError",
     "TypeCheck",
     "WinnowSummary",
     "WinnowTrace",
     "isolated_effects",
+    "resolution_for_rewrite",
     "summarize",
     "winnow",
 ]

@@ -64,13 +64,16 @@ def final_selection(forms: list[Sem]) -> list[Sem]:
     When vacuous-modifier lexical entries let a reading drop a constituent
     (e.g. "returned in X" parsed without binding X), the reading that grounds
     *more* of the sentence's constants is the faithful one.  Keep only the
-    LFs with the maximal number of constants.
+    LFs with the maximal number of constants, sorted by their stable
+    :meth:`~repro.ccg.semantics.Sem.sort_key` so survivor order (and every
+    session diff or JSON snapshot derived from it) is reproducible.
     """
     if len(forms) <= 1:
         return list(forms)
     counts = [sum(1 for _ in iter_consts(form)) for form in forms]
     best = max(counts)
-    return [form for form, count in zip(forms, counts) if count == best]
+    kept = [form for form, count in zip(forms, counts) if count == best]
+    return sorted(kept, key=Sem.sort_key)
 
 
 @dataclass

@@ -177,11 +177,22 @@ class CompiledProgramCache(ParseCache):
 
 
 class ProtocolRegistry:
-    """Protocol registration plus memoized corpus/dictionary/lexicon access."""
+    """Protocol registration plus memoized corpus/dictionary/lexicon access.
+
+    The registry is also where recorded human decisions replay: a
+    :class:`~repro.disambiguation.resolution.DecisionJournal` attached via
+    :meth:`attach_journal` overlays its rewrite/annotate resolutions on the
+    bundled ``rewrites.json`` table (journal wins per sentence) and exposes
+    its force-select decisions through :meth:`selections`.  Constructing
+    with ``bundled_rewrites=False`` starts from an empty rewrite table —
+    the journal then carries *every* decision (the generalized successor of
+    ``rewrites.json``).
+    """
 
     def __init__(self, package: str = DEFAULT_PACKAGE,
-                 bundled: bool = True) -> None:
+                 bundled: bool = True, bundled_rewrites: bool = True) -> None:
         self.package = package
+        self.bundled_rewrites = bundled_rewrites
         self._specs: dict[str, ProtocolSpec] = {}
         self._corpora: dict[str, Corpus] = {}
         self._lexicons: dict[tuple, Lexicon] = {}
@@ -190,6 +201,7 @@ class ProtocolRegistry:
         self._chunker: NounPhraseChunker | None = None
         self._rewrites: list[Rewrite] | None = None
         self._rewrites_by_original: dict[str, Rewrite] | None = None
+        self._journal = None
         self._parse_cache: ParseCache | None = None
         self._compiled_cache: CompiledProgramCache | None = None
         self._lock = threading.RLock()
@@ -337,30 +349,81 @@ class ProtocolRegistry:
                 self._compiled_cache = CompiledProgramCache()
             return self._compiled_cache
 
-    # -- rewrites --------------------------------------------------------------
+    # -- rewrites and journaled decisions --------------------------------------
     REWRITES_FILENAME = "rewrites.json"
 
     def load_rewrites(self) -> list[Rewrite]:
-        """The human-in-the-loop rewrite record (Table 6 / §6.4), memoized."""
+        """The bundled rewrite record (Table 6 / §6.4), memoized.
+
+        Empty when the registry was constructed with
+        ``bundled_rewrites=False`` (journal-only operation)."""
         with self._lock:
             if self._rewrites is None:
-                raw = json.loads(
-                    resources.files(self.package)
-                    .joinpath(self.REWRITES_FILENAME)
-                    .read_text()
-                )
-                self._rewrites = [Rewrite(**entry) for entry in raw]
+                if not self.bundled_rewrites:
+                    self._rewrites = []
+                else:
+                    raw = json.loads(
+                        resources.files(self.package)
+                        .joinpath(self.REWRITES_FILENAME)
+                        .read_text()
+                    )
+                    self._rewrites = [Rewrite(**entry) for entry in raw]
             return self._rewrites
 
     def rewrites(self) -> dict[str, Rewrite]:
-        """Whitespace-insensitive original-sentence → rewrite index."""
+        """Whitespace-insensitive original-sentence → rewrite index.
+
+        The bundled table overlaid with the attached journal's
+        rewrite/annotate resolutions (journal wins per sentence)."""
         with self._lock:
             if self._rewrites_by_original is None:
-                self._rewrites_by_original = {
+                index = {
                     sentence_key(rewrite.original): rewrite
                     for rewrite in self.load_rewrites()
                 }
+                if self._journal is not None:
+                    index.update(self._journal.rewrites())
+                self._rewrites_by_original = index
             return self._rewrites_by_original
+
+    def attach_journal(self, journal) -> None:
+        """Attach (or with ``None`` detach) a decision journal.
+
+        ``journal`` is any object with ``rewrites()`` and ``selections()``
+        views — in practice a :class:`~repro.disambiguation.resolution.
+        DecisionJournal`.  Later :meth:`rewrites`/:meth:`selections` calls
+        reflect it; engines built earlier pick it up via
+        ``SageEngine.refresh_decisions``.
+        """
+        with self._lock:
+            self._journal = journal
+            self._rewrites_by_original = None
+
+    @property
+    def journal(self):
+        """The attached decision journal, or None."""
+        return self._journal
+
+    def apply_resolution(self, resolution) -> None:
+        """Record one resolution into the attached journal and refresh.
+
+        Attaches a fresh in-memory journal when none is bound yet, so
+        callers can start resolving without ceremony.
+        """
+        with self._lock:
+            if self._journal is None:
+                from ..disambiguation.resolution import DecisionJournal
+
+                self._journal = DecisionJournal()
+            self._journal.record(resolution)
+            self._rewrites_by_original = None
+
+    def selections(self) -> dict[str, str]:
+        """Journaled force-select decisions (sentence key → LF signature)."""
+        with self._lock:
+            if self._journal is None:
+                return {}
+            return self._journal.selections()
 
     # -- cache control ---------------------------------------------------------
     def invalidate(self, name: str | None = None) -> None:

@@ -288,6 +288,31 @@ class GeneratedImplementation:
         """Build from a :class:`~repro.core.engine.SageRun`."""
         return cls.from_unit(run.code_unit, **kwargs)
 
+    @classmethod
+    def from_artifact(cls, artifact, backend: str | None = None, **kwargs):
+        """Build from a serialized :class:`~repro.api.contracts.
+        GeneratedArtifact` (the object, or its JSON envelope text).
+
+        The artifact's embedded IR is rebuilt with its content SHA-1
+        verified (:class:`~repro.codegen.ir.FingerprintMismatch` on drift),
+        then compiled under ``backend`` — default: the artifact's own
+        backend when executable, else "python".  This is the consume side
+        of the service layer's artifact endpoint: a payload fetched from a
+        remote ``SageService`` drops straight onto the simulator.
+        """
+        from ..codegen.ir import _backend as resolve_backend
+
+        if isinstance(artifact, str):
+            from ..api.contracts import from_json
+
+            artifact = from_json(artifact)
+        program = artifact.to_program()
+        if backend is None:
+            backend = artifact.backend
+            if not getattr(resolve_backend(backend), "executable", False):
+                backend = "python"
+        return cls.from_unit(program, backend=backend, **kwargs)
+
     def builder(self, name: str):
         """The compiled builder function called ``name``, or None."""
         return self.functions.get(name)
