@@ -7,6 +7,12 @@ and the generate stage (Table 4 context + handler dispatch), compiling the
 surviving logical form to both C and Python — then the same pipeline again
 as one :class:`~repro.api.SageService` request/response round trip.
 
+The parse stage runs the default ``indexed`` parser backend (category-
+indexed chart over a packed forest); swap in the reference CKY chart with
+``ParseStage(backend="reference")`` or, on the CLI, ``python -m repro
+process ICMP --parser-backend reference`` — outputs are identical, parity
+is CI-gated (DESIGN.md §8).
+
 Run:  python examples/quickstart.py
 """
 

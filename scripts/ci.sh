@@ -4,7 +4,8 @@
 #
 #   ./scripts/ci.sh          # tests + CLI smoke + smoke benchmark (perf gates)
 #   ./scripts/ci.sh tests    # tier-1 tests only
-#   ./scripts/ci.sh bench    # CLI smoke + smoke benchmark only
+#   ./scripts/ci.sh bench    # CLI smoke + parser parity + smoke benchmark
+#   ./scripts/ci.sh parity   # parser-backend parity suite only
 #
 # The CLI smoke drives the `python -m repro` service entry point (a full
 # four-protocol sweep emitting the JSON wire contract) — a packaging check
@@ -22,14 +23,31 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+if [ "${1:-all}" = "parity" ]; then
+  echo "== parser-backend parity suite =="
+  python -m pytest tests/test_parsing.py -q
+  exit 0
+fi
+
 if [ "${1:-all}" != "bench" ]; then
   echo "== tier-1: pytest =="
   python -m pytest -x -q
 fi
 
 if [ "${1:-all}" != "tests" ]; then
+  if [ "${1:-all}" = "bench" ]; then
+    # The full run already executed these inside tier-1; the bench-only
+    # path still must not skip the backend-parity contract.
+    echo "== parser-backend parity suite =="
+    python -m pytest tests/test_parsing.py -q
+  fi
+
   echo "== cli smoke: python -m repro sweep --all --json =="
   python -m repro sweep --all --json > /dev/null
+  echo "ok"
+
+  echo "== cli smoke: python -m repro parse ICMP --compare (backend parity) =="
+  python -m repro parse ICMP --compare > /dev/null
   echo "ok"
 
   echo "== benchmarks: pipeline smoke (writes BENCH_pipeline.json, gates perf) =="

@@ -40,19 +40,22 @@ class LabelComparison:
                 or self.poor_label_count > self.good_label_count)
 
 
-def compare_np_labels(sentence: str = TABLE7_SENTENCE) -> LabelComparison:
+def compare_np_labels(sentence: str = TABLE7_SENTENCE,
+                      parser_backend: str | None = None) -> LabelComparison:
     """Parse one sentence with the full dictionary vs a degraded one.
 
     The poor labeling splits "echo reply message" by removing the multiword
     terms from the dictionary, mirroring Table 7's 'echo reply' + 'message'
-    split.
+    split.  ``parser_backend`` selects the parsing backend (None → the
+    process default); the parity gate makes the table backend-independent.
     """
     registry = default_registry()
     # Both labelings run as parse stages over the shared registry cache:
-    # their lexicon/chunker fingerprints differ, so the cache keeps the two
-    # experiments (and the main pipeline's parses) strictly separate while
-    # letting repeated table regenerations skip re-parsing.
-    good_stage = ParseStage(registry.parser(), registry.chunker(),
+    # their backend/lexicon/chunker fingerprints differ, so the cache keeps
+    # the two experiments (and the main pipeline's parses) strictly
+    # separate while letting repeated table regenerations skip re-parsing.
+    good_stage = ParseStage(registry.parser(backend=parser_backend),
+                            registry.chunker(),
                             cache=registry.parse_cache())
     good = good_stage.parse_text(sentence).count
 
@@ -66,8 +69,8 @@ def compare_np_labels(sentence: str = TABLE7_SENTENCE) -> LabelComparison:
         dictionary=TermDictionary(degraded_terms),
         config=ChunkerConfig(merge_adjacent=False),
     )
-    poor_stage = ParseStage(registry.parser(), poor_chunker,
-                            cache=registry.parse_cache())
+    poor_stage = ParseStage(registry.parser(backend=parser_backend),
+                            poor_chunker, cache=registry.parse_cache())
     poor = poor_stage.parse_text(sentence).count
     return LabelComparison(good_label_count=good, poor_label_count=poor)
 
@@ -84,9 +87,11 @@ class AblationResult:
     details: list[tuple[str, int, int]] = dataclass_field(default_factory=list)
 
 
-def run_ablation(component: str, limit: int | None = None) -> AblationResult:
+def run_ablation(component: str, limit: int | None = None,
+                 parser_backend: str | None = None) -> AblationResult:
     """Disable ``component`` ("dictionary" or "np-labeling") over the ICMP
-    corpus; compare per-sentence base LF counts against the full pipeline."""
+    corpus; compare per-sentence base LF counts against the full pipeline.
+    ``parser_backend`` selects the parsing backend (None → default)."""
     if component == "dictionary":
         config = ChunkerConfig(use_dictionary=False)
     elif component == "np-labeling":
@@ -95,12 +100,13 @@ def run_ablation(component: str, limit: int | None = None) -> AblationResult:
         raise ValueError(f"unknown component {component!r}")
 
     registry = default_registry()
-    baseline_stage = ParseStage(registry.parser(), registry.chunker(),
+    parser = registry.parser(backend=parser_backend)
+    baseline_stage = ParseStage(parser, registry.chunker(),
                                 cache=registry.parse_cache())
     ablated_chunker = NounPhraseChunker(
         dictionary=registry.dictionary(), config=config
     )
-    ablated_stage = ParseStage(registry.parser(), ablated_chunker,
+    ablated_stage = ParseStage(parser, ablated_chunker,
                                cache=registry.parse_cache())
     result = AblationResult(component=component)
 

@@ -196,21 +196,29 @@ class PipelineCoverage:
 
 
 def pipeline_coverage(mode: str | None = None, *, parallel: bool = False,
-                      engine: SageEngine | None = None) -> list[PipelineCoverage]:
+                      engine: SageEngine | None = None,
+                      parser_backend: str | None = None) -> list[PipelineCoverage]:
     """Run every registered protocol through one engine and measure coverage.
 
     Registry-driven like :func:`detect_all` — a fifth registered protocol is
     swept automatically.  ``parallel=True`` fans the sweep out across the
     engine's process pool.  Pass ``mode`` (default "revised") or a
-    pre-built ``engine``, not a conflicting pair."""
+    pre-built ``engine``, not a conflicting pair; ``parser_backend``
+    selects the parsing backend for a freshly built engine."""
     if engine is not None:
         if mode is not None and mode != engine.mode:
             raise ValueError(
                 f"mode {mode!r} conflicts with the supplied engine's "
                 f"mode {engine.mode!r}"
             )
+        if parser_backend is not None:
+            raise ValueError(
+                "pass parser_backend only when pipeline_coverage builds "
+                "the engine itself"
+            )
     else:
-        engine = SageEngine(mode=mode or "revised")
+        engine = SageEngine(mode=mode or "revised",
+                            parser_backend=parser_backend)
     runs = engine.process_corpora(parallel=parallel)
     return [
         PipelineCoverage(

@@ -54,6 +54,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="render an artifact (repeatable: c, python)")
     p_process.add_argument("--no-sentences", action="store_true",
                            help="omit per-sentence reports from the response")
+    p_process.add_argument("--parser-backend", default="", metavar="NAME",
+                           help="parser backend (reference, indexed; "
+                                "default: the protocol's registered choice)")
     common(p_process)
 
     p_sweep = sub.add_parser("sweep", help="run many protocols in one batch")
@@ -65,7 +68,25 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--sequential", action="store_true",
                          help="disable the fork worker pool")
     p_sweep.add_argument("--max-workers", type=int, default=None)
+    p_sweep.add_argument("--parser-backend", default="", metavar="NAME",
+                         help="parser backend for every protocol in the "
+                              "sweep (default: per-protocol registration)")
     common(p_sweep)
+
+    p_parse = sub.add_parser(
+        "parse", help="parsing-subsystem diagnostics: batch-parse one "
+                      "corpus through a backend (no winnow, no codegen)"
+    )
+    p_parse.add_argument("protocol")
+    p_parse.add_argument("--parser-backend", default="", metavar="NAME",
+                         help="parser backend to drive (default: the "
+                              "protocol's registered choice)")
+    p_parse.add_argument("--compare", action="store_true",
+                         help="run every registered parser backend, check "
+                              "LF-set parity, and report relative speed")
+    p_parse.add_argument("--sentences", action="store_true",
+                         help="print the per-sentence diagnostic lines")
+    common(p_parse)
 
     p_resolve = sub.add_parser(
         "resolve", help="inspect flagged sentences and journal decisions"
@@ -146,6 +167,7 @@ def _cmd_process(service: SageService, args, out) -> int:
         protocol=args.protocol, mode=args.mode,
         include_sentences=not args.no_sentences,
         artifacts=tuple(args.artifact),
+        parser_backend=args.parser_backend,
     ))
     if args.json:
         print(to_json(response), file=out)
@@ -160,6 +182,7 @@ def _cmd_sweep(service: SageService, args, out) -> int:
     response = service.sweep(SweepRequest(
         protocols=tuple(args.protocols), mode=args.mode,
         parallel=not args.sequential, max_workers=args.max_workers,
+        parser_backend=args.parser_backend,
     ))
     if args.json:
         print(to_json(response), file=out)
@@ -232,6 +255,78 @@ def _cmd_resolve(service: SageService, args, out) -> int:
     return 0
 
 
+def _cmd_parse(service: SageService, args, out) -> int:
+    """Parsing diagnostics: one backend, or a parity/speed comparison."""
+    if args.compare:
+        from ..parsing import parser_backend_names
+
+        if args.parser_backend:
+            # --compare always runs every registered backend; silently
+            # ignoring a (possibly misspelled) selection would mask the
+            # mistake behind a successful comparison.
+            raise RequestError(
+                "--compare runs every registered parser backend; drop "
+                "--parser-backend"
+            )
+        reports = {}
+        for backend in parser_backend_names():
+            service.registry.parse_cache().clear()  # honest cold numbers
+            reports[backend] = service.parse_diagnostics(
+                args.protocol, parser_backend=backend, mode=args.mode
+            )
+        lf_sets = {
+            backend: tuple(s["lf_set_sha1"] for s in report["sentences"])
+            for backend, report in reports.items()
+        }
+        parity = len(set(lf_sets.values())) == 1
+        if args.json:
+            payload = {
+                "schema": 1, "kind": "parse_comparison",
+                "data": {"protocol": args.protocol, "parity": parity,
+                         "backends": {name: {k: v for k, v in rep.items()
+                                             if k != "sentences"}
+                                      for name, rep in reports.items()}},
+            }
+            print(json.dumps(payload), file=out)
+        else:
+            print(f"{args.protocol}: parser-backend comparison "
+                  f"({'parity OK' if parity else 'PARITY MISMATCH'})",
+                  file=out)
+            for name, report in reports.items():
+                print(f"  {name:<10} {report['sentences_per_s']:8.1f} "
+                      f"sentences/s  ({report['sentence_count']} sentences, "
+                      f"{report['unparsed']} unparsed, "
+                      f"{report['pruned_sentences']} pruned)", file=out)
+        return 0 if parity else 1
+    report = service.parse_diagnostics(
+        args.protocol, parser_backend=args.parser_backend, mode=args.mode
+    )
+    if args.json:
+        payload = {"schema": 1, "kind": "parse_diagnostics", "data": report}
+        print(json.dumps(payload), file=out)
+        return 0
+    print(f"{report['protocol']} via {report['parser_backend']}: "
+          f"{report['sentence_count']} sentences in "
+          f"{report['elapsed_s']:.3f}s "
+          f"({report['sentences_per_s']:.1f}/s, "
+          f"{report['parsed_from_cache']} cached)", file=out)
+    print(f"  unparsed: {report['unparsed']}  "
+          f"pruned: {report['pruned_sentences']}", file=out)
+    if args.sentences:
+        for sentence in report["sentences"]:
+            flags = []
+            if sentence["subject_supplied"]:
+                flags.append("subject-supplied")
+            if sentence["pruned"]:
+                flags.append(f"pruned(-{sentence['dropped_items']})")
+            if sentence["unknown_words"]:
+                flags.append("unknown: " + ",".join(sentence["unknown_words"]))
+            suffix = f"  [{'; '.join(flags)}]" if flags else ""
+            print(f"  #{sentence['index']:>3} LFs={sentence['lf_count']:<3}"
+                  f" {sentence['text'][:60]}{suffix}", file=out)
+    return 0
+
+
 def _cmd_emit(service: SageService, args, out) -> int:
     artifact = service.artifact(args.protocol, backend=args.backend,
                                 mode=args.mode)
@@ -252,6 +347,7 @@ def _cmd_emit(service: SageService, args, out) -> int:
 _COMMANDS = {
     "process": _cmd_process,
     "sweep": _cmd_sweep,
+    "parse": _cmd_parse,
     "resolve": _cmd_resolve,
     "emit": _cmd_emit,
 }

@@ -182,6 +182,8 @@ def result_to_dict(result: SentenceResult) -> dict:
                                  for sub in result.sub_results]
     if result.subject_supplied:
         record["subject_supplied"] = True
+    if result.pruned:
+        record["pruned"] = True
     if result.reason:
         record["reason"] = result.reason
     return record
@@ -203,6 +205,7 @@ def result_from_dict(record: dict) -> SentenceResult:
         sub_results=[result_from_dict(sub)
                      for sub in record.get("sub_results", [])],
         subject_supplied=record.get("subject_supplied", False),
+        pruned=record.get("pruned", False),
         reason=record.get("reason", ""),
     )
 
@@ -279,6 +282,9 @@ class ProcessRequest:
     include_sentences: bool = True
     #: Text backends to render into response artifacts (e.g. ("c",)).
     artifacts: tuple[str, ...] = ()
+    #: Parser backend override ("" = the protocol's registered preference,
+    #: falling back to the process default).
+    parser_backend: str = ""
 
     def to_dict(self) -> dict:
         record: dict = {"protocol": self.protocol, "mode": self.mode}
@@ -286,6 +292,8 @@ class ProcessRequest:
             record["include_sentences"] = False
         if self.artifacts:
             record["artifacts"] = list(self.artifacts)
+        if self.parser_backend:
+            record["parser_backend"] = self.parser_backend
         return record
 
     @classmethod
@@ -299,6 +307,7 @@ class ProcessRequest:
             mode=_check_mode(record.get("mode", "revised")),
             include_sentences=record.get("include_sentences", True),
             artifacts=tuple(record.get("artifacts", ())),
+            parser_backend=record.get("parser_backend", ""),
         )
 
 
@@ -312,6 +321,8 @@ class SweepRequest:
     max_workers: int | None = None
     include_sentences: bool = False
     artifacts: tuple[str, ...] = ()
+    #: Parser backend override ("" = per-protocol registered preference).
+    parser_backend: str = ""
 
     def to_dict(self) -> dict:
         record: dict = {"mode": self.mode}
@@ -325,6 +336,8 @@ class SweepRequest:
             record["include_sentences"] = True
         if self.artifacts:
             record["artifacts"] = list(self.artifacts)
+        if self.parser_backend:
+            record["parser_backend"] = self.parser_backend
         return record
 
     @classmethod
@@ -336,6 +349,7 @@ class SweepRequest:
             max_workers=record.get("max_workers"),
             include_sentences=record.get("include_sentences", False),
             artifacts=tuple(record.get("artifacts", ())),
+            parser_backend=record.get("parser_backend", ""),
         )
 
 
@@ -354,6 +368,9 @@ class SentenceReport:
     status: str
     reason: str = ""
     subject_supplied: bool = False
+    #: True when the parser's cell budget truncated the sentence's chart:
+    #: the winnow provenance below may be incomplete.
+    pruned: bool = False
     base_lf_count: int = 0
     final_lf_count: int = 0
     #: LF count after each winnow stage, in check order (Figure 5's x-axis).
@@ -385,6 +402,7 @@ class SentenceReport:
             status=str(result.status),
             reason=result.reason,
             subject_supplied=result.subject_supplied,
+            pruned=result.pruned,
             base_lf_count=result.base_lf_count,
             final_lf_count=result.final_lf_count,
             check_counts=dict(trace.counts) if trace is not None else {},
@@ -405,6 +423,8 @@ class SentenceReport:
             record["reason"] = self.reason
         if self.subject_supplied:
             record["subject_supplied"] = True
+        if self.pruned:
+            record["pruned"] = True
         record["base_lf_count"] = self.base_lf_count
         record["final_lf_count"] = self.final_lf_count
         if self.check_counts:
@@ -426,6 +446,7 @@ class SentenceReport:
             field=record.get("field", ""), kind=record.get("kind", ""),
             status=record["status"], reason=record.get("reason", ""),
             subject_supplied=record.get("subject_supplied", False),
+            pruned=record.get("pruned", False),
             base_lf_count=record.get("base_lf_count", 0),
             final_lf_count=record.get("final_lf_count", 0),
             check_counts=dict(record.get("check_counts", {})),

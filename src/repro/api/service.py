@@ -78,17 +78,25 @@ class SageService:
         self.registry = registry
         if journal is not None:
             registry.attach_journal(journal)
-        self._engines: dict[str, SageEngine] = {}
+        self._engines: dict[tuple[str, str], SageEngine] = {}
 
     # -- engines ----------------------------------------------------------------
-    def engine(self, mode: str = "revised") -> SageEngine:
-        """The service's engine for ``mode`` (built once, decisions
-        refreshed on every request so journal updates always apply)."""
+    def engine(self, mode: str = "revised",
+               parser_backend: str = "") -> SageEngine:
+        """The service's engine for ``(mode, parser_backend)`` (built
+        once, decisions refreshed on every request so journal updates
+        always apply).  An empty ``parser_backend`` defers to each
+        protocol's registered preference; engines share the registry's
+        parse cache either way, whose keys carry the backend id."""
         mode = _check_mode(mode)
-        engine = self._engines.get(mode)
+        if parser_backend:
+            self._check_parser_backend(parser_backend)
+        key = (mode, parser_backend)
+        engine = self._engines.get(key)
         if engine is None:
-            engine = SageEngine(mode=mode, protocol_registry=self.registry)
-            self._engines[mode] = engine
+            engine = SageEngine(mode=mode, protocol_registry=self.registry,
+                                parser_backend=parser_backend or None)
+            self._engines[key] = engine
         engine.refresh_decisions()
         return engine
 
@@ -99,16 +107,19 @@ class SageService:
             raise ProtocolNotFound(protocol, self.registry.protocols()) from None
 
     # -- endpoints --------------------------------------------------------------
-    def run(self, protocol: str, mode: str = "revised") -> SageRun:
+    def run(self, protocol: str, mode: str = "revised",
+            parser_backend: str = "") -> SageRun:
         """The raw pipeline run (power users; everything else wraps this)."""
-        return self.engine(mode).process_corpus(self._load_corpus(protocol))
+        return self.engine(mode, parser_backend).process_corpus(
+            self._load_corpus(protocol)
+        )
 
     def process(self, request: ProcessRequest | dict | str | None = None,
                 **kwargs) -> ProcessResponse:
         """One protocol through the pipeline, as a wire response."""
         request = _coerce_request(request, ProcessRequest, **kwargs)
         self._check_artifacts(request.artifacts)
-        run = self.run(request.protocol, request.mode)
+        run = self.run(request.protocol, request.mode, request.parser_backend)
         return ProcessResponse.from_run(
             run, request.mode,
             include_sentences=request.include_sentences,
@@ -121,7 +132,7 @@ class SageService:
         the engine's fork worker pool."""
         request = _coerce_request(request, SweepRequest, **kwargs)
         self._check_artifacts(request.artifacts)
-        engine = self.engine(request.mode)
+        engine = self.engine(request.mode, request.parser_backend)
         names = [name.upper() for name in request.protocols] or None
         if names:
             for name in names:
@@ -162,7 +173,73 @@ class SageService:
         return DisambiguationSession(protocol, mode=mode,
                                      registry=self.registry, **kwargs)
 
+    def parse_diagnostics(self, protocol: str, parser_backend: str = "",
+                          mode: str = "revised") -> dict:
+        """Batch-parse one corpus through one backend and report per-
+        sentence diagnostics (the ``python -m repro parse`` payload).
+
+        Returns a JSON-safe dict: backend identity, wall-clock timing and
+        throughput, parse-cache hit counts, and per-sentence LF counts /
+        unknown words / pruned flags.  No winnowing or code generation
+        runs — this is the parsing subsystem in isolation.
+        """
+        import hashlib
+        import time
+
+        from ..ccg.semantics import signature
+
+        if parser_backend:
+            self._check_parser_backend(parser_backend)
+        corpus = self._load_corpus(protocol)
+        engine = self.engine(mode, parser_backend)
+        started = time.perf_counter()
+        parsed = engine.parse_batch(corpus,
+                                    parser_backend=parser_backend or None)
+        elapsed = time.perf_counter() - started
+        backend = (parser_backend
+                   or self.registry.parser_backend_for(corpus.protocol))
+        sentences = []
+        for index, item in enumerate(parsed):
+            sigs = sorted(signature(form)
+                          for form in item.result.logical_forms)
+            sentences.append({
+                "index": index,
+                "text": item.spec.text,
+                "lf_count": item.result.count,
+                # Content hash of the sorted LF signature set: two
+                # backends parse identically iff these match sentence
+                # for sentence (what `parse --compare` checks).
+                "lf_set_sha1": hashlib.sha1(
+                    "\n".join(sigs).encode("utf-8")
+                ).hexdigest(),
+                "unknown_words": list(item.result.unknown_words),
+                "subject_supplied": item.subject_supplied,
+                "pruned": item.pruned,
+                "dropped_items": item.result.dropped_items,
+                "from_cache": item.from_cache,
+            })
+        return {
+            "protocol": corpus.protocol,
+            "parser_backend": backend,
+            "sentence_count": len(parsed),
+            "elapsed_s": elapsed,
+            "sentences_per_s": (len(parsed) / elapsed) if elapsed else 0.0,
+            "parsed_from_cache": sum(1 for item in parsed if item.from_cache),
+            "unparsed": sum(1 for item in parsed if item.result.count == 0),
+            "pruned_sentences": sum(1 for item in parsed if item.pruned),
+            "sentences": sentences,
+        }
+
     # -- validation -------------------------------------------------------------
+    @staticmethod
+    def _check_parser_backend(name: str) -> None:
+        from ..parsing import parser_backend_names
+
+        if name not in parser_backend_names():
+            from .errors import ParserBackendNotFound
+
+            raise ParserBackendNotFound(name, parser_backend_names())
+
     @staticmethod
     def _check_artifacts(backends: tuple[str, ...]) -> None:
         from .errors import BackendNotFound

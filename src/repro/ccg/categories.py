@@ -53,6 +53,51 @@ class Func(Category):
         return f"{result}{self.slash}{arg}"
 
 
+# Categories are hashed on every probe of the indexed backend's per-cell
+# category maps; the generated frozen-dataclass __hash__ recomputes the
+# field-tuple hash each call, which is recursive for nested Func trees.
+# Cache it per instance (stored outside the declared fields, so equality
+# and repr are untouched).
+def _cached_hash(make_key):
+    def __hash__(self):
+        value = self.__dict__.get("_hash_cache")
+        if value is None:
+            value = hash(make_key(self))
+            object.__setattr__(self, "_hash_cache", value)
+        return value
+
+    return __hash__
+
+
+Prim.__hash__ = _cached_hash(lambda self: (Prim, self.name))
+Func.__hash__ = _cached_hash(
+    lambda self: (Func, self.result, self.slash, self.arg)
+)
+
+
+# Value-interned small-int category ids, cached per instance.  Hot dict
+# keys built from categories (per-cell indexes, dedup keys, the production
+# memo) use these ints instead of the recursive structures: equal
+# categories — shared objects or not — always map to the same id.
+# Assignment is an atomic ``setdefault`` drawing from a counter, so two
+# racing threads can never hand the same id to different categories (at
+# worst a counter value is burned); ids may therefore have gaps.
+_category_ids: dict[Category, int] = {}
+_next_category_id = __import__("itertools").count()
+
+
+def category_id(category: Category) -> int:
+    """The process-wide intern id of ``category`` (equality-keyed)."""
+    d = category.__dict__
+    cid = d.get("_cid")
+    if cid is None:
+        cid = _category_ids.get(category)
+        if cid is None:
+            cid = _category_ids.setdefault(category, next(_next_category_id))
+        d["_cid"] = cid
+    return cid
+
+
 S = Prim("S")
 NP = Prim("NP")
 N = Prim("N")

@@ -1,16 +1,22 @@
 """CKY chart parsing over CCG categories with lambda semantics.
 
-Combinators implemented: forward/backward application, forward/backward
-composition (harmless spurious derivations collapse under semantic dedup),
-and coordination.  Coordination produces *both* readings of §4.1's
-distributivity discussion: the grouped ``(A and B) is C`` and — for NP
-conjuncts — the distributed ``(A is C) and (B is C)``, the latter flagged so
-the distributivity check can prefer the grouped form.
+This is the **reference parser backend**: the plain CKY recognizer every
+other backend is measured against (see :mod:`repro.parsing` for the backend
+protocol and the optimized, category-indexed implementation).  It folds the
+pure combinator rules of :mod:`repro.ccg.combinators` over the full
+cell×cell cross product — simple, obviously correct, and deliberately left
+unoptimized so parity bugs in faster backends have a fixed point to diff
+against.
 
 A sentence's parse yields every grounded logical form derivable over the
 full span with root category S, or NP for the header-field fragments RFCs
 are full of.  Zero results mean the sentence failed to parse (§4.1 "zero
 logical forms"); more than one means ambiguity to winnow (§4.2).
+
+Cells are bounded by ``max_cell_items``.  Items rejected by the bound are
+*counted* on :attr:`ParseResult.dropped_items` (and surfaced as the
+``pruned`` flag) rather than silently vanishing — winnow provenance must
+know when the LF set it saw was truncated.
 """
 
 from __future__ import annotations
@@ -26,17 +32,8 @@ from ..nlp.tokenizer import (
     Token,
     normalize_term,
 )
-from .categories import (
-    BACKWARD,
-    CONJ,
-    FORWARD,
-    NP,
-    S,
-    Category,
-    Func,
-    backward,
-    forward,
-)
+from .categories import NP, S, Category, backward, forward
+from .combinators import all_productions
 from .lexicon import Lexicon
 from .semantics import (
     App,
@@ -70,14 +67,127 @@ class ParseResult:
     unknown_words: list[str] = field(default_factory=list)
     token_count: int = 0
     cells_filled: int = 0
+    #: Items the per-cell budget rejected (0 = the chart was complete).
+    dropped_items: int = 0
+    #: The parser backend that produced this result ("" for ad-hoc parsers).
+    backend: str = ""
 
     @property
     def count(self) -> int:
         return len(self.logical_forms)
 
+    @property
+    def pruned(self) -> bool:
+        """True when the cell budget truncated the chart: the LF set (and
+        everything winnowed from it) may be incomplete."""
+        return self.dropped_items > 0
+
+
+def default_items(token: Token, index: int, has_entries: bool) -> list[Item]:
+    """Kind-based entries: chunked NPs, numbers, state variables.
+
+    Words with no lexicon entry that tag as verbs get generic action
+    readings (transitive and passive/intransitive) — CCG's unknown-word
+    fallback.  The @Action type check later kills these readings
+    wherever a better-typed alternative exists; sentences that only
+    parse through them are descriptive prose headed for the
+    non-actionable bin.
+    """
+    if token.kind in (KIND_NOUN_PHRASE, KIND_STATEVAR):
+        return [Item(NP, Const(normalize_term(token.text), span=(index, index + 1)))]
+    if token.kind == KIND_NUMBER:
+        return [Item(NP, Const(token.text, span=(index, index + 1)))]
+    if not has_entries and token.kind == "word" and tag_word(token.text) == TAG_VERB:
+        action = Const(normalize_term(token.text), span=(index, index + 1))
+        subject = Var("y")
+        obj = Var("x")
+        lower = token.lower
+        items = [
+            # Passive/intransitive: "the datagram is discarded".
+            Item(
+                backward(S, NP),
+                Lam("y", Call("Action", (action, subject), trigger=index)),
+            ),
+            # Transitive: "the gateway notifies the host".
+            Item(
+                forward(backward(S, NP), NP),
+                Lam(
+                    "x",
+                    Lam("y", Call("Action", (action, subject, obj), trigger=index)),
+                ),
+            ),
+            # Imperative/infinitive: "To avoid the infinite regress ...".
+            Item(
+                forward(S, NP),
+                Lam("x", Call("Action", (action, obj), trigger=index)),
+            ),
+        ]
+        if lower.endswith("ed"):
+            # Reduced relative / prenominal participle: "the received
+            # data", "the network specified in ...".
+            items.append(Item(backward(NP, NP), Lam("y", Var("y"))))
+            items.append(Item(forward(NP, NP), Lam("x", Var("x"))))
+        if lower.endswith("ing"):
+            # Prenominal gerund ("the replying IP module") and
+            # postnominal participle with object ("an integer
+            # identifying the stratum level").
+            items.append(Item(forward(NP, NP), Lam("x", Var("x"))))
+            items.append(
+                Item(
+                    forward(backward(NP, NP), NP),
+                    Lam("x", Lam("y", Var("y"))),
+                )
+            )
+        return items
+    return []
+
+
+def lexical_span_items(
+    lexicon: Lexicon, tokens: list[Token], start: int, end: int,
+    entries=None,
+) -> list[Item]:
+    """Every lexical item covering ``tokens[start:end]``, in insertion order.
+
+    Shared by both parser backends so their cells agree item-for-item:
+    lexicon entries first (stamped with provenance), then the kind-based
+    defaults for single tokens, then forward type-raised copies of every
+    lexical NP (T>), which enable object-relative clauses ("that it
+    discards") through composition with a transitive verb.
+
+    ``entries`` short-circuits the lexicon lookup when the caller already
+    fetched the span's entries (the indexed backend's trie walk does).
+    """
+    if entries is None:
+        words = [token.text for token in tokens[start:end]]
+        entries = lexicon.lookup(words)
+    items = [
+        Item(entry.category, stamp(entry.sem, start))
+        for entry in entries
+    ]
+    if end - start == 1:
+        items.extend(default_items(tokens[start], start, bool(items)))
+    for item in list(items):
+        if item.category == NP:
+            raised = forward(S, backward(S, NP))
+            items.append(Item(raised, Lam("p", App(Var("p"), item.sem))))
+    return items
+
+
+def strip_terminal_punct(tokens: list[Token]) -> list[Token]:
+    """Drop sentence-final punctuation before parsing (both backends)."""
+    return [token for token in tokens if not _is_terminal_punct(token)]
+
 
 class CCGChartParser:
-    """A CKY parser over a :class:`~repro.ccg.lexicon.Lexicon`."""
+    """A CKY parser over a :class:`~repro.ccg.lexicon.Lexicon`.
+
+    This is the reference :class:`~repro.parsing.backend.ParserBackend`
+    implementation (``name = "reference"``).
+    """
+
+    #: Backend identity, part of every parse-cache key built over this
+    #: parser (see ``ParseStage.fingerprint``).
+    name = "reference"
 
     def __init__(self, lexicon: Lexicon, max_cell_items: int = MAX_CELL_ITEMS) -> None:
         self.lexicon = lexicon
@@ -85,10 +195,10 @@ class CCGChartParser:
 
     # -- public API ---------------------------------------------------------
     def parse(self, tokens: list[Token]) -> ParseResult:
-        tokens = [token for token in tokens if not _is_terminal_punct(token)]
+        tokens = strip_terminal_punct(tokens)
         if not tokens:
-            return ParseResult(logical_forms=[])
-        chart, unknown = self._build_chart(tokens)
+            return ParseResult(logical_forms=[], backend=self.name)
+        chart, unknown, dropped = self._build_chart(tokens)
         length = len(tokens)
         forms: list[Sem] = []
         seen: set[str] = set()
@@ -106,37 +216,31 @@ class CCGChartParser:
             unknown_words=unknown,
             token_count=length,
             cells_filled=len(chart),
+            dropped_items=dropped,
+            backend=self.name,
         )
 
     # -- chart construction ---------------------------------------------------
     def _build_chart(
         self, tokens: list[Token]
-    ) -> tuple[dict[tuple[int, int], list[Item]], list[str]]:
+    ) -> tuple[dict[tuple[int, int], list[Item]], list[str], int]:
         length = len(tokens)
         chart: dict[tuple[int, int], list[Item]] = {}
         covered = [False] * length
-        # Lexical spans (multiword phrases first-class).
+        # Lexical spans (multiword phrases first-class).  The lexicon's
+        # first-word/phrase-length index prunes multiword probes: a span
+        # is only looked up when some entry starting with its first word
+        # has exactly that length (single tokens always probe — the
+        # kind-based default items exist regardless of the lexicon).
+        lengths_by_start = [
+            self.lexicon.phrase_lengths(token.lower) for token in tokens
+        ]
         for span_len in range(1, min(self.lexicon.max_phrase_words, length) + 1):
             for start in range(0, length - span_len + 1):
+                if span_len > 1 and span_len not in lengths_by_start[start]:
+                    continue
                 end = start + span_len
-                words = [token.text for token in tokens[start:end]]
-                items = [
-                    Item(entry.category, stamp(entry.sem, start))
-                    for entry in self.lexicon.lookup(words)
-                ]
-                if span_len == 1:
-                    items.extend(
-                        self._default_items(tokens[start], start, bool(items))
-                    )
-                # Forward type-raising of lexical NPs (T>): enables
-                # object-relative clauses ("that it discards") through
-                # composition with a transitive verb.
-                for item in list(items):
-                    if item.category == NP:
-                        raised = forward(S, backward(S, NP))
-                        items.append(
-                            Item(raised, Lam("p", App(Var("p"), item.sem)))
-                        )
+                items = lexical_span_items(self.lexicon, tokens, start, end)
                 if items:
                     for position in range(start, end):
                         covered[position] = True
@@ -147,6 +251,7 @@ class CCGChartParser:
             if not covered[position]
         ]
         # CKY combination.
+        dropped = 0
         for span_len in range(2, length + 1):
             for start in range(0, length - span_len + 1):
                 end = start + span_len
@@ -157,179 +262,38 @@ class CCGChartParser:
                 for mid in range(start + 1, end):
                     for left in chart.get((start, mid), []):
                         for right in chart.get((mid, end), []):
-                            for produced in combine(left, right):
+                            for category, sem in all_productions(
+                                left.category, left.sem,
+                                right.category, right.sem,
+                            ):
                                 # Normalize eagerly so semantically identical
                                 # derivations (CCG's spurious ambiguity)
                                 # collapse instead of saturating the cell.
-                                reduced = Item(
-                                    produced.category, reduce_term(produced.sem)
-                                )
+                                reduced = Item(category, reduce_term(sem))
                                 key = (str(reduced.category), signature(reduced.sem))
                                 if key in existing:
                                     continue
                                 if len(cell) >= self.max_cell_items:
-                                    break
+                                    dropped += 1
+                                    continue
                                 existing.add(key)
                                 cell.append(reduced)
-        return chart, unknown
+        return chart, unknown, dropped
 
-    @staticmethod
-    def _default_items(token: Token, index: int, has_entries: bool) -> list[Item]:
-        """Kind-based entries: chunked NPs, numbers, state variables.
 
-        Words with no lexicon entry that tag as verbs get generic action
-        readings (transitive and passive/intransitive) — CCG's unknown-word
-        fallback.  The @Action type check later kills these readings
-        wherever a better-typed alternative exists; sentences that only
-        parse through them are descriptive prose headed for the
-        non-actionable bin.
-        """
-        if token.kind in (KIND_NOUN_PHRASE, KIND_STATEVAR):
-            return [Item(NP, Const(normalize_term(token.text), span=(index, index + 1)))]
-        if token.kind == KIND_NUMBER:
-            return [Item(NP, Const(token.text, span=(index, index + 1)))]
-        if not has_entries and token.kind == "word" and tag_word(token.text) == TAG_VERB:
-            action = Const(normalize_term(token.text), span=(index, index + 1))
-            subject = Var("y")
-            obj = Var("x")
-            lower = token.lower
-            items = [
-                # Passive/intransitive: "the datagram is discarded".
-                Item(
-                    backward(S, NP),
-                    Lam("y", Call("Action", (action, subject), trigger=index)),
-                ),
-                # Transitive: "the gateway notifies the host".
-                Item(
-                    forward(backward(S, NP), NP),
-                    Lam(
-                        "x",
-                        Lam("y", Call("Action", (action, subject, obj), trigger=index)),
-                    ),
-                ),
-                # Imperative/infinitive: "To avoid the infinite regress ...".
-                Item(
-                    forward(S, NP),
-                    Lam("x", Call("Action", (action, obj), trigger=index)),
-                ),
-            ]
-            if lower.endswith("ed"):
-                # Reduced relative / prenominal participle: "the received
-                # data", "the network specified in ...".
-                items.append(Item(backward(NP, NP), Lam("y", Var("y"))))
-                items.append(Item(forward(NP, NP), Lam("x", Var("x"))))
-            if lower.endswith("ing"):
-                # Prenominal gerund ("the replying IP module") and
-                # postnominal participle with object ("an integer
-                # identifying the stratum level").
-                items.append(Item(forward(NP, NP), Lam("x", Var("x"))))
-                items.append(
-                    Item(
-                        forward(backward(NP, NP), NP),
-                        Lam("x", Lam("y", Var("y"))),
-                    )
-                )
-            return items
-        return []
+def combine(left: Item, right: Item) -> list[Item]:
+    """All items derivable from an adjacent pair (unreduced semantics).
+
+    A thin :class:`Item` wrapper over the pure rules in
+    :mod:`repro.ccg.combinators`, kept for the historical call signature.
+    """
+    return [
+        Item(category, sem)
+        for category, sem in all_productions(
+            left.category, left.sem, right.category, right.sem
+        )
+    ]
 
 
 def _is_terminal_punct(token: Token) -> bool:
     return token.kind == KIND_PUNCT and token.text in ".!?:"
-
-
-# -- combinators --------------------------------------------------------------
-
-def combine(left: Item, right: Item) -> list[Item]:
-    """All items derivable from an adjacent pair."""
-    results: list[Item] = []
-    results.extend(_apply_forward(left, right))
-    results.extend(_apply_backward(left, right))
-    results.extend(_compose_forward(left, right))
-    results.extend(_compose_backward(left, right))
-    results.extend(_coordinate(left, right))
-    return results
-
-
-def _apply_forward(left: Item, right: Item) -> list[Item]:
-    """X/Y  Y  =>  X"""
-    category = left.category
-    if isinstance(category, Func) and category.slash == FORWARD:
-        if category.arg == right.category:
-            return [Item(category.result, App(left.sem, right.sem))]
-    return []
-
-
-def _apply_backward(left: Item, right: Item) -> list[Item]:
-    """Y  X\\Y  =>  X"""
-    category = right.category
-    if isinstance(category, Func) and category.slash == BACKWARD:
-        if category.arg == left.category:
-            return [Item(category.result, App(right.sem, left.sem))]
-    return []
-
-
-def _compose_forward(left: Item, right: Item) -> list[Item]:
-    """X/Y  Y/Z  =>  X/Z  (Lambek's B>)"""
-    lcat, rcat = left.category, right.category
-    if (
-        isinstance(lcat, Func)
-        and lcat.slash == FORWARD
-        and isinstance(rcat, Func)
-        and rcat.slash == FORWARD
-        and lcat.arg == rcat.result
-    ):
-        sem = Lam("z", App(left.sem, App(right.sem, Var("z"))))
-        return [Item(forward(lcat.result, rcat.arg), sem)]
-    return []
-
-
-def _compose_backward(left: Item, right: Item) -> list[Item]:
-    """Y\\Z  X\\Y  =>  X\\Z  (B<)"""
-    lcat, rcat = left.category, right.category
-    if (
-        isinstance(lcat, Func)
-        and lcat.slash == BACKWARD
-        and isinstance(rcat, Func)
-        and rcat.slash == BACKWARD
-        and rcat.arg == lcat.result
-    ):
-        sem = Lam("z", App(right.sem, App(left.sem, Var("z"))))
-        return [Item(backward(rcat.result, lcat.arg), sem)]
-    return []
-
-
-def _coordinate(left: Item, right: Item) -> list[Item]:
-    """CONJ X  =>  X\\X  (grouped)  and, for NP, the distributed raise.
-
-    The grouped reading builds ``@And(a, b)``.  The distributed reading
-    raises the coordination to ``(S/(S\\NP))\\NP`` so a following predicate
-    distributes over both conjuncts; its @And carries the ``distributed``
-    flag for the §4.2 distributivity check.
-    """
-    if left.category != CONJ:
-        return []
-    if isinstance(right.category, Func):
-        return []  # only coordinate saturated constituents
-    conj_pred = "Or" if isinstance(left.sem, Const) and left.sem.value == "or" else "And"
-    grouped_sem = Lam(
-        "a", Call(conj_pred, (Var("a"), right.sem))
-    )
-    results = [Item(backward(right.category, right.category), grouped_sem)]
-    if right.category == NP:
-        distributed_sem = Lam(
-            "a",
-            Lam(
-                "p",
-                Call(
-                    conj_pred,
-                    (
-                        App(Var("p"), Var("a")),
-                        App(Var("p"), right.sem),
-                    ),
-                    flags=frozenset({"distributed"}),
-                ),
-            ),
-        )
-        raised = backward(forward(S, backward(S, NP)), NP)
-        results.append(Item(raised, distributed_sem))
-    return results

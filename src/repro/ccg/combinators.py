@@ -1,0 +1,158 @@
+"""The CCG combinators as pure rules over (category, semantics) pairs.
+
+Combinators implemented: forward/backward application, forward/backward
+composition (harmless spurious derivations collapse under semantic dedup),
+and coordination.  Coordination produces *both* readings of §4.1's
+distributivity discussion: the grouped ``(A and B) is C`` and — for NP
+conjuncts — the distributed ``(A is C) and (B is C)``, the latter flagged so
+the distributivity check can prefer the grouped form.
+
+Every rule here is a pure function from the two adjacent constituents'
+categories and (unreduced) semantics to the produced constituents, with no
+chart state: the reference CKY chart (:mod:`repro.ccg.chart`) folds them
+over the full cell×cell cross product, while the indexed backend
+(:mod:`repro.parsing.indexed`) consults the rule *preconditions* through
+per-cell category indexes and only invokes a rule on pairs that can fire.
+Both backends therefore derive the exact same productions from the same
+rule definitions — backend parity is structural, not coincidental.
+
+Rule order (``RULE_NAMES``) is part of the observable contract: cells
+deduplicate semantically and keep the first-inserted reading's provenance,
+so both backends must enumerate productions in the same rule order.
+"""
+
+from __future__ import annotations
+
+from .categories import (
+    BACKWARD,
+    CONJ,
+    FORWARD,
+    NP,
+    S,
+    Category,
+    Func,
+    backward,
+    forward,
+)
+from .semantics import App, Call, Const, Lam, Sem, Var
+
+#: One produced constituent: its category and unreduced semantics.
+Production = tuple[Category, Sem]
+
+#: Rule indices, in application order.  The chart tries the rules in this
+#: order for every adjacent pair; the indexed backend tags its candidate
+#: productions with these indices and sorts, reproducing the same order.
+RULE_FORWARD_APPLICATION = 0
+RULE_BACKWARD_APPLICATION = 1
+RULE_FORWARD_COMPOSITION = 2
+RULE_BACKWARD_COMPOSITION = 3
+RULE_COORDINATION = 4
+
+RULE_NAMES = (
+    "forward-application",
+    "backward-application",
+    "forward-composition",
+    "backward-composition",
+    "coordination",
+)
+
+
+def forward_application(
+    lcat: Category, lsem: Sem, rcat: Category, rsem: Sem
+) -> Production | None:
+    """X/Y  Y  =>  X"""
+    if isinstance(lcat, Func) and lcat.slash == FORWARD and lcat.arg == rcat:
+        return (lcat.result, App(lsem, rsem))
+    return None
+
+
+def backward_application(
+    lcat: Category, lsem: Sem, rcat: Category, rsem: Sem
+) -> Production | None:
+    """Y  X\\Y  =>  X"""
+    if isinstance(rcat, Func) and rcat.slash == BACKWARD and rcat.arg == lcat:
+        return (rcat.result, App(rsem, lsem))
+    return None
+
+
+def forward_composition(
+    lcat: Category, lsem: Sem, rcat: Category, rsem: Sem
+) -> Production | None:
+    """X/Y  Y/Z  =>  X/Z  (Lambek's B>)"""
+    if (
+        isinstance(lcat, Func)
+        and lcat.slash == FORWARD
+        and isinstance(rcat, Func)
+        and rcat.slash == FORWARD
+        and lcat.arg == rcat.result
+    ):
+        sem = Lam("z", App(lsem, App(rsem, Var("z"))))
+        return (forward(lcat.result, rcat.arg), sem)
+    return None
+
+
+def backward_composition(
+    lcat: Category, lsem: Sem, rcat: Category, rsem: Sem
+) -> Production | None:
+    """Y\\Z  X\\Y  =>  X\\Z  (B<)"""
+    if (
+        isinstance(lcat, Func)
+        and lcat.slash == BACKWARD
+        and isinstance(rcat, Func)
+        and rcat.slash == BACKWARD
+        and rcat.arg == lcat.result
+    ):
+        sem = Lam("z", App(rsem, App(lsem, Var("z"))))
+        return (backward(rcat.result, lcat.arg), sem)
+    return None
+
+
+def coordination(
+    lcat: Category, lsem: Sem, rcat: Category, rsem: Sem
+) -> tuple[Production, ...]:
+    """CONJ X  =>  X\\X  (grouped)  and, for NP, the distributed raise.
+
+    The grouped reading builds ``@And(a, b)``.  The distributed reading
+    raises the coordination to ``(S/(S\\NP))\\NP`` so a following predicate
+    distributes over both conjuncts; its @And carries the ``distributed``
+    flag for the §4.2 distributivity check.
+    """
+    if lcat != CONJ:
+        return ()
+    if isinstance(rcat, Func):
+        return ()  # only coordinate saturated constituents
+    conj_pred = "Or" if isinstance(lsem, Const) and lsem.value == "or" else "And"
+    grouped_sem = Lam("a", Call(conj_pred, (Var("a"), rsem)))
+    productions: list[Production] = [(backward(rcat, rcat), grouped_sem)]
+    if rcat == NP:
+        distributed_sem = Lam(
+            "a",
+            Lam(
+                "p",
+                Call(
+                    conj_pred,
+                    (
+                        App(Var("p"), Var("a")),
+                        App(Var("p"), rsem),
+                    ),
+                    flags=frozenset({"distributed"}),
+                ),
+            ),
+        )
+        raised = backward(forward(S, backward(S, NP)), NP)
+        productions.append((raised, distributed_sem))
+    return tuple(productions)
+
+
+def all_productions(
+    lcat: Category, lsem: Sem, rcat: Category, rsem: Sem
+) -> list[Production]:
+    """Every production derivable from an adjacent pair, in rule order."""
+    results: list[Production] = []
+    for rule in (forward_application, backward_application,
+                 forward_composition, backward_composition):
+        produced = rule(lcat, lsem, rcat, rsem)
+        if produced is not None:
+            results.append(produced)
+    results.extend(coordination(lcat, lsem, rcat, rsem))
+    return results

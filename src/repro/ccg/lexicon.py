@@ -61,18 +61,58 @@ class LexEntry:
 
 
 class Lexicon:
-    """Phrase → entries lookup with multiword support."""
+    """Phrase → entries lookup with multiword support.
+
+    Three indexes are maintained incrementally on ``add``:
+
+    * ``_by_words`` — exact phrase tuple → entry bucket (O(1) ``lookup``);
+    * ``_lengths_by_first`` — first word → the set of phrase lengths any
+      entry starting with that word has, so a chart never probes a span
+      whose (first word, length) combination cannot match;
+    * ``_trie`` — a phrase trie (word → child node, entries at terminal
+      nodes) that :meth:`iter_matches` walks to find *every* phrase match
+      starting at a token position in one pass, instead of one hash probe
+      per candidate span length.
+
+    ``add`` deduplicates: an entry identical to one already present (same
+    phrase, category, semantic signature, group, and overgen flag) is
+    dropped, so repeated ``extend`` calls cannot inflate the lexicon — and
+    :meth:`fingerprint` stays stable under such re-adds, keeping parse-cache
+    keys honest.
+    """
+
+    #: Trie-node key under which a terminal node stores its entry list
+    #: (cannot collide with a word, which is always a non-empty string).
+    _TRIE_ENTRIES = ""
 
     def __init__(self, entries: list[LexEntry] | None = None) -> None:
         self._by_words: dict[tuple[str, ...], list[LexEntry]] = {}
+        self._lengths_by_first: dict[str, set[int]] = {}
+        self._trie: dict = {}
+        self._entry_keys: set[tuple] = set()
         self.max_phrase_words = 1
         self._fingerprint: str | None = None
         for entry in entries or []:
             self.add(entry)
 
+    @staticmethod
+    def _entry_key(entry: LexEntry) -> tuple:
+        return (entry.words, str(entry.category), signature(entry.sem),
+                entry.group, entry.overgen)
+
     def add(self, entry: LexEntry) -> None:
-        self._by_words.setdefault(entry.words, []).append(entry)
-        self.max_phrase_words = max(self.max_phrase_words, len(entry.words))
+        key = self._entry_key(entry)
+        if key in self._entry_keys:
+            return  # identical entry already present
+        self._entry_keys.add(key)
+        words = entry.words
+        self._by_words.setdefault(words, []).append(entry)
+        self._lengths_by_first.setdefault(words[0], set()).add(len(words))
+        node = self._trie
+        for word in words:
+            node = node.setdefault(word, {})
+        node.setdefault(self._TRIE_ENTRIES, []).append(entry)
+        self.max_phrase_words = max(self.max_phrase_words, len(words))
         self._fingerprint = None
 
     def fingerprint(self) -> str:
@@ -98,6 +138,31 @@ class Lexicon:
 
     def lookup(self, words: list[str]) -> list[LexEntry]:
         return list(self._by_words.get(tuple(word.lower() for word in words), []))
+
+    def phrase_lengths(self, first_word: str) -> tuple[int, ...]:
+        """The phrase lengths (word counts) of entries starting with
+        ``first_word`` (already lowercased), ascending; ``()`` when none."""
+        lengths = self._lengths_by_first.get(first_word)
+        return tuple(sorted(lengths)) if lengths else ()
+
+    def iter_matches(self, words_lower: list[str], start: int):
+        """Walk the phrase trie from ``words_lower[start]``.
+
+        Yields ``(end, entries)`` for every lexicon phrase matching
+        ``words_lower[start:end]``, shortest first — one trie walk replaces
+        ``max_phrase_words`` separate :meth:`lookup` probes.  ``words_lower``
+        must already be lowercased (the chunker emits trie-ready tokens
+        whose ``lower`` is precomputed).
+        """
+        node = self._trie
+        entries_key = self._TRIE_ENTRIES
+        for position in range(start, len(words_lower)):
+            node = node.get(words_lower[position])
+            if node is None:
+                return
+            entries = node.get(entries_key)
+            if entries:
+                yield position + 1, entries
 
     def entries(self) -> list[LexEntry]:
         return [entry for bucket in self._by_words.values() for entry in bucket]

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field as dataclass_field
 
 from ..ccg.chart import CCGChartParser, ParseResult
 from ..ccg.lexicon import Lexicon
+from ..parsing import backend_id, create_parser
 from ..ccg.semantics import Sem, iter_calls, signature
 from ..codegen.context import AmbiguousReference, ContextResolver, UnknownReference
 from ..codegen.generator import CodeUnit, SentenceCode
@@ -106,6 +107,9 @@ class SentenceResult:
     sub_results: list["SentenceResult"] = dataclass_field(default_factory=list)
     subject_supplied: bool = False
     reason: str = ""
+    #: True when the parser's cell budget truncated this sentence's chart:
+    #: the winnow provenance may be incomplete (honest-pruning flag).
+    pruned: bool = False
 
     @property
     def base_lf_count(self) -> int:
@@ -170,25 +174,37 @@ class SageEngine:
         resolver: ContextResolver | None = None,
         protocol_registry: ProtocolRegistry | None = None,
         parse_cache: ParseCache | None | bool = True,
+        parser_backend: str | None = None,
     ) -> None:
         if mode not in ("strict", "revised"):
             raise ValueError(f"unknown mode {mode!r}")
         self.mode = mode
         self.protocol_registry = protocol_registry or default_registry()
+        #: Engine-wide backend override; None defers to each protocol's
+        #: registered preference (``register_protocol(parser_backend=...)``)
+        #: and ultimately the process default.
+        self.parser_backend = parser_backend
         # Default construction shares the registry's memoized substrate, so
         # a second engine re-pays none of the dictionary/lexicon/parser cost;
         # explicit arguments still get private instances.
         chunker = chunker or self.protocol_registry.chunker()
         if lexicon is None:
             lexicon = self.protocol_registry.lexicon()
-            parser = self.protocol_registry.parser()
+            parser = self.protocol_registry.parser(backend=parser_backend)
+            self._custom_lexicon = False
         else:
-            parser = CCGChartParser(lexicon)
+            parser = create_parser(parser_backend, lexicon)
+            self._custom_lexicon = True
         if parse_cache is True:
             parse_cache = self.protocol_registry.parse_cache()
         elif parse_cache is False:
             parse_cache = None
         self.parse_stage = ParseStage(parser, chunker, cache=parse_cache)
+        #: Backend name → ParseStage, for per-protocol backend resolution;
+        #: stages share this engine's chunker and cache.
+        self._parse_stages: dict[str, ParseStage] = {
+            backend_id(parser): self.parse_stage
+        }
         self.winnow_stage = WinnowStage(suite)
         self.generate_stage = GenerateStage(resolver=resolver)
         self.rewrites = self.protocol_registry.rewrites()
@@ -198,6 +214,26 @@ class SageEngine:
         #: Pool size of the most recent parallel fan-out (None before one
         #: runs, or when the sweep degraded to sequential execution).
         self.last_parallel_workers: int | None = None
+
+    def set_lexicon(self, lexicon: Lexicon) -> None:
+        """Swap the engine onto a new grammar.
+
+        Rebuilds the default stage's parser over ``lexicon`` (preserving
+        its registered backend, when it has one) and marks the engine
+        custom-lexicon: per-protocol backend resolution stops consulting
+        the registry's lexicon and every stage built from now on uses the
+        supplied grammar.  Previously resolved per-backend stages are
+        dropped (they carry the old grammar).
+        """
+        from ..parsing import parser_backend_names
+
+        backend = backend_id(self.parse_stage.parser)
+        if backend not in parser_backend_names():
+            backend = None
+        self.parse_stage.parser = create_parser(backend, lexicon)
+        self._custom_lexicon = True
+        self._parse_stages = {backend_id(self.parse_stage.parser):
+                              self.parse_stage}
 
     def refresh_decisions(self) -> None:
         """Re-pull the human-decision tables from the registry.
@@ -235,10 +271,67 @@ class SageEngine:
         return (self.parse_stage, self.winnow_stage, self.generate_stage)
 
     # -- per-sentence pipeline --------------------------------------------------
+    def _stage_for(self, spec: SpecSentence) -> ParseStage:
+        """The parse stage serving ``spec``'s protocol.
+
+        An engine-wide ``parser_backend`` pins every sentence to one
+        stage.  Otherwise the sentence's protocol resolves its registered
+        backend preference; stages are built lazily per backend name and
+        share this engine's chunker and parse cache (whose keys carry the
+        backend id, so entries never cross).  Engines built over a custom
+        lexicon always use their single private stage.
+        """
+        if self.parser_backend is not None or self._custom_lexicon:
+            return self.parse_stage
+        protocol = spec.protocol
+        if not protocol:
+            return self.parse_stage
+        return self._stage_for_backend(
+            self.protocol_registry.parser_backend_for(protocol)
+        )
+
+    def _stage_for_backend(self, backend: str) -> ParseStage:
+        """The (lazily built, memoized) stage running ``backend`` for this
+        engine — over the engine's own lexicon when one was supplied, the
+        registry's memoized substrate otherwise.  Stages share the
+        engine's chunker and parse cache; cache keys carry the backend id
+        so entries never cross."""
+        stage = self._parse_stages.get(backend)
+        if stage is None:
+            if self._custom_lexicon:
+                parser = create_parser(backend, self.lexicon)
+            else:
+                parser = self.protocol_registry.parser(backend=backend)
+            stage = ParseStage(parser, self.parse_stage.chunker,
+                               cache=self.parse_stage.cache)
+            self._parse_stages[backend] = stage
+        return stage
+
     def parse_sentence(self, spec: SpecSentence) -> tuple[ParseResult, bool]:
         """Parse, retrying with the field subject supplied on zero LFs."""
-        parsed = self.parse_stage.run(spec)
+        parsed = self._stage_for(spec).run(spec)
         return parsed.result, parsed.subject_supplied
+
+    def parse_batch(self, corpus: Corpus | str, *,
+                    parser_backend: str | None = None) -> list:
+        """Parse a whole corpus through one backend instance (no winnow,
+        no codegen) — the batch diagnostics surface behind ``python -m
+        repro parse``.
+
+        ``corpus`` is a :class:`Corpus` or a registered protocol name;
+        ``parser_backend`` overrides the stage resolution (engine setting,
+        then the protocol's registered preference).  Returns the
+        :class:`~repro.core.stages.ParsedSentence` list in corpus order,
+        cache-served like any pipeline parse.
+        """
+        if isinstance(corpus, str):
+            corpus = self.protocol_registry.load_corpus(corpus)
+        if parser_backend is None:
+            stage = (self._stage_for(corpus.sentences[0])
+                     if corpus.sentences else self.parse_stage)
+        else:
+            stage = self._stage_for_backend(parser_backend)
+        return stage.run_batch(corpus.sentences)
 
     @staticmethod
     def _decision_for(table: dict, spec: SpecSentence):
@@ -266,11 +359,12 @@ class SageEngine:
                 codes=[SentenceCode(sentence=spec.text, status="non-actionable")],
             )
 
-        parsed = self.parse_stage.run(spec)
+        parsed = self._stage_for(spec).run(spec)
         trace = self.winnow_stage.run(parsed)
         result = SentenceResult(
             spec=spec, status=STATUS_OK, trace=trace,
             subject_supplied=parsed.subject_supplied,
+            pruned=parsed.pruned,
         )
         context = self.generate_stage.context_for(spec)
 

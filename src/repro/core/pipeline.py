@@ -123,9 +123,12 @@ class Sage:
 
     @lexicon.setter
     def lexicon(self, lexicon: Lexicon) -> None:
-        from ..ccg.chart import CCGChartParser
-
-        self.engine.parse_stage.parser = CCGChartParser(lexicon)
+        # Rebuild the parser over the new grammar, preserving whichever
+        # registered backend the engine's stage was running (ad-hoc parser
+        # objects rebuild as the default backend, the historical
+        # behavior).  Marks the engine custom-lexicon so per-protocol
+        # backend resolution can never fall back to the registry grammar.
+        self.engine.set_lexicon(lexicon)
 
     @property
     def chunker(self) -> NounPhraseChunker:

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import re
 
 from ..ccg.chart import CCGChartParser, ParseResult
+from ..parsing import backend_id, create_parser
 from ..ccg.semantics import Sem
 from ..codegen.context import (
     AmbiguousReference,
@@ -85,20 +86,47 @@ class ParsedSentence:
     def logical_forms(self) -> list[Sem]:
         return self.result.logical_forms
 
+    @property
+    def pruned(self) -> bool:
+        """True when the backend's cell budget truncated this parse."""
+        return self.result.pruned
+
 
 class ParseStage:
     """NP-chunk + CCG-parse, with subject-supply retry and caching.
 
-    The cache key is ``(fingerprint, sentence_text, field)``: the
-    fingerprint hashes the lexicon entries and the chunker's dictionary and
-    configuration, and ``field`` participates because the §4.1 retry splices
-    the header-field name into the token stream.  Cached values are the
-    ``(ParseResult, subject_supplied)`` pair, stored as shared read-only
-    objects.
+    The stage runs over any :class:`~repro.parsing.backend.ParserBackend`:
+    pass a parser instance positionally, or select a registered backend by
+    name with ``backend=`` (``ParseStage(backend="reference")``), in which
+    case the default registry's memoized lexicon substrate supplies the
+    grammar.
+
+    The cache key is ``(backend_id:fingerprint, sentence_text, field)``:
+    the backend id keeps different parser implementations' entries apart
+    (never cross-served), the fingerprint hashes the lexicon entries and
+    the chunker's dictionary and configuration, and ``field`` participates
+    because the §4.1 retry splices the header-field name into the token
+    stream.  Cached values are the ``(ParseResult, subject_supplied)``
+    pair, stored as shared read-only objects.
     """
 
-    def __init__(self, parser: CCGChartParser, chunker: NounPhraseChunker,
-                 cache: ParseCache | None = None) -> None:
+    def __init__(self, parser: CCGChartParser | None = None,
+                 chunker: NounPhraseChunker | None = None,
+                 cache: ParseCache | None = None, *,
+                 backend: str | None = None) -> None:
+        if parser is None:
+            from ..rfc.registry import default_registry
+
+            registry = default_registry()
+            parser = registry.parser(backend=backend)
+            if chunker is None:
+                chunker = registry.chunker()
+        elif backend is not None:
+            parser = create_parser(backend, parser.lexicon)
+        if chunker is None:
+            from ..rfc.registry import default_registry
+
+            chunker = default_registry().chunker()
         self.parser = parser
         self._chunker = chunker
         self.cache = cache
@@ -114,17 +142,23 @@ class ParseStage:
         self._chunker_fingerprint = None  # new token stream, new cache keys
 
     def fingerprint(self) -> str:
-        """The combined lexicon + chunker content hash.
+        """The combined backend + lexicon + chunker content identity.
 
-        The lexicon part is re-read every call — ``Lexicon.fingerprint`` is
-        self-invalidating on mutation, so entries added after construction
-        move this stage to fresh cache keys instead of serving
-        stale-grammar parses.  The chunker part is hashed once: dictionary
-        and config objects are documented read-only after construction.
+        The backend id comes first: two backends never share cache
+        entries, even over identical grammars (their ``ParseResult``
+        metadata differs), and a backend swap is automatically a cache
+        miss.  The lexicon part is re-read every call —
+        ``Lexicon.fingerprint`` is self-invalidating on mutation, so
+        entries added after construction move this stage to fresh cache
+        keys instead of serving stale-grammar parses.  The chunker part is
+        hashed once: dictionary and config objects are documented
+        read-only after construction.
         """
         if self._chunker_fingerprint is None:
             self._chunker_fingerprint = self.chunker.fingerprint()
-        return self.parser.lexicon.fingerprint() + ":" + self._chunker_fingerprint
+        return (backend_id(self.parser) + ":"
+                + self.parser.lexicon.fingerprint() + ":"
+                + self._chunker_fingerprint)
 
     def cache_key(self, spec: SpecSentence) -> tuple:
         return (self.fingerprint(), spec.text, spec.field)
@@ -145,6 +179,17 @@ class ParseStage:
         self.cache.put(key, (result, supplied))
         return ParsedSentence(spec=spec, result=result,
                               subject_supplied=supplied)
+
+    def run_batch(self, specs) -> list[ParsedSentence]:
+        """Parse a whole corpus (any iterable of specs) through this one
+        backend instance, serving repeats from the shared cache.
+
+        The batch surface exists so sweeps, benchmarks, and diagnostics
+        drive one warm backend over many sentences without re-resolving
+        the stage per sentence; see ``SageEngine.parse_batch`` for the
+        engine-level corpus entry point.
+        """
+        return [self.run(spec) for spec in specs]
 
     def parse_text(self, text: str) -> ParseResult:
         """Parse bare text (no spec, no subject-supply retry), cached.

@@ -67,7 +67,7 @@ class NounPhraseChunker:
 
     def chunk(self, tokens: list[Token]) -> list[Token]:
         if not self.config.use_np_labeling:
-            return list(tokens)
+            return self._trie_ready(list(tokens))
         tokens = self._fuse_quoted(tokens)
         if self.config.use_dictionary:
             tokens = self._fuse_dictionary(tokens)
@@ -75,6 +75,14 @@ class NounPhraseChunker:
         tokens = self._fuse_number_units(tokens)
         if self.config.merge_adjacent:
             tokens = self._merge_adjacent_nps(tokens)
+        return self._trie_ready(tokens)
+
+    @staticmethod
+    def _trie_ready(tokens: list[Token]) -> list[Token]:
+        """Warm each emitted token's cached ``lower`` so downstream
+        consumers (the lexicon trie walk, the tagger) never re-lowercase."""
+        for token in tokens:
+            token.lower  # noqa: B018 — populates the cached_property
         return tokens
 
     # -- pass 1: quoted phrases -------------------------------------------

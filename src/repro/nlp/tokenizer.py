@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import cached_property
 
 # Order matters: the first alternative that matches wins.
 _TOKEN_PATTERN = re.compile(
@@ -40,8 +41,14 @@ class Token:
     kind: str
     position: int
 
-    @property
+    @cached_property
     def lower(self) -> str:
+        """Lowercased surface text, computed once per token.
+
+        Lexicon lookups, the phrase-trie walk, and the tagger all key on
+        the lowercase form; caching it makes a token "trie-ready" — the
+        chunker warms it on every token it emits so the parse loop never
+        re-lowercases."""
         return self.text.lower()
 
     def is_word(self) -> bool:

@@ -1,0 +1,36 @@
+"""repro.parsing — the pluggable parsing subsystem.
+
+The paper's front end (§4.1, CCG parsing of RFC sentences into logical
+forms) as a first-class subsystem: a :class:`ParserBackend` protocol with
+two registered implementations — the ``reference`` CKY chart and the
+``indexed`` packed-forest parser — whose corpus-wide parity is locked in
+tests and gated in CI.  See DESIGN.md §8.
+"""
+
+from .backend import (
+    DEFAULT_PARSER_BACKEND,
+    REFERENCE_PARSER_BACKEND,
+    ParserBackend,
+    UnknownParserBackendError,
+    backend_id,
+    create_parser,
+    parser_backend_names,
+    register_parser_backend,
+)
+from .forest import PackedItem, ParseForest, PruneBudget
+from .indexed import IndexedChartParser
+
+__all__ = [
+    "DEFAULT_PARSER_BACKEND",
+    "REFERENCE_PARSER_BACKEND",
+    "ParserBackend",
+    "UnknownParserBackendError",
+    "backend_id",
+    "create_parser",
+    "parser_backend_names",
+    "register_parser_backend",
+    "PackedItem",
+    "ParseForest",
+    "PruneBudget",
+    "IndexedChartParser",
+]

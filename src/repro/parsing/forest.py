@@ -1,0 +1,174 @@
+"""The packed parse forest: shared subderivations, lazy LF enumeration.
+
+A CKY chart whose cells deduplicate semantically is already *packing*
+derivations — this module makes that packing explicit.  Each
+:class:`PackedItem` is one (category, normal-form semantics) equivalence
+class in one cell; every way the grammar derived it is recorded as a
+backpointer in :attr:`PackedItem.derivations`, so the forest holds the full
+derivation space in space proportional to the number of *distinct*
+readings, not the number of parse trees.
+
+Pruning is explicit: a :class:`PruneBudget` bounds how many distinct items
+a cell may hold, and every item the budget rejects is *counted* on
+:attr:`ParseForest.dropped_items` (surfaced as ``pruned`` on the
+:class:`~repro.ccg.chart.ParseResult`, the pipeline's ``SentenceResult``,
+and the API's ``SentenceReport``) — the silent ``MAX_CELL_ITEMS``
+truncation the reference chart used to perform is now an auditable event.
+
+Logical forms enumerate lazily: :meth:`ParseForest.logical_forms` is a
+generator over the grounded root items in chart insertion order, so a
+caller wanting only the first reading (or the first *n*) never pays for
+the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..ccg.categories import NP, S, Category, category_id
+from ..ccg.chart import MAX_CELL_ITEMS, ParseResult
+from ..ccg.semantics import Sem, signature
+
+__all__ = ["PruneBudget", "PackedItem", "Derivation", "ParseForest"]
+
+
+@dataclass(frozen=True)
+class PruneBudget:
+    """The explicit pruning contract for a chart parse.
+
+    ``max_cell_items`` bounds the *distinct* (category, semantics) items a
+    single cell may hold; additional derivations of an item already present
+    pack onto it for free.  Items rejected by the bound are counted, never
+    silently discarded.
+    """
+
+    max_cell_items: int = MAX_CELL_ITEMS
+
+
+#: One way an item was derived: ``(rule, left, right)`` backpointers.
+#: Lexical derivations use rule ``"lexical"`` with ``left``/``right`` None.
+Derivation = tuple[str, "PackedItem | None", "PackedItem | None"]
+
+LEXICAL_RULE = "lexical"
+
+
+class PackedItem:
+    """One equivalence class of derivations in one chart cell.
+
+    ``sem`` is the cell semantics exactly as the reference backend's cell
+    would carry it (verbatim-stamped for lexical items, β-normal for
+    combined items); ``ntriple`` is the normalized ``(sem, sid, grounded)``
+    triple further combinations apply.  ``sid`` is the hash-consed
+    structural id — equal ids mean equal provenance-free structure, the
+    dedup relation; :attr:`sig` renders the portable signature string on
+    demand for cross-parse comparison and debugging.
+    """
+
+    __slots__ = ("category", "catid", "sem", "sid", "grounded", "ntriple",
+                 "derivations", "_sig")
+
+    def __init__(self, category: Category, sem: Sem, ntriple: tuple) -> None:
+        self.category = category
+        self.catid: int = category_id(category)
+        self.sem = sem
+        self.ntriple = ntriple
+        self.sid: int = ntriple[1]
+        self.grounded: bool = ntriple[2]
+        self.derivations: list[Derivation] = []
+        self._sig: str | None = None
+
+    @property
+    def nsem(self) -> Sem:
+        """The β-normal form of :attr:`sem`."""
+        return self.ntriple[0]
+
+    @property
+    def sig(self) -> str:
+        """The :func:`~repro.ccg.semantics.signature` of this item."""
+        if self._sig is None:
+            self._sig = signature(self.nsem)
+        return self._sig
+
+    def derivation_count(self) -> int:
+        """How many distinct ways this item was derived (packing width)."""
+        return len(self.derivations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PackedItem({self.category}, {self.sig}, ×{len(self.derivations)})"
+
+
+class ParseForest:
+    """Everything one sentence's chart derived, packed.
+
+    ``cells`` maps spans to their item lists in insertion order — the same
+    order the reference backend's cells carry, which is what makes forest
+    enumeration order (and therefore every downstream survivor list)
+    backend-independent.
+    """
+
+    def __init__(self, length: int, cells: dict[tuple[int, int], list[PackedItem]],
+                 unknown_words: list[str], dropped_items: int,
+                 budget: PruneBudget, cells_filled: int,
+                 backend: str = "") -> None:
+        self.length = length
+        self.cells = cells
+        self.unknown_words = unknown_words
+        self.dropped_items = dropped_items
+        self.budget = budget
+        self.cells_filled = cells_filled
+        self.backend = backend
+
+    @property
+    def pruned(self) -> bool:
+        """True when the budget rejected at least one item: the forest (and
+        every LF set enumerated from it) may be incomplete."""
+        return self.dropped_items > 0
+
+    # -- enumeration -----------------------------------------------------------
+    def root_items(self) -> list[PackedItem]:
+        """Full-span items with a root category (S, or NP for fragments)
+        and grounded semantics, in chart insertion order."""
+        return [
+            item
+            for item in self.cells.get((0, self.length), [])
+            if item.category in (S, NP) and item.grounded
+        ]
+
+    def logical_forms(self) -> Iterator[Sem]:
+        """Lazily enumerate the grounded root logical forms.
+
+        Signature-deduplicated across root categories (an S and an NP
+        reading with identical semantics count once), preserving insertion
+        order — identical to the eager list the reference backend builds.
+        """
+        seen: set[int] = set()
+        for item in self.root_items():
+            if item.sid not in seen:
+                seen.add(item.sid)
+                yield item.sem
+
+    # -- statistics ------------------------------------------------------------
+    def item_count(self) -> int:
+        return sum(len(items) for items in self.cells.values())
+
+    def packed_derivations(self) -> int:
+        """Total derivations across all items — how much tree-space the
+        packing shares (≥ :meth:`item_count`)."""
+        return sum(
+            len(item.derivations)
+            for items in self.cells.values()
+            for item in items
+        )
+
+    # -- adaptation ------------------------------------------------------------
+    def to_result(self) -> ParseResult:
+        """The flat :class:`~repro.ccg.chart.ParseResult` view of the forest."""
+        return ParseResult(
+            logical_forms=list(self.logical_forms()),
+            unknown_words=self.unknown_words,
+            token_count=self.length,
+            cells_filled=self.cells_filled,
+            dropped_items=self.dropped_items,
+            backend=self.backend,
+        )

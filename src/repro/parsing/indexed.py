@@ -1,0 +1,430 @@
+"""The optimized chart backend: category-indexed cells over a packed forest.
+
+Same grammar, same combinators, same cells — different enumeration.  Where
+the reference backend tries every rule on every cell×cell item pair, this
+backend keeps per-cell indexes (items by exact category, forward/backward
+functions by result category, conjunctions, saturated constituents) and
+only visits pairs whose categories can actually unify under some rule:
+
+* forward application ``X/Y Y``: each forward function looks up exactly
+  the right-cell items of category ``Y``;
+* forward composition ``X/Y Y/Z``: ... the right-cell forward functions
+  whose *result* is ``Y``;
+* backward application/composition mirror with the left cell;
+* coordination: the left cell's CONJ items × the right cell's saturated
+  constituents.
+
+Candidate productions are tagged ``(mid, left_index, right_index, rule)``
+and sorted before insertion, which reproduces the reference backend's
+insertion sequence exactly — so semantic dedup keeps the *same*
+representative (same provenance spans and triggers), cells truncate at the
+same point under the same budget, and the enumerated logical forms match
+the reference list element-for-element.  Parity is therefore structural;
+the test suite and the benchmark gate verify it corpus-wide.
+
+Semantics flow as the fused normalizer's ``(sem, sid, grounded)`` triples
+(:mod:`.values`): combining two items substitutes into already-normal
+forms, building the result term, its dedup id, and its groundedness in one
+pass.  On top of that sits a process-global *production memo*: the
+structural outcome of (rule, operand categories, operand structures) is
+deterministic, so once any sentence anywhere has derived a combination
+shape, every later duplicate derivation — the majority, CCG's spurious
+ambiguity being what it is — resolves to "pack one more backpointer" with
+a single dict probe and no term construction at all.
+"""
+
+from __future__ import annotations
+
+import gc
+from operator import itemgetter
+
+from ..ccg.categories import (
+    CONJ,
+    FORWARD,
+    NP,
+    S,
+    Category,
+    Func,
+    backward,
+    category_id,
+    forward,
+)
+from ..ccg.chart import (
+    MAX_CELL_ITEMS,
+    CCGChartParser,
+    ParseResult,
+    lexical_span_items,
+    strip_terminal_punct,
+)
+from ..ccg.combinators import (
+    RULE_BACKWARD_APPLICATION,
+    RULE_BACKWARD_COMPOSITION,
+    RULE_COORDINATION,
+    RULE_FORWARD_APPLICATION,
+    RULE_FORWARD_COMPOSITION,
+    RULE_NAMES,
+)
+from ..ccg.lexicon import Lexicon
+from ..ccg.semantics import Const
+from ..nlp.tokenizer import Token
+from .forest import LEXICAL_RULE, PackedItem, ParseForest, PruneBudget
+from .values import (
+    Triple,
+    apply_triple,
+    lam_wrap,
+    make_call_triple,
+    neutral,
+    normalize,
+    reset_apply_memo,
+)
+
+#: (rule, left category id, left sid, right category id, right sid) →
+#: tuple of (category, category id, sid, grounded) per production.
+#: Structure-only and therefore process-global: provenance does not
+#: participate, so a hit is valid for any derivation with
+#: structurally-equal operands.
+_PRODUCTION_MEMO: dict[tuple, tuple] = {}
+
+#: Lexical span cache: the chart items (category, stamped sem, normalized
+#: triple) a given surface span yields are a pure function of the lexicon
+#: content, the span's tokens, and the start position, so they are shared
+#: process-wide.  Sharing the *sem objects* across sentences is what
+#: feeds the apply memo in :mod:`.values` — identical phrases at
+#: identical offsets re-derive combination results by dict probe.
+#:
+#: The cache is generational: one inner dict per lexicon fingerprint (an
+#: edited or different lexicon can never be served another grammar's
+#: items), bounded to the most recent :data:`_LEXICAL_GENERATIONS`
+#: fingerprints so a long-lived service editing its lexicon does not
+#: accumulate orphaned generations forever.  Inner keys: single tokens by
+#: (start, text, kind); multiword spans by (start, lowered words).
+#: Misses (spans yielding no items) cache as empty tuples.
+_LEXICAL_CACHE: dict[str, dict[tuple, tuple]] = {}
+_LEXICAL_GENERATIONS = 4
+
+
+def _lexical_generation(fingerprint: str) -> dict[tuple, tuple]:
+    generation = _LEXICAL_CACHE.get(fingerprint)
+    if generation is None:
+        evicted = False
+        while len(_LEXICAL_CACHE) >= _LEXICAL_GENERATIONS:
+            _LEXICAL_CACHE.pop(next(iter(_LEXICAL_CACHE)))
+            evicted = True
+        if evicted:
+            # The apply memo pins sem objects from the dropped
+            # generation's items; those entries can never hit again, so
+            # release them wholesale (live entries rebuild on demand).
+            reset_apply_memo()
+        generation = _LEXICAL_CACHE.setdefault(fingerprint, {})
+    return generation
+
+
+class _Cell:
+    """One chart cell plus the indexes the combination loop consults."""
+
+    __slots__ = ("items", "by_key", "by_cat", "fwd", "bwd",
+                 "fwd_by_result", "bwd_by_result", "conj", "non_func")
+
+    def __init__(self) -> None:
+        self.items: list[PackedItem] = []
+        #: (category id, structural id) → item, for insertion-time dedup.
+        self.by_key: dict[tuple[int, int], PackedItem] = {}
+        self.by_cat: dict[int, list] = {}
+        #: (index, item, argument category id) for function categories.
+        self.fwd: list = []
+        self.bwd: list = []
+        self.fwd_by_result: dict[int, list] = {}
+        self.bwd_by_result: dict[int, list] = {}
+        self.conj: list = []
+        self.non_func: list = []
+
+    def insert(self, item: PackedItem) -> None:
+        index = len(self.items)
+        self.items.append(item)
+        key = (item.catid, item.sid)
+        if key not in self.by_key:
+            self.by_key[key] = item
+        category = item.category
+        self.by_cat.setdefault(item.catid, []).append((index, item))
+        if isinstance(category, Func):
+            # Function entries carry their argument-category id so the
+            # candidate scan probes the opposite cell with plain ints.
+            entry = (index, item, category_id(category.arg))
+            result_cid = category_id(category.result)
+            if category.slash == FORWARD:
+                self.fwd.append(entry)
+                self.fwd_by_result.setdefault(result_cid, []).append((index, item))
+            else:
+                self.bwd.append(entry)
+                self.bwd_by_result.setdefault(result_cid, []).append((index, item))
+        else:
+            entry = (index, item)
+            self.non_func.append(entry)
+            if category == CONJ:
+                self.conj.append(entry)
+
+
+class IndexedChartParser(CCGChartParser):
+    """The ``indexed`` parser backend (see module docstring).
+
+    Subclasses :class:`~repro.ccg.chart.CCGChartParser` for interface
+    compatibility (``lexicon``, ``max_cell_items``, ``parse``); the chart
+    construction is entirely its own.
+    """
+
+    name = "indexed"
+
+    def __init__(self, lexicon: Lexicon, max_cell_items: int = MAX_CELL_ITEMS,
+                 budget: PruneBudget | None = None) -> None:
+        if budget is None:
+            budget = PruneBudget(max_cell_items=max_cell_items)
+        super().__init__(lexicon, budget.max_cell_items)
+        self.budget = budget
+
+    # -- public API ------------------------------------------------------------
+    def parse(self, tokens: list[Token]) -> ParseResult:
+        return self.parse_forest(tokens).to_result()
+
+    def parse_forest(self, tokens: list[Token]) -> ParseForest:
+        """Parse into a :class:`~repro.parsing.forest.ParseForest`."""
+        tokens = strip_terminal_punct(tokens)
+        length = len(tokens)
+        if not tokens:
+            return ParseForest(0, {}, [], 0, self.budget, 0, backend=self.name)
+        cells: dict[tuple[int, int], _Cell] = {}
+        cell_keys: set[tuple[int, int]] = set()
+        covered = [False] * length
+        # Chart construction is allocation-dense and most of what it
+        # builds is either pinned in the process-global memos or garbage
+        # by the end of the sentence; letting the cyclic collector run
+        # mid-parse means re-traversing the ever-growing memo graph on
+        # every generation sweep, which dominates cold-parse time.  Pause
+        # it for the (milliseconds-long) construction window.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            unknown = self._fill_lexical(tokens, cells, cell_keys, covered)
+            dropped = self._combine_spans(length, cells, cell_keys)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return ParseForest(
+            length=length,
+            cells={span: cells[span].items for span in cells},
+            unknown_words=unknown,
+            dropped_items=dropped,
+            budget=self.budget,
+            cells_filled=len(cell_keys),
+            backend=self.name,
+        )
+
+    # -- lexical spans ---------------------------------------------------------
+    def _fill_lexical(self, tokens: list[Token], cells, cell_keys,
+                      covered: list[bool]) -> list[str]:
+        length = len(tokens)
+        words_lower = [token.lower for token in tokens]
+        matches_by_start = [
+            dict(self.lexicon.iter_matches(words_lower, start))
+            for start in range(length)
+        ]
+        # Same cell-filling order as the reference chart: span length
+        # ascending, start ascending.
+        lexical_cache = _lexical_generation(self.lexicon.fingerprint())
+        for span_len in range(1, min(self.lexicon.max_phrase_words, length) + 1):
+            for start in range(0, length - span_len + 1):
+                end = start + span_len
+                if span_len == 1:
+                    token = tokens[start]
+                    cache_key = (start, token.text, token.kind)
+                else:
+                    entries = matches_by_start[start].get(end, ())
+                    if not entries:
+                        continue  # multiword spans only exist via the trie
+                    cache_key = (start, tuple(words_lower[start:end]))
+                cached = lexical_cache.get(cache_key)
+                if cached is None:
+                    items = lexical_span_items(
+                        self.lexicon, tokens, start, end,
+                        entries=(matches_by_start[start].get(end, ())
+                                 if span_len == 1 else entries),
+                    )
+                    # The cached sem is the verbatim (unreduced, stamped)
+                    # lexical semantics — exactly what the reference cell
+                    # carries — alongside the normalized triple that
+                    # drives combination and dedup.
+                    cached = tuple(
+                        (item.category, item.sem, normalize(item.sem, {}))
+                        for item in items
+                    )
+                    lexical_cache[cache_key] = cached
+                if not cached:
+                    continue
+                for position in range(start, end):
+                    covered[position] = True
+                cell = cells.get((start, end))
+                if cell is None:
+                    cell = cells[(start, end)] = _Cell()
+                    cell_keys.add((start, end))
+                for category, sem, ntriple in cached:
+                    packed = PackedItem(category=category, sem=sem,
+                                        ntriple=ntriple)
+                    packed.derivations.append((LEXICAL_RULE, None, None))
+                    cell.insert(packed)
+        return [
+            tokens[position].text
+            for position in range(length)
+            if not covered[position]
+        ]
+
+    # -- combination -----------------------------------------------------------
+    def _combine_spans(self, length: int, cells, cell_keys) -> int:
+        dropped = 0
+        budget = self.budget.max_cell_items
+        for span_len in range(2, length + 1):
+            for start in range(0, length - span_len + 1):
+                end = start + span_len
+                cell_keys.add((start, end))
+                candidates = self._candidates(start, end, cells)
+                if not candidates:
+                    continue
+                candidates.sort(key=_CANDIDATE_ORDER)
+                cell = cells.get((start, end))
+                if cell is None:
+                    cell = cells[(start, end)] = _Cell()
+                dropped += self._insert_candidates(cell, candidates, budget)
+        return dropped
+
+    @staticmethod
+    def _candidates(start: int, end: int, cells) -> list:
+        """Every rule-compatible (left item, right item) pairing, tagged
+        with its reference-order position ``(mid, l_idx, r_idx, rule)``."""
+        candidates = []
+        append = candidates.append
+        for mid in range(start + 1, end):
+            left = cells.get((start, mid))
+            right = cells.get((mid, end))
+            if left is None or right is None:
+                continue
+            empty: list = []
+            for l_idx, litem, arg_cid in left.fwd:
+                for r_idx, ritem in right.by_cat.get(arg_cid, empty):
+                    append((mid, l_idx, r_idx, RULE_FORWARD_APPLICATION,
+                            litem, ritem))
+                for r_idx, ritem in right.fwd_by_result.get(arg_cid, empty):
+                    append((mid, l_idx, r_idx, RULE_FORWARD_COMPOSITION,
+                            litem, ritem))
+            for r_idx, ritem, arg_cid in right.bwd:
+                for l_idx, litem in left.by_cat.get(arg_cid, empty):
+                    append((mid, l_idx, r_idx, RULE_BACKWARD_APPLICATION,
+                            litem, ritem))
+                for l_idx, litem in left.bwd_by_result.get(arg_cid, empty):
+                    append((mid, l_idx, r_idx, RULE_BACKWARD_COMPOSITION,
+                            litem, ritem))
+            if left.conj:
+                for l_idx, litem in left.conj:
+                    for r_idx, ritem in right.non_func:
+                        append((mid, l_idx, r_idx, RULE_COORDINATION,
+                                litem, ritem))
+        return candidates
+
+    def _insert_candidates(self, cell: _Cell, candidates, budget: int) -> int:
+        dropped = 0
+        by_key = cell.by_key
+        by_key_get = by_key.get
+        items = cell.items
+        memo = _PRODUCTION_MEMO
+        memo_get = memo.get
+        rule_names = RULE_NAMES
+        for candidate in candidates:
+            rule = candidate[3]
+            litem = candidate[4]
+            ritem = candidate[5]
+            pkey = (rule, litem.catid, litem.sid, ritem.catid, ritem.sid)
+            outcomes = memo_get(pkey)
+            if outcomes is None:
+                productions = _produce(rule, litem, ritem)
+                outcomes = memo[pkey] = tuple(
+                    (category, category_id(category), triple[1], triple[2])
+                    for category, triple in productions
+                )
+            else:
+                # Fast path: the structural outcomes are known; the term
+                # is only built (lazily, below) for a first-time
+                # insertion.  Outcomes align positionally with
+                # ``_produce``'s production list.
+                productions = None
+            rule_name = rule_names[rule]
+            for position, outcome in enumerate(outcomes):
+                existing = by_key_get((outcome[1], outcome[2]))
+                if existing is not None:
+                    # Packing: a new derivation of a known reading.
+                    existing.derivations.append((rule_name, litem, ritem))
+                    continue
+                if len(items) >= budget:
+                    dropped += 1
+                    continue
+                if productions is None:
+                    productions = _produce(rule, litem, ritem)
+                category, triple = productions[position]
+                packed = PackedItem(category=category, sem=triple[0],
+                                    ntriple=triple)
+                packed.derivations.append((rule_name, litem, ritem))
+                cell.insert(packed)
+        return dropped
+
+
+def _produce(rule: int, litem: PackedItem,
+             ritem: PackedItem) -> tuple[tuple[Category, Triple], ...]:
+    """The produced (category, triple) pairs for one candidate.
+
+    The category indexes guarantee the rule's precondition holds, so
+    production is unconditional; results are built directly in normalized
+    triple form, mirroring :mod:`repro.ccg.combinators` rule-for-rule."""
+    lcat, rcat = litem.category, ritem.category
+    if rule == RULE_FORWARD_APPLICATION:
+        return ((lcat.result, apply_triple(litem.ntriple, ritem.ntriple)),)
+    if rule == RULE_BACKWARD_APPLICATION:
+        return ((rcat.result, apply_triple(ritem.ntriple, litem.ntriple)),)
+    if rule == RULE_FORWARD_COMPOSITION:
+        # λz. l (r z)
+        inner = apply_triple(ritem.ntriple, neutral("z"))
+        return ((forward(lcat.result, rcat.arg),
+                 lam_wrap("z", apply_triple(litem.ntriple, inner))),)
+    if rule == RULE_BACKWARD_COMPOSITION:
+        # λz. r (l z)
+        inner = apply_triple(litem.ntriple, neutral("z"))
+        return ((backward(rcat.result, lcat.arg),
+                 lam_wrap("z", apply_triple(ritem.ntriple, inner))),)
+    # Coordination (grouped, then — for NP conjuncts — distributed),
+    # mirroring repro.ccg.combinators.coordination term-for-term.
+    lsem = litem.sem
+    conj_pred = "Or" if type(lsem) is Const and lsem.value == "or" else "And"
+    var_a = neutral("a")
+    grouped = lam_wrap(
+        "a",
+        make_call_triple(conj_pred, (var_a, ritem.ntriple), None, frozenset()),
+    )
+    productions = [(backward(rcat, rcat), grouped)]
+    if rcat == NP:
+        var_p = neutral("p")
+        distributed = lam_wrap(
+            "a",
+            lam_wrap(
+                "p",
+                make_call_triple(
+                    conj_pred,
+                    (apply_triple(var_p, var_a), apply_triple(var_p, ritem.ntriple)),
+                    None,
+                    frozenset({"distributed"}),
+                ),
+            ),
+        )
+        productions.append((_DISTRIBUTED_CATEGORY, distributed))
+    return tuple(productions)
+
+
+_DISTRIBUTED_CATEGORY = backward(forward(S, backward(S, NP)), NP)
+
+#: Sort key reproducing the reference backend's insertion sequence.
+_CANDIDATE_ORDER = itemgetter(0, 1, 2, 3)

@@ -1,0 +1,357 @@
+"""A fused, memoizing normalizer for the chart's lambda semantics.
+
+The reference chart normalizes every produced item with
+:func:`repro.ccg.semantics.reduce_term` — repeated single-step beta
+reduction, each step a full traversal — and then runs a second full
+traversal for the dedup :func:`~repro.ccg.semantics.signature`.  On the
+cold-parse path that multi-pass work dominates.
+
+Here normalization, structural identity, and groundedness are computed in
+**one pass**.  Everything flows as triples ``(sem, sid, grounded)``:
+
+* ``sem`` — the β-normal term (ordinary :class:`~repro.ccg.semantics.Sem`
+  nodes, provenance intact);
+* ``sid`` — a hash-consed intern id: two terms get the same ``sid`` iff
+  they have the same provenance-free structure, i.e. exactly the
+  equivalence :func:`~repro.ccg.semantics.signature` induces, but a dict
+  probe on small tuples instead of string assembly;
+* ``grounded`` — :func:`~repro.ccg.semantics.is_grounded`, composed
+  bottom-up.
+
+:func:`normalize` evaluates a term under an environment of triples.
+Because every term entering the system is already β-normal (lexical
+semantics are hand-written normal forms; produced items are stored
+normalized), redexes only appear when application substitutes a lambda
+into function position — so the walk touches the substitution spine and
+shortcuts everything else:
+
+* subtrees with no free variable bound by the environment are returned
+  as-is, with their triple cached *on the node* (``_norm`` in the
+  instance dict), so repeated applications of the same function re-walk
+  only what actually changes;
+* free-variable sets are likewise cached per node (``_fv``);
+* leaf sids cache on the ``Const``/``Var`` instances.
+
+The intern table is process-global and content-addressed: equal keys map
+to equal ids across sentences and parses, which makes sids comparable
+everywhere and lets the formulaic structure of RFC prose intern once.  It
+grows with the number of distinct logical-form shapes ever parsed — the
+same growth discipline as the registry's parse cache.
+
+Provenance survives untouched: ``Const`` spans ride along by object
+identity and ``Call`` trigger/flags are copied field-for-field, so the
+winnow checks see the same spans and triggers the reference backend
+produces.  Binder names are kept verbatim (chart semantics are closed
+terms, so reification under a binder never captures anything); β-normal
+forms are unique up to those names (Church–Rosser), which is why this
+normalizer and ``reduce_term`` agree structure-for-structure on every
+grounded logical form — the property the backend-parity suite locks
+corpus-wide.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..ccg.semantics import App, Call, Const, Lam, Sem, Var
+
+__all__ = ["normalize", "apply_triple", "Triple", "sid_of_key", "neutral",
+           "lam_wrap", "make_call_triple"]
+
+#: (sem, sid, grounded)
+Triple = tuple[Sem, int, bool]
+
+# Frozen-dataclass construction goes through object.__setattr__ per field;
+# on a path that builds hundreds of thousands of nodes per corpus that is
+# pure overhead.  These constructors write the instance dict directly —
+# field layout, equality, and hashing are unchanged.
+_new = object.__new__
+
+
+def _mk_call(pred, args, trigger, flags) -> Call:
+    node = _new(Call)
+    d = node.__dict__
+    d["pred"] = pred
+    d["args"] = args
+    d["trigger"] = trigger
+    d["flags"] = flags
+    return node
+
+
+def _mk_app(fn, arg) -> App:
+    node = _new(App)
+    d = node.__dict__
+    d["fn"] = fn
+    d["arg"] = arg
+    return node
+
+
+def _mk_lam(param, body) -> Lam:
+    node = _new(Lam)
+    d = node.__dict__
+    d["param"] = param
+    d["body"] = body
+    return node
+
+
+# -- hash consing --------------------------------------------------------------
+#
+# Id assignment is an atomic ``setdefault`` drawing from a counter, so
+# racing threads can never hand one id to two different structures (at
+# worst a counter value is burned and ids have gaps).
+
+_INTERN: dict[tuple, int] = {}
+_NEXT_SID = itertools.count()
+
+
+def sid_of_key(key: tuple) -> int:
+    """The intern id for a structural key (see module docstring)."""
+    sid = _INTERN.get(key)
+    if sid is None:
+        sid = _INTERN.setdefault(key, next(_NEXT_SID))
+    return sid
+
+
+def _leaf_sid(leaf, tag: str, payload: str) -> int:
+    d = leaf.__dict__
+    sid = d.get("_sid")
+    if sid is None:
+        sid = d["_sid"] = sid_of_key((tag, payload))
+    return sid
+
+
+#: Shared neutral-variable triples for the binder names the rules use.
+_NEUTRALS: dict[str, Triple] = {}
+
+
+def neutral(name: str) -> Triple:
+    """The neutral-variable triple for ``name`` (shared instance)."""
+    triple = _NEUTRALS.get(name)
+    if triple is None:
+        var = Var(name)
+        triple = _NEUTRALS[name] = (var, _leaf_sid(var, "v", name), False)
+    return triple
+
+
+# -- free variables ------------------------------------------------------------
+
+def _free_vars(term: Sem) -> frozenset[str]:
+    """Free-variable set, cached on the node (terms are immutable)."""
+    d = term.__dict__
+    fv = d.get("_fv")
+    if fv is not None:
+        return fv
+    kind = type(term)
+    if kind is Var:
+        fv = frozenset((term.name,))
+    elif kind is Const:
+        fv = frozenset()
+    elif kind is Lam:
+        fv = _free_vars(term.body) - {term.param}
+    elif kind is App:
+        fv = _free_vars(term.fn) | _free_vars(term.arg)
+    elif kind is Call:
+        fv = frozenset()
+        for arg in term.args:
+            fv = fv | _free_vars(arg)
+    else:
+        raise TypeError(f"no free variables for {term!r}")
+    d["_fv"] = fv
+    return fv
+
+
+# -- the normalizer ------------------------------------------------------------
+
+def normalize(term: Sem, env: dict[str, Triple]) -> Triple:
+    """Normalize ``term`` under ``env`` into a ``(sem, sid, grounded)``
+    triple (see module docstring for the shortcut discipline)."""
+    kind = type(term)
+    if kind is Var:
+        hit = env.get(term.name)
+        if hit is not None:
+            return hit
+        return term, _leaf_sid(term, "v", term.name), False
+    if kind is Const:
+        return term, _leaf_sid(term, "c", term.value), True
+    d = term.__dict__
+    if env:
+        fv = d.get("_fv")
+        if fv is None:
+            fv = _free_vars(term)
+        for name in env:
+            if name in fv:
+                break
+        else:
+            env = _EMPTY_ENV  # nothing to substitute: closed w.r.t. env
+    if not env:
+        cached = d.get("_norm")
+        if cached is not None:
+            return cached
+    if kind is Call:
+        sems = []
+        sids = []
+        grounded = True
+        changed = False
+        for arg in term.args:
+            sub = type(arg)
+            if sub is Const:
+                sems.append(arg)
+                arg_dict = arg.__dict__
+                sid = arg_dict.get("_sid")
+                if sid is None:
+                    sid = arg_dict["_sid"] = sid_of_key(("c", arg.value))
+                sids.append(sid)
+            elif sub is Var:
+                hit = env.get(arg.name)
+                if hit is None:
+                    sems.append(arg)
+                    arg_dict = arg.__dict__
+                    sid = arg_dict.get("_sid")
+                    if sid is None:
+                        sid = arg_dict["_sid"] = sid_of_key(("v", arg.name))
+                    sids.append(sid)
+                    grounded = False
+                else:
+                    sems.append(hit[0])
+                    sids.append(hit[1])
+                    grounded = grounded and hit[2]
+                    changed = True
+            else:
+                arg_sem, arg_sid, arg_grounded = normalize(arg, env)
+                sems.append(arg_sem)
+                sids.append(arg_sid)
+                grounded = grounded and arg_grounded
+                changed = changed or arg_sem is not arg
+        sem = (
+            term if not changed
+            else _mk_call(term.pred, tuple(sems), term.trigger, term.flags)
+        )
+        key = ("@", term.pred, tuple(sids))
+        sid = _INTERN.get(key)
+        if sid is None:
+            sid = _INTERN.setdefault(key, next(_NEXT_SID))
+        triple = (sem, sid, grounded)
+        if grounded:
+            # A grounded result is closed and self-normal: stamp it so any
+            # later normalize() of this node — as an operand, under any
+            # environment — is two dict probes, never a re-walk.
+            sem_dict = sem.__dict__
+            sem_dict["_fv"] = _EMPTY_FV
+            sem_dict["_norm"] = triple
+            return triple
+    elif kind is Lam:
+        param = term.param
+        inner = dict(env)
+        inner[param] = neutral(param)
+        body_sem, body_sid, _ = normalize(term.body, inner)
+        sem = term if body_sem is term.body else _mk_lam(param, body_sem)
+        triple = (sem, sid_of_key(("l", param, body_sid)), False)
+    elif kind is App:
+        fn_t = term.fn
+        if type(fn_t) is Lam:
+            # Syntactic redex: substitute straight into the body.
+            inner = dict(env)
+            inner[fn_t.param] = normalize(term.arg, env)
+            return normalize(fn_t.body, inner)
+        sub = type(fn_t)
+        if sub is Var:
+            hit = env.get(fn_t.name)
+            fn = hit if hit is not None else (
+                fn_t, _leaf_sid(fn_t, "v", fn_t.name), False)
+        else:
+            fn = normalize(fn_t, env)
+        arg_t = term.arg
+        sub = type(arg_t)
+        if sub is Var:
+            hit = env.get(arg_t.name)
+            arg = hit if hit is not None else (
+                arg_t, _leaf_sid(arg_t, "v", arg_t.name), False)
+        elif sub is Const:
+            arg = (arg_t, _leaf_sid(arg_t, "c", arg_t.value), True)
+        else:
+            arg = normalize(arg_t, env)
+        triple = apply_triple(fn, arg)
+        if not env:
+            d["_norm"] = triple
+        return triple
+    else:
+        raise TypeError(f"cannot normalize {term!r}")
+    if not env:
+        d["_norm"] = triple
+    return triple
+
+
+_EMPTY_ENV: dict[str, Triple] = {}
+_EMPTY_FV: frozenset[str] = frozenset()
+
+
+def lam_wrap(param: str, body: Triple) -> Triple:
+    """Wrap a normalized body triple in a lambda binder (rule templates)."""
+    return (
+        _mk_lam(param, body[0]),
+        sid_of_key(("l", param, body[1])),
+        False,
+    )
+
+
+def make_call_triple(pred: str, args: tuple[Triple, ...], trigger,
+                     flags: frozenset) -> Triple:
+    """Build a predicate-application triple from normalized argument
+    triples (rule templates; provenance fields pass straight through)."""
+    grounded = True
+    for arg in args:
+        grounded = grounded and arg[2]
+    sem = _mk_call(pred, tuple(arg[0] for arg in args), trigger, flags)
+    triple = (sem, sid_of_key(("@", pred, tuple(arg[1] for arg in args))),
+              grounded)
+    if grounded:
+        sem_dict = sem.__dict__
+        sem_dict["_fv"] = _EMPTY_FV
+        sem_dict["_norm"] = triple
+    return triple
+
+
+#: (id(fn_sem), id(arg_sem)) → (fn_sem, arg_sem, result triple).  The
+#: result of applying one normal form to another is a pure function of the
+#: two term *objects* (provenance included), so identity-keyed memoization
+#: is exact; the stored references pin the keyed objects.  Hits come from
+#: the lexical span cache sharing stamped semantics across sentences —
+#: formulaic RFC prose re-applies the same function to the same argument
+#: constantly.  Because the pins keep term objects alive, the lexical
+#: cache calls :func:`reset_apply_memo` whenever it evicts a lexicon
+#: generation: entries rooted in evicted sems could never hit again
+#: (fresh generations allocate fresh objects), so dropping the whole memo
+#: keeps memory bounded at the cost of re-deriving the live generation's
+#: applications once.
+_APPLY_MEMO: dict[tuple[int, int], tuple] = {}
+
+
+def reset_apply_memo() -> None:
+    """Drop every memoized application (see :data:`_APPLY_MEMO`)."""
+    _APPLY_MEMO.clear()
+
+
+def apply_triple(fn: Triple, arg: Triple) -> Triple:
+    """Apply one normalized triple to another.
+
+    A lambda callee substitutes the argument into its (already normal)
+    body — free variables of that body other than the parameter are
+    neutral, so a single-binding environment is complete.  Anything else
+    forms a neutral application.
+    """
+    fn_sem = fn[0]
+    if type(fn_sem) is Lam:
+        arg_sem = arg[0]
+        key = (id(fn_sem), id(arg_sem))
+        hit = _APPLY_MEMO.get(key)
+        if hit is not None:
+            return hit[2]
+        triple = normalize(fn_sem.body, {fn_sem.param: arg})
+        _APPLY_MEMO[key] = (fn_sem, arg_sem, triple)
+        return triple
+    arg_sem = arg[0]
+    return (
+        _mk_app(fn_sem, arg_sem),
+        sid_of_key(("a", fn[1], arg[1])),
+        False,
+    )

@@ -34,6 +34,7 @@ from importlib import resources
 
 from ..ccg.chart import CCGChartParser
 from ..ccg.lexicon import Lexicon, build_lexicon
+from ..parsing import DEFAULT_PARSER_BACKEND, create_parser
 from ..nlp.chunker import NounPhraseChunker
 from ..nlp.terms import TermDictionary, load_default_dictionary
 from .corpus import Corpus, Rewrite, corpus_from_text, sentence_key
@@ -88,6 +89,11 @@ class ProtocolSpec:
     #: the responding node.  Consumed by the generator's role policy
     #: (``builder_role``) via :meth:`ProtocolRegistry.sender_built`.
     sender_built: tuple[str, ...] = ()
+    #: The parser backend this protocol's corpus prefers ("" = the
+    #: process default).  Engines without an explicit backend of their own
+    #: resolve each sentence's protocol through
+    #: :meth:`ProtocolRegistry.parser_backend_for`.
+    parser_backend: str = ""
 
     def read_text(self) -> str:
         if self.text:
@@ -219,12 +225,16 @@ class ProtocolRegistry:
                           package: str | None = None, path: str = "",
                           text: str = "", description: str = "",
                           sender_built: tuple[str, ...] = (),
+                          parser_backend: str = "",
                           replace: bool = False) -> ProtocolSpec:
         """Declare a protocol; adding a new workload is this one call.
 
         ``name`` is canonicalized to upper case; lookups are
-        case-insensitive.  Re-registering an existing name requires
-        ``replace=True`` (and drops its cached corpus).
+        case-insensitive.  ``parser_backend`` pins the protocol to a
+        registered parsing backend (default: the process default —
+        currently ``"indexed"``); engines resolve it per sentence.
+        Re-registering an existing name requires ``replace=True`` (and
+        drops its cached corpus).
         """
         if not (source or path or text):
             raise ValueError("register_protocol needs a source, path, or text")
@@ -239,6 +249,7 @@ class ProtocolRegistry:
                 name=key, source=source, package=package or self.package,
                 path=path, text=text, description=description,
                 sender_built=tuple(sender_built),
+                parser_backend=parser_backend,
             )
             self._specs[key] = spec
             self._corpora.pop(key, None)
@@ -262,6 +273,14 @@ class ProtocolRegistry:
         hardcoding the ICMP message names.
         """
         return frozenset(self.spec(name).sender_built)
+
+    def parser_backend_for(self, name: str) -> str:
+        """The parser backend ``name``'s corpus is registered to prefer
+        (the process default when unpinned or unregistered)."""
+        try:
+            return self.spec(name).parser_backend or DEFAULT_PARSER_BACKEND
+        except KeyError:
+            return DEFAULT_PARSER_BACKEND
 
     def spec(self, name: str) -> ProtocolSpec:
         key = name.upper()
@@ -315,13 +334,23 @@ class ProtocolRegistry:
             return lexicon
 
     def parser(self, groups: tuple[str, ...] | None = None,
-               include_overgen: bool = True) -> CCGChartParser:
-        """A chart parser over the memoized lexicon, itself memoized."""
-        key = (groups, include_overgen)
+               include_overgen: bool = True,
+               backend: str | None = None) -> CCGChartParser:
+        """A parser backend over the memoized lexicon, itself memoized.
+
+        ``backend`` names a registered parser backend (None → the process
+        default); each (groups, overgen, backend) combination is built
+        once and shared — backends over the same lexicon share the
+        memoized :class:`~repro.ccg.lexicon.Lexicon` instance.
+        """
+        backend = backend or DEFAULT_PARSER_BACKEND
+        key = (groups, include_overgen, backend)
         with self._lock:
             parser = self._parsers.get(key)
             if parser is None:
-                parser = CCGChartParser(self.lexicon(groups, include_overgen))
+                parser = create_parser(
+                    backend, self.lexicon(groups, include_overgen)
+                )
                 self._parsers[key] = parser
             return parser
 
