@@ -2,10 +2,11 @@
 # Tier-1 verification + the CLI smoke + the pipeline perf smoke, exactly as
 # CI runs them.
 #
-#   ./scripts/ci.sh          # tests + CLI smoke + smoke benchmark (perf gates)
+#   ./scripts/ci.sh          # tests + CLI smoke + cache smoke + smoke benchmark
 #   ./scripts/ci.sh tests    # tier-1 tests only
-#   ./scripts/ci.sh bench    # CLI smoke + parser parity + smoke benchmark
+#   ./scripts/ci.sh bench    # CLI smoke + parser parity + cache smoke + smoke benchmark
 #   ./scripts/ci.sh parity   # parser-backend parity suite only
+#   ./scripts/ci.sh cache    # persistent cache cross-process smoke only
 #
 # The CLI smoke drives the `python -m repro` service entry point (a full
 # four-protocol sweep emitting the JSON wire contract) — a packaging check
@@ -29,6 +30,33 @@ if [ "${1:-all}" = "parity" ]; then
   exit 0
 fi
 
+# Persistent cache cross-process smoke: warm the store from one process,
+# then sweep again from a *second* process — the second run must answer
+# every parse from disk (zero parse-cache misses).
+cache_smoke() {
+  echo "== cache smoke: python -m repro cache warm twice, separate processes =="
+  local store
+  store="$(mktemp -d "${TMPDIR:-/tmp}/repro-cache-ci.XXXXXX")"
+  trap 'rm -rf "$store"' RETURN
+  python -m repro cache warm --cache-dir "$store" --json > /dev/null
+  python -m repro cache warm --cache-dir "$store" --json \
+    | python -c '
+import json, sys
+data = json.load(sys.stdin)["data"]
+misses = data["parse"]["misses"]
+disk_hits = data["parse"].get("disk_hits", 0)
+if misses:
+    sys.exit(f"CACHE FAILURE: second-process sweep re-parsed "
+             f"{misses} sentences (disk hits: {disk_hits})")
+print(f"ok (second process: 0 misses, {disk_hits} disk hits)")
+'
+}
+
+if [ "${1:-all}" = "cache" ]; then
+  cache_smoke
+  exit 0
+fi
+
 if [ "${1:-all}" != "bench" ]; then
   echo "== tier-1: pytest =="
   python -m pytest -x -q
@@ -49,6 +77,8 @@ if [ "${1:-all}" != "tests" ]; then
   echo "== cli smoke: python -m repro parse ICMP --compare (backend parity) =="
   python -m repro parse ICMP --compare > /dev/null
   echo "ok"
+
+  cache_smoke
 
   echo "== benchmarks: pipeline smoke (writes BENCH_pipeline.json, gates perf) =="
   python benchmarks/pipeline_smoke.py

@@ -20,6 +20,7 @@ Three surfaces over the SAGE pipeline:
 """
 
 from ..disambiguation.resolution import DecisionJournal, Resolution
+from .binenc import SCHEMA_1B, from_bytes, to_bytes
 from .contracts import (
     SCHEMA_VERSION,
     GeneratedArtifact,
@@ -44,6 +45,7 @@ from .service import SageService
 from .session import DisambiguationSession, open_session
 
 __all__ = [
+    "SCHEMA_1B",
     "SCHEMA_VERSION",
     "ApiError",
     "BackendNotFound",
@@ -62,7 +64,9 @@ __all__ = [
     "SentenceReport",
     "SweepRequest",
     "SweepResponse",
+    "from_bytes",
     "from_json",
     "open_session",
+    "to_bytes",
     "to_json",
 ]

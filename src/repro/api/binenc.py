@@ -1,0 +1,691 @@
+"""The compact binary wire envelope (``schema:1b``).
+
+``schema:1`` (:mod:`repro.api.contracts`) is JSON: self-describing,
+greppable, and the right default for small payloads.  Bulk payloads — a
+full :class:`~repro.core.engine.SageRun`, a sweep response, the persistent
+parse-cache entries — pay JSON twice: the bytes (every ``"t": "call"`` key
+repeated tens of thousands of times) and the time (every semantic term
+built through an intermediate dict).  ``schema:1b`` is the binary sibling:
+
+* **length-prefixed** — every string, list, and argument vector carries a
+  LEB128 count up front; no scanning, no delimiters, no escaping;
+* **string-interned** — the first occurrence of a string is written once,
+  every repeat is a small back-reference (predicate names, field names,
+  and status strings dominate pipeline payloads);
+* **structure-shared** — semantic terms are encoded by object identity:
+  a term the producer shares (winnow survivors are literally members of
+  the base-form list; the indexed parser hash-conses repeated sub-terms)
+  is written once and back-referenced, which is both the size and the
+  speed win — the codec visits each distinct node once;
+* **direct** — the hot contract types (SageRun, SentenceResult,
+  WinnowTrace, logical forms) encode straight from their objects and
+  decode straight back, skipping the dict round-trip entirely.  Cooler
+  types (requests, reports, artifacts, the IR program) reuse their JSON
+  ``to_dict`` forms under a generic value codec, so *every* ``schema:1``
+  kind round-trips through ``schema:1b`` losslessly.
+
+:func:`to_bytes` / :func:`from_bytes` mirror ``to_json`` / ``from_json``
+exactly — same kinds, same registry resolution, same structured errors —
+and ``from_bytes(to_bytes(x)) == from_json(to_json(x))`` is gated in
+``benchmarks/pipeline_smoke.py`` and property-locked in
+``tests/test_binenc.py``.  The persistent cache layer
+(:mod:`repro.cache.persistent`) reuses the same primitives for on-disk
+parse entries via :func:`parse_entry_to_bytes` /
+:func:`parse_entry_from_bytes`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..ccg.chart import ParseResult
+from ..ccg.semantics import App, Call, Const, Lam, Sem, Var
+from ..codegen.ir import op_from_dict, op_to_dict, program_from_dict, program_to_dict
+from ..codegen.generator import SentenceCode
+from ..core.engine import SageRun, SentenceResult, SentenceStatus
+from ..disambiguation.winnow import WinnowTrace
+from ..rfc.corpus import Rewrite, SpecSentence
+from .contracts import _CONTRACTS, kind_of
+from .errors import ContractError, ProtocolNotFound
+
+#: The wire schema tag this module writes and reads (JSON's ``schema:1``
+#: sibling; the magic below is its byte-level spelling).
+SCHEMA_1B = "1b"
+
+#: Every payload starts with these four bytes: "R" "1" "B" + format 0x01.
+MAGIC = b"R1B\x01"
+
+# -- value tags ----------------------------------------------------------------
+_T_NONE = 0
+_T_TRUE = 1
+_T_FALSE = 2
+_T_INT = 3       # zigzag varint
+_T_FLOAT = 4     # 8-byte IEEE double
+_T_SNEW = 5      # varint byte-length + utf-8, assigned the next intern index
+_T_SREF = 6      # varint intern index
+_T_LIST = 7      # varint count + values
+_T_DICT = 8      # varint count + (string key, value) pairs
+# semantic terms
+_T_CONST = 16
+_T_CONST_SPAN = 17
+_T_VAR = 18
+_T_LAM = 19
+_T_APP = 20
+_T_CALL = 21     # aux byte: bit0 trigger, bit1 flags
+_T_SEM_REF = 22  # varint node index (preorder assignment)
+# direct-coded structures
+_T_RUN = 32
+_T_RESULT = 33   # aux byte: bit0 trace, bit1 lf, bit2 rewrite,
+                 #           bit3 subject_supplied, bit4 pruned
+_T_TRACE = 34
+_T_SPEC = 35
+_T_REWRITE = 36
+_T_SCODE = 37
+_T_PARSE_ENTRY = 48
+
+_pack_double = struct.Struct(">d").pack
+_unpack_double = struct.Struct(">d").unpack_from
+
+_EMPTY_FLAGS = frozenset()
+
+
+# -- fast constructors ---------------------------------------------------------
+# The semantic term classes are frozen dataclasses: their __init__ routes
+# every field through object.__setattr__, which the decode hot loop pays
+# tens of thousands of times per payload.  They have no __post_init__ and
+# no slots, so building via __new__ + direct __dict__ fill is
+# behavior-identical (__eq__/__hash__ read attributes) and much cheaper.
+
+def _new_const(value, span):
+    term = Const.__new__(Const)
+    d = term.__dict__
+    d["value"] = value
+    d["span"] = span
+    return term
+
+
+def _new_var(name):
+    term = Var.__new__(Var)
+    term.__dict__["name"] = name
+    return term
+
+
+def _new_lam(param, body):
+    term = Lam.__new__(Lam)
+    d = term.__dict__
+    d["param"] = param
+    d["body"] = body
+    return term
+
+
+def _new_app(fn, arg):
+    term = App.__new__(App)
+    d = term.__dict__
+    d["fn"] = fn
+    d["arg"] = arg
+    return term
+
+
+def _new_call(pred, args, trigger, flags):
+    term = Call.__new__(Call)
+    d = term.__dict__
+    d["pred"] = pred
+    d["args"] = args
+    d["trigger"] = trigger
+    d["flags"] = flags
+    return term
+
+
+# -- the writer ----------------------------------------------------------------
+
+class _Writer:
+    def __init__(self) -> None:
+        self.buf = bytearray(MAGIC)
+        self._strings: dict[str, int] = {}
+        self._sems: dict[int, int] = {}
+        #: Keeps every encoded term alive for the writer's lifetime so the
+        #: id()-keyed memo can never collide with a recycled address.
+        self._sem_refs: list[Sem] = []
+
+    def varint(self, n: int) -> None:
+        buf = self.buf
+        while n > 0x7F:
+            buf.append((n & 0x7F) | 0x80)
+            n >>= 7
+        buf.append(n)
+
+    def string(self, s: str) -> None:
+        index = self._strings.get(s)
+        if index is None:
+            self._strings[s] = len(self._strings)
+            raw = s.encode("utf-8")
+            self.buf.append(_T_SNEW)
+            self.varint(len(raw))
+            self.buf += raw
+        else:
+            self.buf.append(_T_SREF)
+            self.varint(index)
+
+    def integer(self, n: int) -> None:
+        self.buf.append(_T_INT)
+        self.varint((n << 1) ^ (n >> 63) if n >= -(1 << 62) else -(n << 1) - 1)
+
+    def sem(self, term: Sem) -> None:
+        memo = self._sems
+        index = memo.get(id(term))
+        if index is not None:
+            self.buf.append(_T_SEM_REF)
+            self.varint(index)
+            return
+        # Preorder index assignment (children get subsequent indices); the
+        # reader reserves slots in the same order.  Terms are acyclic, so a
+        # back-reference always names a completed node.
+        memo[id(term)] = len(memo)
+        self._sem_refs.append(term)
+        kind = type(term)
+        if kind is Call:
+            trigger = term.trigger
+            flags = term.flags
+            self.buf.append(_T_CALL)
+            self.buf.append((1 if trigger is not None else 0)
+                            | (2 if flags else 0))
+            self.string(term.pred)
+            args = term.args
+            self.varint(len(args))
+            for arg in args:
+                self.sem(arg)
+            if trigger is not None:
+                self.varint((trigger << 1) ^ (trigger >> 63))
+            if flags:
+                ordered = sorted(flags)
+                self.varint(len(ordered))
+                for flag in ordered:
+                    self.string(flag)
+        elif kind is Const:
+            span = term.span
+            if span is None:
+                self.buf.append(_T_CONST)
+                self.string(term.value)
+            else:
+                self.buf.append(_T_CONST_SPAN)
+                self.string(term.value)
+                self.varint(span[0])
+                self.varint(span[1])
+        elif kind is Var:
+            self.buf.append(_T_VAR)
+            self.string(term.name)
+        elif kind is Lam:
+            self.buf.append(_T_LAM)
+            self.string(term.param)
+            self.sem(term.body)
+        elif kind is App:
+            self.buf.append(_T_APP)
+            self.sem(term.fn)
+            self.sem(term.arg)
+        else:
+            raise ContractError(
+                f"cannot serialize semantic term {kind.__name__}"
+            )
+
+    def value(self, obj) -> None:
+        """The generic codec: any JSON-safe value, plus embedded Sem terms."""
+        if obj is None:
+            self.buf.append(_T_NONE)
+        elif obj is True:
+            self.buf.append(_T_TRUE)
+        elif obj is False:
+            self.buf.append(_T_FALSE)
+        elif type(obj) is str:
+            self.string(obj)
+        elif type(obj) is int:
+            self.integer(obj)
+        elif type(obj) is float:
+            self.buf.append(_T_FLOAT)
+            self.buf += _pack_double(obj)
+        elif type(obj) is list or type(obj) is tuple:
+            self.buf.append(_T_LIST)
+            self.varint(len(obj))
+            for item in obj:
+                self.value(item)
+        elif type(obj) is dict:
+            self.buf.append(_T_DICT)
+            self.varint(len(obj))
+            for key, item in obj.items():
+                self.string(key)
+                self.value(item)
+        elif isinstance(obj, Sem):
+            self.sem(obj)
+        elif isinstance(obj, bool):
+            self.buf.append(_T_TRUE if obj else _T_FALSE)
+        elif isinstance(obj, int):
+            self.integer(obj)
+        elif isinstance(obj, str):
+            self.string(obj)
+        else:
+            raise ContractError(
+                f"schema:1b cannot encode {type(obj).__name__} values"
+            )
+
+
+# -- the reader ----------------------------------------------------------------
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = len(MAGIC)
+        self.strings: list[str] = []
+        self.sems: list = []
+
+    def varint(self) -> int:
+        data = self.data
+        pos = self.pos
+        result = 0
+        shift = 0
+        while True:
+            byte = data[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if byte < 0x80:
+                break
+            shift += 7
+        self.pos = pos
+        return result
+
+    def _zigzag(self) -> int:
+        raw = self.varint()
+        return (raw >> 1) ^ -(raw & 1)
+
+    def string(self) -> str:
+        tag = self.data[self.pos]
+        self.pos += 1
+        if tag == _T_SREF:
+            return self.strings[self.varint()]
+        if tag != _T_SNEW:
+            raise ContractError(f"expected a string, found tag {tag}")
+        length = self.varint()
+        raw = self.data[self.pos:self.pos + length]
+        self.pos += length
+        text = raw.decode("utf-8")
+        self.strings.append(text)
+        return text
+
+    def sem(self) -> Sem:
+        data = self.data
+        tag = data[self.pos]
+        self.pos += 1
+        if tag == _T_SEM_REF:
+            return self.sems[self.varint()]
+        nodes = self.sems
+        index = len(nodes)
+        nodes.append(None)  # reserve the preorder slot before the children
+        if tag == _T_CALL:
+            aux = data[self.pos]
+            self.pos += 1
+            pred = self.string()
+            count = self.varint()
+            args = tuple([self.sem() for _ in range(count)])
+            trigger = self._zigzag() if aux & 1 else None
+            if aux & 2:
+                flags = frozenset(self.string()
+                                  for _ in range(self.varint()))
+            else:
+                flags = _EMPTY_FLAGS
+            term = _new_call(pred, args, trigger, flags)
+        elif tag == _T_CONST:
+            term = _new_const(self.string(), None)
+        elif tag == _T_CONST_SPAN:
+            value = self.string()
+            term = _new_const(value, (self.varint(), self.varint()))
+        elif tag == _T_VAR:
+            term = _new_var(self.string())
+        elif tag == _T_LAM:
+            term = _new_lam(self.string(), self.sem())
+        elif tag == _T_APP:
+            term = _new_app(self.sem(), self.sem())
+        else:
+            raise ContractError(f"unknown semantic term tag {tag}")
+        nodes[index] = term
+        return term
+
+    def value(self):
+        data = self.data
+        tag = data[self.pos]
+        self.pos += 1
+        if tag == _T_SNEW or tag == _T_SREF:
+            self.pos -= 1
+            return self.string()
+        if tag == _T_INT:
+            return self._zigzag()
+        if tag == _T_LIST:
+            return [self.value() for _ in range(self.varint())]
+        if tag == _T_DICT:
+            return {self.string(): self.value()
+                    for _ in range(self.varint())}
+        if tag == _T_NONE:
+            return None
+        if tag == _T_TRUE:
+            return True
+        if tag == _T_FALSE:
+            return False
+        if tag == _T_FLOAT:
+            result = _unpack_double(data, self.pos)[0]
+            self.pos += 8
+            return result
+        self.pos -= 1
+        return self.sem()
+
+
+# -- direct structure codecs ---------------------------------------------------
+
+def _enc_spec(w: _Writer, spec: SpecSentence) -> None:
+    w.buf.append(_T_SPEC)
+    w.string(spec.text)
+    w.string(spec.protocol)
+    w.string(spec.message)
+    w.string(spec.field)
+    w.string(spec.kind)
+    w.string(spec.field_group)
+
+
+def _dec_spec(r: _Reader) -> SpecSentence:
+    if r.data[r.pos] != _T_SPEC:
+        raise ContractError("expected a spec_sentence record")
+    r.pos += 1
+    return SpecSentence(
+        text=r.string(), protocol=r.string(), message=r.string(),
+        field=r.string(), kind=r.string(), field_group=r.string(),
+    )
+
+
+def _enc_rewrite(w: _Writer, rewrite: Rewrite) -> None:
+    w.buf.append(_T_REWRITE)
+    w.string(rewrite.original)
+    w.string(rewrite.revised)
+    w.string(rewrite.category)
+    w.string(rewrite.note)
+
+
+def _dec_rewrite(r: _Reader) -> Rewrite:
+    if r.data[r.pos] != _T_REWRITE:
+        raise ContractError("expected a rewrite record")
+    r.pos += 1
+    return Rewrite(original=r.string(), revised=r.string(),
+                   category=r.string(), note=r.string())
+
+
+def _enc_trace(w: _Writer, trace: WinnowTrace) -> None:
+    w.buf.append(_T_TRACE)
+    w.string(trace.sentence)
+    counts = trace.counts
+    w.varint(len(counts))
+    for stage, count in counts.items():
+        w.string(stage)
+        w.varint(count)
+    base_forms = trace.base_forms
+    w.varint(len(base_forms))
+    for form in base_forms:
+        w.sem(form)
+    # Survivors are (by construction) members of the base-form list, so
+    # this is usually a run of back-references.
+    survivors = trace.survivors
+    w.varint(len(survivors))
+    for form in survivors:
+        w.sem(form)
+
+
+def _dec_trace(r: _Reader) -> WinnowTrace:
+    if r.data[r.pos] != _T_TRACE:
+        raise ContractError("expected a winnow_trace record")
+    r.pos += 1
+    sentence = r.string()
+    counts = {}
+    for _ in range(r.varint()):
+        stage = r.string()
+        counts[stage] = r.varint()
+    base_forms = [r.sem() for _ in range(r.varint())]
+    survivors = [r.sem() for _ in range(r.varint())]
+    return WinnowTrace(sentence=sentence, counts=counts,
+                       survivors=survivors, base_forms=base_forms)
+
+
+def _enc_scode(w: _Writer, code: SentenceCode) -> None:
+    w.buf.append(_T_SCODE)
+    w.string(code.sentence)
+    w.string(code.status)
+    w.string(code.goal_message)
+    w.string(code.role)
+    w.string(code.reason)
+    w.value([op_to_dict(op) for op in code.ops])
+
+
+def _dec_scode(r: _Reader) -> SentenceCode:
+    if r.data[r.pos] != _T_SCODE:
+        raise ContractError("expected a sentence-code record")
+    r.pos += 1
+    sentence = r.string()
+    status = r.string()
+    goal_message = r.string()
+    role = r.string()
+    reason = r.string()
+    ops = [op_from_dict(record) for record in r.value()]
+    return SentenceCode(sentence=sentence, ops=ops,
+                        goal_message=goal_message, role=role,
+                        status=status, reason=reason)
+
+
+def _enc_result(w: _Writer, result: SentenceResult) -> None:
+    w.buf.append(_T_RESULT)
+    trace = result.trace
+    form = result.logical_form
+    rewrite = result.rewrite
+    w.buf.append(
+        (1 if trace is not None else 0)
+        | (2 if form is not None else 0)
+        | (4 if rewrite is not None else 0)
+        | (8 if result.subject_supplied else 0)
+        | (16 if result.pruned else 0)
+    )
+    _enc_spec(w, result.spec)
+    w.string(str(result.status))
+    w.string(result.reason)
+    if trace is not None:
+        _enc_trace(w, trace)
+    if form is not None:
+        w.sem(form)
+    if rewrite is not None:
+        _enc_rewrite(w, rewrite)
+    codes = result.codes
+    w.varint(len(codes))
+    for code in codes:
+        _enc_scode(w, code)
+    subs = result.sub_results
+    w.varint(len(subs))
+    for sub in subs:
+        _enc_result(w, sub)
+
+
+def _dec_result(r: _Reader) -> SentenceResult:
+    if r.data[r.pos] != _T_RESULT:
+        raise ContractError("expected a sentence_result record")
+    r.pos += 1
+    aux = r.data[r.pos]
+    r.pos += 1
+    spec = _dec_spec(r)
+    status = SentenceStatus.coerce(r.string())
+    reason = r.string()
+    trace = _dec_trace(r) if aux & 1 else None
+    form = r.sem() if aux & 2 else None
+    rewrite = _dec_rewrite(r) if aux & 4 else None
+    codes = [_dec_scode(r) for _ in range(r.varint())]
+    subs = [_dec_result(r) for _ in range(r.varint())]
+    return SentenceResult(
+        spec=spec, status=status, trace=trace, logical_form=form,
+        codes=codes, rewrite=rewrite, sub_results=subs,
+        subject_supplied=bool(aux & 8), reason=reason,
+        pruned=bool(aux & 16),
+    )
+
+
+def _enc_run(w: _Writer, run: SageRun, registry) -> None:
+    try:
+        registry.spec(run.corpus.protocol)
+    except KeyError:
+        raise ContractError(
+            f"corpus {run.corpus.protocol!r} is not registered: SageRun "
+            "serialization references corpora by registered protocol name"
+        ) from None
+    w.buf.append(_T_RUN)
+    w.string(run.corpus.protocol)
+    results = run.results
+    w.varint(len(results))
+    for result in results:
+        _enc_result(w, result)
+    w.value(program_to_dict(run.code_unit))
+
+
+def _dec_run(r: _Reader, registry) -> SageRun:
+    if r.data[r.pos] != _T_RUN:
+        raise ContractError("expected a sage_run record")
+    r.pos += 1
+    name = r.string()
+    try:
+        corpus = registry.load_corpus(name)
+    except KeyError:
+        raise ProtocolNotFound(name, registry.protocols()) from None
+    results = [_dec_result(r) for _ in range(r.varint())]
+    code_unit = program_from_dict(r.value())
+    return SageRun(corpus=corpus, results=results, code_unit=code_unit)
+
+
+def _resolve_registry(registry):
+    if registry is None:
+        from ..rfc.registry import default_registry
+
+        return default_registry()
+    return registry
+
+
+#: Kinds with a direct object<->bytes path; everything else goes through
+#: its schema:1 dict form under the generic value codec.
+_DIRECT_ENCODERS = {
+    "sage_run": lambda w, obj, registry: _enc_run(w, obj, registry),
+    "sentence_result": lambda w, obj, registry: _enc_result(w, obj),
+    "winnow_trace": lambda w, obj, registry: _enc_trace(w, obj),
+    "spec_sentence": lambda w, obj, registry: _enc_spec(w, obj),
+    "rewrite": lambda w, obj, registry: _enc_rewrite(w, obj),
+}
+
+_DIRECT_DECODERS = {
+    "sage_run": lambda r, registry: _dec_run(r, registry),
+    "sentence_result": lambda r, registry: _dec_result(r),
+    "winnow_trace": lambda r, registry: _dec_trace(r),
+    "spec_sentence": lambda r, registry: _dec_spec(r),
+    "rewrite": lambda r, registry: _dec_rewrite(r),
+}
+
+
+# -- the entry points ----------------------------------------------------------
+
+def to_bytes(obj, registry=None) -> bytes:
+    """Serialize any wire-contract object under the ``schema:1b`` envelope.
+
+    Mirrors :func:`repro.api.contracts.to_json`: same kinds, same registry
+    resolution, same :class:`ContractError` on unserializable objects.
+    """
+    kind = kind_of(obj)
+    registry = _resolve_registry(registry)
+    writer = _Writer()
+    writer.string(kind)
+    direct = _DIRECT_ENCODERS.get(kind)
+    if direct is not None:
+        direct(writer, obj, registry)
+    else:
+        _type, encode, _decode = _CONTRACTS[kind]
+        writer.value(encode(obj, registry))
+    return bytes(writer.buf)
+
+
+def from_bytes(data: bytes, registry=None):
+    """Deserialize any payload produced by :func:`to_bytes`."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise ContractError(
+            f"expected a schema:1b byte payload, got {type(data).__name__}"
+        )
+    data = bytes(data)
+    if data[:len(MAGIC)] != MAGIC:
+        raise ContractError(
+            "payload does not start with the schema:1b magic "
+            f"{MAGIC!r} (is this a schema:1 JSON payload?)"
+        )
+    registry = _resolve_registry(registry)
+    reader = _Reader(data)
+    try:
+        kind = reader.string()
+        direct = _DIRECT_DECODERS.get(kind)
+        if direct is not None:
+            return direct(reader, registry)
+        if kind not in _CONTRACTS:
+            raise ContractError(
+                f"unknown payload kind {kind!r}; readable kinds are "
+                f"{', '.join(sorted(_CONTRACTS))}"
+            )
+        _type, _encode, decode = _CONTRACTS[kind]
+        return decode(reader.value(), registry)
+    except ContractError:
+        raise
+    except (IndexError, KeyError, TypeError, ValueError,
+            UnicodeDecodeError, struct.error) as exc:
+        raise ContractError(f"malformed schema:1b payload: {exc!r}") from exc
+
+
+# -- parse-cache entries -------------------------------------------------------
+
+def parse_entry_to_bytes(result: ParseResult, subject_supplied: bool) -> bytes:
+    """One persistent parse-cache value: the ``(ParseResult, bool)`` pair
+    the parse stage stores, with full provenance (spans, triggers, flags)
+    so a disk-warmed pipeline run is byte-identical to a cold one."""
+    writer = _Writer()
+    writer.buf.append(_T_PARSE_ENTRY)
+    writer.buf.append(1 if subject_supplied else 0)
+    writer.string(result.backend)
+    writer.varint(result.token_count)
+    writer.varint(result.cells_filled)
+    writer.varint(result.dropped_items)
+    unknown = result.unknown_words
+    writer.varint(len(unknown))
+    for word in unknown:
+        writer.string(word)
+    forms = result.logical_forms
+    writer.varint(len(forms))
+    for form in forms:
+        writer.sem(form)
+    return bytes(writer.buf)
+
+
+def parse_entry_from_bytes(data: bytes) -> tuple[ParseResult, bool]:
+    if bytes(data[:len(MAGIC)]) != MAGIC:
+        raise ContractError("not a schema:1b parse entry (bad magic)")
+    reader = _Reader(bytes(data))
+    try:
+        if reader.data[reader.pos] != _T_PARSE_ENTRY:
+            raise ContractError("not a parse-entry payload")
+        reader.pos += 1
+        subject_supplied = bool(reader.data[reader.pos])
+        reader.pos += 1
+        backend = reader.string()
+        token_count = reader.varint()
+        cells_filled = reader.varint()
+        dropped_items = reader.varint()
+        unknown_words = [reader.string() for _ in range(reader.varint())]
+        logical_forms = [reader.sem() for _ in range(reader.varint())]
+    except (IndexError, UnicodeDecodeError, struct.error) as exc:
+        raise ContractError(f"malformed parse entry: {exc!r}") from exc
+    result = ParseResult(
+        logical_forms=logical_forms,
+        unknown_words=unknown_words,
+        token_count=token_count,
+        cells_filled=cells_filled,
+        dropped_items=dropped_items,
+        backend=backend,
+    )
+    return result, subject_supplied

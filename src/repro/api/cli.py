@@ -9,6 +9,8 @@ endpoints::
     python -m repro resolve ICMP --journal decisions.json \
         --sentence 12 --rewrite "The revised sentence." --category ambiguous
     python -m repro emit ICMP --backend c --output icmp.c
+    python -m repro cache warm --cache-dir ~/.cache/repro --json
+    python -m repro cache stats --cache-dir ~/.cache/repro
 
 Everything ``--json`` prints is a schema-versioned contract payload
 (:mod:`repro.api.contracts`), so shell pipelines and test harnesses consume
@@ -46,6 +48,10 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-bundled-rewrites", action="store_true",
                        help="ignore the bundled rewrites.json (journal-only "
                             "operation, for replay verification)")
+        p.add_argument("--cache-dir", metavar="PATH", default=None,
+                       help="persistent cache directory shared across "
+                            "processes (default: $REPRO_CACHE_DIR; unset = "
+                            "in-memory caches only)")
 
     p_process = sub.add_parser("process", help="run one protocol")
     p_process.add_argument("protocol")
@@ -123,17 +129,30 @@ def _build_parser() -> argparse.ArgumentParser:
     p_emit.add_argument("--output", metavar="PATH",
                         help="write the rendered source here instead of stdout")
     common(p_emit)
+
+    p_cache = sub.add_parser(
+        "cache", help="persistent cache maintenance (stats, clear, warm)"
+    )
+    p_cache.add_argument("action", choices=("stats", "clear", "warm"),
+                         help="stats: report the store's footprint and "
+                              "counters; clear: drop every persisted entry; "
+                              "warm: sweep every registered protocol "
+                              "through the store and report hit/miss counts")
+    common(p_cache)
     return parser
 
 
 def _service(args) -> SageService:
-    if args.no_bundled_rewrites or args.journal:
+    cache_dir = getattr(args, "cache_dir", None)
+    if args.no_bundled_rewrites or args.journal or cache_dir:
         from ..rfc.registry import ProtocolRegistry
 
         registry = ProtocolRegistry(
-            bundled_rewrites=not args.no_bundled_rewrites
+            bundled_rewrites=not args.no_bundled_rewrites,
+            cache_dir=cache_dir,
         )
     else:
+        # The default registry still picks up $REPRO_CACHE_DIR on its own.
         registry = None
     journal = None
     if args.journal:
@@ -344,12 +363,77 @@ def _cmd_emit(service: SageService, args, out) -> int:
     return 0
 
 
+def _cmd_cache(service: SageService, args, out) -> int:
+    """Persistent-cache maintenance over the service's registry store."""
+    registry = service.registry
+    store = registry.cache_store()
+    if store is None:
+        raise RequestError(
+            "no persistent cache configured: pass --cache-dir PATH or set "
+            "the REPRO_CACHE_DIR environment variable"
+        )
+
+    if args.action == "clear":
+        removed = store.clear()
+        registry.parse_cache().clear()
+        registry.compiled_cache().clear()
+        if args.json:
+            payload = {"schema": 1, "kind": "cache_clear",
+                       "data": {"root": store.root, "removed": removed}}
+            print(json.dumps(payload), file=out)
+        else:
+            print(f"cleared {removed} entries from {store.root}", file=out)
+        return 0
+
+    if args.action == "warm":
+        from .contracts import SweepRequest as _SweepRequest
+
+        response = service.sweep(_SweepRequest(mode=args.mode))
+        parse_stats = registry.parse_cache().stats()
+        data = {
+            "root": store.root,
+            "protocols": list(response.protocols),
+            "parse": {key: parse_stats[key]
+                      for key in ("size", "hits", "misses")
+                      if key in parse_stats},
+            "store": store.stats(),
+        }
+        if "disk_hits" in parse_stats:
+            data["parse"]["disk_hits"] = parse_stats["disk_hits"]
+        if args.json:
+            print(json.dumps({"schema": 1, "kind": "cache_warm",
+                              "data": data}), file=out)
+        else:
+            parse = data["parse"]
+            print(f"warmed {len(data['protocols'])} protocols into "
+                  f"{store.root}", file=out)
+            print(f"  parse: {parse.get('size', 0)} entries, "
+                  f"{parse.get('hits', 0)} hits "
+                  f"({parse.get('disk_hits', 0)} from disk), "
+                  f"{parse.get('misses', 0)} misses", file=out)
+        return 0
+
+    stats = store.stats()
+    if args.json:
+        print(json.dumps({"schema": 1, "kind": "cache_stats",
+                          "data": stats}), file=out)
+        return 0
+    print(f"cache store {stats['root']} (layout v{stats['layout_version']})",
+          file=out)
+    for namespace, entry in sorted(stats["namespaces"].items()):
+        print(f"  {namespace:<10} {entry['entries']:>5} entries, "
+              f"{entry['bytes']} bytes", file=out)
+    print(f"  quarantine {stats['quarantine_entries']:>5} entries", file=out)
+    return 0
+
+
 _COMMANDS = {
     "process": _cmd_process,
     "sweep": _cmd_sweep,
     "parse": _cmd_parse,
     "resolve": _cmd_resolve,
     "emit": _cmd_emit,
+    "cache": _cmd_cache,
 }
 
 

@@ -85,25 +85,161 @@ def sem_to_dict(term: Sem) -> dict:
     raise ContractError(f"cannot serialize semantic term {type(term).__name__}")
 
 
+_EMPTY_FLAGS = frozenset()
+
+
 def sem_from_dict(record: dict) -> Sem:
-    tag = record.get("t")
-    if tag == "const":
-        span = record.get("span")
-        return Const(record["value"], span=tuple(span) if span else None)
-    if tag == "var":
-        return Var(record["name"])
-    if tag == "lam":
-        return Lam(record["param"], sem_from_dict(record["body"]))
-    if tag == "app":
-        return App(sem_from_dict(record["fn"]), sem_from_dict(record["arg"]))
-    if tag == "call":
-        return Call(
-            record["pred"],
-            tuple(sem_from_dict(arg) for arg in record.get("args", [])),
-            trigger=record.get("trigger"),
-            flags=frozenset(record.get("flags", ())),
+    # Decode hot path: a bulk payload carries tens of thousands of term
+    # nodes, and the frozen dataclasses' __init__ routes every field
+    # through object.__setattr__.  The classes have no __post_init__ and
+    # no slots, so __new__ + direct __dict__ fill builds the identical
+    # object at a fraction of the cost.  Required keys use direct
+    # subscripts (the enclosing try turns a missing one into the
+    # structured error); "call" leads because it dominates real payloads.
+    if type(record) is not dict:
+        if isinstance(record, Sem):
+            return record  # already decoded by the from_json parse hook
+        raise ContractError(
+            f"expected a semantic term record, got {type(record).__name__}"
         )
+    try:
+        tag = record["t"]
+        if tag == "call":
+            term = Call.__new__(Call)
+            data = term.__dict__
+            data["pred"] = record["pred"]
+            raw_args = record.get("args")
+            if raw_args:
+                # Call arguments are overwhelmingly Const/Var leaves;
+                # decoding them inline skips a recursive call per argument.
+                args = []
+                for arg in raw_args:
+                    arg_tag = arg["t"]
+                    if arg_tag == "const":
+                        sub = Const.__new__(Const)
+                        sub_data = sub.__dict__
+                        sub_data["value"] = arg["value"]
+                        span = arg.get("span")
+                        sub_data["span"] = tuple(span) if span else None
+                    elif arg_tag == "var":
+                        sub = Var.__new__(Var)
+                        sub.__dict__["name"] = arg["name"]
+                    else:
+                        sub = sem_from_dict(arg)
+                    args.append(sub)
+                data["args"] = tuple(args)
+            else:
+                data["args"] = ()
+            data["trigger"] = record.get("trigger")
+            flags = record.get("flags")
+            data["flags"] = frozenset(flags) if flags else _EMPTY_FLAGS
+            return term
+        if tag == "const":
+            term = Const.__new__(Const)
+            data = term.__dict__
+            data["value"] = record["value"]
+            span = record.get("span")
+            data["span"] = tuple(span) if span else None
+            return term
+        if tag == "var":
+            term = Var.__new__(Var)
+            term.__dict__["name"] = record["name"]
+            return term
+        if tag == "lam":
+            term = Lam.__new__(Lam)
+            data = term.__dict__
+            data["param"] = record["param"]
+            data["body"] = sem_from_dict(record["body"])
+            return term
+        if tag == "app":
+            term = App.__new__(App)
+            data = term.__dict__
+            data["fn"] = sem_from_dict(record["fn"])
+            data["arg"] = sem_from_dict(record["arg"])
+            return term
+    except (KeyError, TypeError) as exc:
+        raise ContractError(
+            f"malformed semantic term record: {exc!r}"
+        ) from exc
     raise ContractError(f"unknown semantic term tag {tag!r}")
+
+
+def _sem_parse_hook(record: dict):
+    """``json.loads`` object_hook converting semantic-term records to
+    :class:`Sem` objects *during* the C-level parse.
+
+    The hook fires bottom-up — by the time a ``call`` record reaches it,
+    its ``args`` entries are already Sem objects — so :func:`from_json`
+    skips the recursive dict walk entirely, which is what makes decode
+    faster than encode for LF-heavy payloads.  Anything that is not a
+    well-formed term record passes through unchanged and the ordinary
+    decoders reject it with their structured errors; a stray non-term
+    dict that happens to carry a ``"t"`` key is left alone unless it also
+    carries the full field set of a term.
+    """
+    tag = record.get("t")
+    if tag == "call":
+        pred = record.get("pred")
+        if type(pred) is not str:
+            return record
+        args = record.get("args")
+        if args:
+            for item in args:
+                if not isinstance(item, Sem):
+                    return record
+            args = tuple(args)
+        else:
+            args = ()
+        trigger = record.get("trigger")
+        if trigger is not None and type(trigger) is not int:
+            return record
+        term = Call.__new__(Call)
+        data = term.__dict__
+        data["pred"] = pred
+        data["args"] = args
+        data["trigger"] = trigger
+        flags = record.get("flags")
+        data["flags"] = frozenset(flags) if flags else _EMPTY_FLAGS
+        return term
+    if tag == "const":
+        if "value" not in record:
+            return record
+        span = record.get("span")
+        if span is not None and type(span) is not list:
+            return record
+        term = Const.__new__(Const)
+        data = term.__dict__
+        data["value"] = record["value"]
+        data["span"] = tuple(span) if span else None
+        return term
+    if tag == "var":
+        name = record.get("name")
+        if type(name) is not str:
+            return record
+        term = Var.__new__(Var)
+        term.__dict__["name"] = name
+        return term
+    if tag == "lam":
+        param = record.get("param")
+        body = record.get("body")
+        if type(param) is not str or not isinstance(body, Sem):
+            return record
+        term = Lam.__new__(Lam)
+        data = term.__dict__
+        data["param"] = param
+        data["body"] = body
+        return term
+    if tag == "app":
+        fn = record.get("fn")
+        arg = record.get("arg")
+        if not isinstance(fn, Sem) or not isinstance(arg, Sem):
+            return record
+        term = App.__new__(App)
+        data = term.__dict__
+        data["fn"] = fn
+        data["arg"] = arg
+        return term
+    return record
 
 
 # -- winnow traces -------------------------------------------------------------
@@ -118,10 +254,11 @@ def trace_to_dict(trace: WinnowTrace) -> dict:
 
 
 def trace_from_dict(record: dict) -> WinnowTrace:
+    # JSON already delivers the counts as ints; a plain dict copy beats
+    # the per-stage int() churn this used to pay.
     return WinnowTrace(
         sentence=record["sentence"],
-        counts={stage: int(count)
-                for stage, count in record.get("counts", {}).items()},
+        counts=dict(record.get("counts", {})),
         survivors=[sem_from_dict(form) for form in record.get("survivors", [])],
         base_forms=[sem_from_dict(form) for form in record.get("base_forms", [])],
     )
@@ -728,9 +865,13 @@ def from_envelope(payload: dict, registry=None):
 
 
 def from_json(text: str, registry=None):
-    """Deserialize any contract payload produced by :func:`to_json`."""
+    """Deserialize any contract payload produced by :func:`to_json`.
+
+    Logical forms decode inside the JSON parse itself (see
+    :func:`_sem_parse_hook`); the envelope decoders accept the resulting
+    pre-built Sem objects and plain dicts alike."""
     try:
-        payload = json.loads(text)
+        payload = json.loads(text, object_hook=_sem_parse_hook)
     except json.JSONDecodeError as exc:
         raise ContractError(f"payload is not JSON: {exc}") from exc
     return from_envelope(payload, registry)

@@ -1,0 +1,250 @@
+"""The disk-backed content-addressed cache store.
+
+One :class:`CacheStore` holds every persistent cache a registry promotes to
+disk: sentence parses, compiled-program sources, whatever a future layer
+adds.  The design constraints, in order:
+
+* **Content addressing.**  Callers hand the store opaque key *strings*
+  built from content fingerprints (the lexicon/chunker SHA-1 for parses,
+  the IR SHA-1 for compiled programs).  The store never interprets them —
+  it hashes the key to a filename, so a stale entry under an edited
+  lexicon is simply never addressed again (invalidation by construction,
+  no TTLs, no mtime games).
+
+* **Safe for concurrent writers.**  Every write lands in a private temp
+  file and is published with ``os.replace`` — atomic on POSIX within one
+  filesystem — so a reader either sees a complete entry or none.  Two
+  processes racing the same key both win: content addressing means they
+  are writing identical bytes, and last-rename-wins is indistinguishable
+  from first-rename-wins.
+
+* **Corruption-tolerant reads.**  Entries carry a magic header and the
+  SHA-1 of their payload.  A short file, a bad magic, or a digest
+  mismatch (torn write on a dying machine, cosmic bit rot, a truncating
+  filesystem) is *quarantined* — moved aside into ``quarantine/`` for
+  post-mortems — and reported as a miss, so the caller recomputes and
+  republishes instead of crashing or serving garbage.
+
+* **Versioned layout.**  Entries live under ``<root>/v1/``; a future
+  incompatible entry format bumps :data:`LAYOUT_VERSION` and old stores
+  age out untouched (readers of the new layout never look inside ``v1``).
+
+Layout::
+
+    <root>/v1/<namespace>/<hh>/<sha1-of-key>.bin   # hh = first 2 hex chars
+    <root>/v1/quarantine/<namespace>-<sha1>.bin    # corrupt entries, kept
+    <root>/v1/tmp/                                 # private write staging
+
+The store is deliberately byte-oriented (``get``/``put`` carry ``bytes``);
+value encoding belongs to the cache layers in
+:mod:`repro.cache.persistent`, which use the ``schema:1b`` binary envelope
+(:mod:`repro.api.binenc`) so on-disk parse entries share the wire codec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+
+#: Bump when the entry format or directory scheme changes incompatibly.
+LAYOUT_VERSION = 1
+
+#: Entry file header: magic + format version byte.
+_MAGIC = b"RCS\x01"
+_DIGEST_LEN = 20  # sha1
+_HEADER_LEN = len(_MAGIC) + _DIGEST_LEN
+
+
+def _key_hash(key: str) -> str:
+    return hashlib.sha1(key.encode("utf-8")).hexdigest()
+
+
+class CacheStore:
+    """A directory of content-addressed cache entries (see module docs).
+
+    Thread-safe and multi-process-safe; cheap to construct (directories
+    are created lazily on first write).  ``get``/``put`` never raise on
+    I/O problems — a failing disk degrades the store to a miss machine,
+    not the pipeline to a crash.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = os.fspath(root)
+        self.base = os.path.join(self.root, f"v{LAYOUT_VERSION}")
+        self._lock = threading.Lock()
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.writes = 0
+        self.quarantined = 0
+
+    # -- paths -----------------------------------------------------------------
+    def path_for(self, namespace: str, key: str) -> str:
+        digest = _key_hash(key)
+        return os.path.join(self.base, namespace, digest[:2], digest + ".bin")
+
+    def _quarantine_path(self, namespace: str, path: str) -> str:
+        return os.path.join(
+            self.base, "quarantine", f"{namespace}-{os.path.basename(path)}"
+        )
+
+    # -- the byte-level entry API ----------------------------------------------
+    def get(self, namespace: str, key: str) -> bytes | None:
+        """The stored payload for ``key``, or None (missing *or* corrupt —
+        corrupt entries are quarantined so the recompute can republish)."""
+        path = self.path_for(namespace, key)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            with self._lock:
+                self.disk_misses += 1
+            return None
+        if (
+            len(blob) >= _HEADER_LEN
+            and blob[: len(_MAGIC)] == _MAGIC
+            and hashlib.sha1(blob[_HEADER_LEN:]).digest()
+            == blob[len(_MAGIC):_HEADER_LEN]
+        ):
+            with self._lock:
+                self.disk_hits += 1
+            return blob[_HEADER_LEN:]
+        self._quarantine(namespace, path)
+        with self._lock:
+            self.disk_misses += 1
+        return None
+
+    def put(self, namespace: str, key: str, payload: bytes) -> bool:
+        """Atomically publish ``payload`` under ``key``; False on I/O failure."""
+        path = self.path_for(namespace, key)
+        tmp_dir = os.path.join(self.base, "tmp")
+        tmp = os.path.join(
+            tmp_dir, f"{os.path.basename(path)}.{os.getpid()}.{id(payload):x}"
+        )
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            os.makedirs(tmp_dir, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                handle.write(_MAGIC)
+                handle.write(hashlib.sha1(payload).digest())
+                handle.write(payload)
+            os.replace(tmp, path)  # atomic publish: readers never see a torn file
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        with self._lock:
+            self.writes += 1
+        return True
+
+    def _quarantine(self, namespace: str, path: str) -> None:
+        """Move a corrupt entry aside so the slot can be recomputed."""
+        target = self._quarantine_path(namespace, path)
+        try:
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            # A racing reader already quarantined it (or the disk is gone);
+            # either way the entry no longer blocks recompute.
+            return
+        with self._lock:
+            self.quarantined += 1
+
+    # -- maintenance -----------------------------------------------------------
+    def namespaces(self) -> list[str]:
+        try:
+            return sorted(
+                name for name in os.listdir(self.base)
+                if name not in ("tmp", "quarantine")
+                and os.path.isdir(os.path.join(self.base, name))
+            )
+        except OSError:
+            return []
+
+    def _entry_paths(self, namespace: str):
+        base = os.path.join(self.base, namespace)
+        try:
+            shards = sorted(os.listdir(base))
+        except OSError:
+            return
+        for shard in shards:
+            shard_dir = os.path.join(base, shard)
+            try:
+                names = sorted(os.listdir(shard_dir))
+            except OSError:
+                continue
+            for name in names:
+                yield os.path.join(shard_dir, name)
+
+    def entry_count(self, namespace: str | None = None) -> int:
+        spaces = [namespace] if namespace else self.namespaces()
+        return sum(1 for space in spaces for _ in self._entry_paths(space))
+
+    def total_bytes(self, namespace: str | None = None) -> int:
+        spaces = [namespace] if namespace else self.namespaces()
+        total = 0
+        for space in spaces:
+            for path in self._entry_paths(space):
+                try:
+                    total += os.path.getsize(path)
+                except OSError:
+                    pass
+        return total
+
+    def quarantine_count(self) -> int:
+        try:
+            return len(os.listdir(os.path.join(self.base, "quarantine")))
+        except OSError:
+            return 0
+
+    def clear(self) -> int:
+        """Delete every entry (all namespaces, tmp, quarantine); returns the
+        number of entry files removed.  The directory skeleton survives."""
+        removed = 0
+        for space in self.namespaces():
+            for path in list(self._entry_paths(space)):
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    pass
+        for extra in ("tmp", "quarantine"):
+            extra_dir = os.path.join(self.base, extra)
+            try:
+                names = os.listdir(extra_dir)
+            except OSError:
+                continue
+            for name in names:
+                try:
+                    os.unlink(os.path.join(extra_dir, name))
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> dict:
+        """Process-local counters plus the on-disk footprint."""
+        with self._lock:
+            counters = {
+                "disk_hits": self.disk_hits,
+                "disk_misses": self.disk_misses,
+                "writes": self.writes,
+                "quarantined": self.quarantined,
+            }
+        counters["root"] = self.root
+        counters["layout_version"] = LAYOUT_VERSION
+        counters["namespaces"] = {
+            space: {
+                "entries": self.entry_count(space),
+                "bytes": self.total_bytes(space),
+            }
+            for space in self.namespaces()
+        }
+        counters["quarantine_entries"] = self.quarantine_count()
+        return counters
+
+    def reset_lock_after_fork(self) -> None:
+        """Fresh stats lock for single-threaded fork workers (see
+        :meth:`repro.rfc.registry.ProtocolRegistry.reset_locks_after_fork`)."""
+        self._lock = threading.Lock()

@@ -538,6 +538,15 @@ import dataclasses as _dataclasses
 
 _OP_BY_NAME: dict[str, type] = {op_type.__name__: op_type for op_type in OP_TYPES}
 
+#: Per-op-type (field name, default) pairs, precomputed once —
+#: dataclasses.fields() is surprisingly expensive to re-resolve per node on
+#: the serialization hot path.
+_OP_FIELDS: dict[type, tuple] = {
+    op_type: tuple((field_info.name, field_info.default)
+                   for field_info in _dataclasses.fields(op_type))
+    for op_type in OP_TYPES
+}
+
 
 def value_to_dict(value: Value) -> dict:
     record = {"kind": value.kind}
@@ -585,12 +594,13 @@ def condition_from_dict(record: dict) -> Condition:
 
 def op_to_dict(op: Op) -> dict:
     """One op as a JSON-safe dict, tagged with its type name."""
-    if not isinstance(op, OP_TYPES):
+    fields_spec = _OP_FIELDS.get(type(op))
+    if fields_spec is None:
         raise IRValidationError(f"cannot serialize op type {type(op).__name__}")
     record: dict = {"op": type(op).__name__}
-    for field_info in _dataclasses.fields(op):
-        value = getattr(op, field_info.name)
-        if value == field_info.default and field_info.name != "condition":
+    for name, default in fields_spec:
+        value = getattr(op, name)
+        if value == default and name != "condition":
             continue  # defaults stay implicit (compact, stable JSON)
         if isinstance(value, Value):
             value = value_to_dict(value)
@@ -598,7 +608,7 @@ def op_to_dict(op: Op) -> dict:
             value = condition_to_dict(value)
         elif isinstance(value, list):
             value = [op_to_dict(inner) for inner in value]
-        record[field_info.name] = value
+        record[name] = value
     return record
 
 
@@ -607,17 +617,17 @@ def op_from_dict(record: dict) -> Op:
     if op_type is None:
         raise IRValidationError(f"unknown serialized op {record.get('op')!r}")
     kwargs: dict = {}
-    for field_info in _dataclasses.fields(op_type):
-        if field_info.name not in record:
+    for name, _default in _OP_FIELDS[op_type]:
+        if name not in record:
             continue
-        value = record[field_info.name]
-        if field_info.name == "value" and isinstance(value, dict):
+        value = record[name]
+        if name == "value" and isinstance(value, dict):
             value = value_from_dict(value)
-        elif field_info.name == "condition" and isinstance(value, dict):
+        elif name == "condition" and isinstance(value, dict):
             value = condition_from_dict(value)
-        elif field_info.name == "body" and isinstance(value, list):
+        elif name == "body" and isinstance(value, list):
             value = [op_from_dict(inner) for inner in value]
-        kwargs[field_info.name] = value
+        kwargs[name] = value
     return op_type(**kwargs)
 
 

@@ -76,10 +76,12 @@ class SentenceStatus(str, enum.Enum):
     def coerce(cls, value: "SentenceStatus | str") -> "SentenceStatus | str":
         """The member for ``value`` when it names one, else the raw string
         (ad-hoc experiment statuses pass through untouched)."""
-        try:
-            return cls(value)
-        except ValueError:
-            return value
+        # Dict probe instead of EnumMeta.__call__: coerce sits on the
+        # deserialisation hot path (once per sentence) and the metaclass
+        # call is ~10x the cost of the lookup.  Members hash as their
+        # value, so passing an existing member through is a hit too.
+        member = cls._value2member_map_.get(value)
+        return member if member is not None else value
 
 
 # Historical constant names, kept as aliases of the enum members.
@@ -532,6 +534,12 @@ class SageEngine:
         if not tasks:
             return {name: [] for name in corpora}
         workers = max_workers or min(len(tasks), os.cpu_count() or 1)
+        if workers <= 1:
+            # One worker cannot beat in-process execution — it re-pays fork,
+            # task pickling, and cache shipping for zero concurrency (~2x
+            # slower on single-CPU machines).  Degrade to the sequential
+            # path; the documented contract (identical output) is unchanged.
+            return None
         self.last_parallel_workers = workers
 
         global _WORKER_ENGINE

@@ -108,6 +108,14 @@ class ParseStage:
     because the §4.1 retry splices the header-field name into the token
     stream.  Cached values are the ``(ParseResult, subject_supplied)``
     pair, stored as shared read-only objects.
+
+    The cache is polymorphic: the registry hands this stage a plain
+    in-memory :class:`~repro.rfc.registry.ParseCache`, or — when a cache
+    directory is configured — a :class:`~repro.cache.persistent.
+    PersistentParseCache` whose ``put`` also publishes the entry (the
+    materialized forest result with full provenance, ``schema:1b``-encoded)
+    to the shared on-disk store, and whose ``get`` falls through to it.
+    The stage itself is oblivious; the same keys address both layers.
     """
 
     def __init__(self, parser: CCGChartParser | None = None,

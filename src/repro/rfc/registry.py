@@ -28,6 +28,7 @@ underlying data files.  See DESIGN.md for the data-file format.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from dataclasses import dataclass
 from importlib import resources
@@ -181,6 +182,17 @@ class CompiledProgramCache(ParseCache):
     merged back.
     """
 
+    # Source-persistence hooks, overridden by the disk-backed
+    # PersistentCompiledCache (repro.cache.persistent): the harness asks
+    # for a previously rendered source before re-rendering, and publishes
+    # the source it renders.  The in-memory cache has nowhere to keep
+    # sources across processes, so these are deliberate no-ops.
+    def get_source(self, key: tuple) -> str | None:
+        return None
+
+    def put_source(self, key: tuple, source: str) -> None:
+        return None
+
 
 class ProtocolRegistry:
     """Protocol registration plus memoized corpus/dictionary/lexicon access.
@@ -196,9 +208,18 @@ class ProtocolRegistry:
     """
 
     def __init__(self, package: str = DEFAULT_PACKAGE,
-                 bundled: bool = True, bundled_rewrites: bool = True) -> None:
+                 bundled: bool = True, bundled_rewrites: bool = True,
+                 cache_dir: str | os.PathLike | None = None) -> None:
         self.package = package
         self.bundled_rewrites = bundled_rewrites
+        # Persistent-cache root: an explicit cache_dir wins, then the
+        # REPRO_CACHE_DIR environment variable; None keeps the caches
+        # purely in-memory (the historical behavior, and the default for
+        # hermetic test runs).
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
+        self._cache_store = None
         self._specs: dict[str, ProtocolSpec] = {}
         self._corpora: dict[str, Corpus] = {}
         self._lexicons: dict[tuple, Lexicon] = {}
@@ -354,16 +375,44 @@ class ProtocolRegistry:
                 self._parsers[key] = parser
             return parser
 
+    def cache_store(self):
+        """The shared on-disk :class:`~repro.cache.store.CacheStore`, or
+        None when the registry has no cache directory configured.
+
+        One store instance backs both promoted caches, so their stats and
+        ``clear`` views agree; built lazily because most registries
+        (tests, throwaway scripts) never touch disk."""
+        if self.cache_dir is None:
+            return None
+        with self._lock:
+            if self._cache_store is None:
+                from ..cache.store import CacheStore
+
+                self._cache_store = CacheStore(self.cache_dir)
+            return self._cache_store
+
     def parse_cache(self) -> ParseCache:
         """The shared sentence-parse cache (see :class:`ParseCache`).
 
         Living here rather than on ``Sage`` means every engine built over
         this registry — strict and revised mode alike — reuses each other's
         parses: identical sentence text under the same lexicon/chunker
-        fingerprint is parsed exactly once per process."""
+        fingerprint is parsed exactly once per process.  With a cache
+        directory configured the cache is additionally disk-backed
+        (:class:`~repro.cache.persistent.PersistentParseCache`): parses
+        persist across processes and are shared with concurrent ones."""
+        with self._lock:
+            if self._parse_cache is not None:
+                return self._parse_cache
+        store = self.cache_store()
         with self._lock:
             if self._parse_cache is None:
-                self._parse_cache = ParseCache()
+                if store is not None:
+                    from ..cache.persistent import PersistentParseCache
+
+                    self._parse_cache = PersistentParseCache(store)
+                else:
+                    self._parse_cache = ParseCache()
             return self._parse_cache
 
     def compiled_cache(self) -> CompiledProgramCache:
@@ -372,10 +421,22 @@ class ProtocolRegistry:
         Living here rather than on the harness means every consumer of
         generated code built over this registry — scenario adapters,
         benchmarks, repeated engine runs — compiles each distinct program
-        once; repeats are a dictionary hit on the content hash."""
+        once; repeats are a dictionary hit on the content hash.  With a
+        cache directory configured, rendered sources additionally persist
+        (:class:`~repro.cache.persistent.PersistentCompiledCache`), so a
+        cold process skips the render step."""
+        with self._lock:
+            if self._compiled_cache is not None:
+                return self._compiled_cache
+        store = self.cache_store()
         with self._lock:
             if self._compiled_cache is None:
-                self._compiled_cache = CompiledProgramCache()
+                if store is not None:
+                    from ..cache.persistent import PersistentCompiledCache
+
+                    self._compiled_cache = PersistentCompiledCache(store)
+                else:
+                    self._compiled_cache = CompiledProgramCache()
             return self._compiled_cache
 
     # -- rewrites and journaled decisions --------------------------------------
@@ -500,6 +561,8 @@ class ProtocolRegistry:
             self._parse_cache._lock = threading.Lock()
         if self._compiled_cache is not None:
             self._compiled_cache._lock = threading.Lock()
+        if self._cache_store is not None:
+            self._cache_store.reset_lock_after_fork()
 
 
 # -- the default registry ------------------------------------------------------

@@ -76,6 +76,12 @@ def compile_unit(unit, backend: str = "python", cache=None) -> dict[str, object]
     rendering; "interp" walks the IR directly).  The cache key is
     ``(backend, IR fingerprint)``, so the same program compiled under two
     backends caches independently while a repeat under either is free.
+
+    Compiled callables cannot outlive their process, but the *rendered
+    source* can: a disk-backed cache (:class:`~repro.cache.persistent.
+    PersistentCompiledCache`) persists the Python rendering under the same
+    key, so a cold process skips the render and only re-pays the ``exec``.
+    The in-memory cache's ``get_source``/``put_source`` are no-ops.
     """
     cache = _resolve_cache(cache)
     key = (backend, unit.fingerprint())
@@ -83,9 +89,17 @@ def compile_unit(unit, backend: str = "python", cache=None) -> dict[str, object]
         hit = cache.get(key)
         if hit is not None:
             return hit
+        if backend == "python":
+            source = cache.get_source(key)
+            if source is not None:
+                functions = PyEmitter.compile_source(source)
+                cache.put(key, functions)
+                return functions
     functions = unit.compile(backend=backend)
     if cache is not None:
         cache.put(key, functions)
+        if backend == "python":
+            cache.put_source(key, unit.render_python())
     return functions
 
 

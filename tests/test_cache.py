@@ -1,0 +1,345 @@
+"""The persistent content-addressed cache store: byte-level store
+semantics (atomic publish, corruption quarantine, clear/stats), the
+promoted parse/compiled caches sharing warm state across registry
+instances, `REPRO_CACHE_DIR` pickup, the engine's single-worker
+parallel fallback, and a multiprocessing stress test racing writers
+into one store directory."""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.cache import (
+    COMPILED_NAMESPACE,
+    PARSE_NAMESPACE,
+    CacheStore,
+    PersistentCompiledCache,
+    PersistentParseCache,
+)
+from repro.ccg.chart import ParseResult
+from repro.ccg.semantics import Call, Const
+from repro.core import SageEngine
+from repro.rfc.registry import CompiledProgramCache, ParseCache, ProtocolRegistry
+
+
+# -- the byte-level store ------------------------------------------------------
+
+class TestCacheStore:
+    def test_round_trip(self, tmp_path):
+        store = CacheStore(tmp_path)
+        assert store.put("ns", "key-1", b"payload-1")
+        assert store.get("ns", "key-1") == b"payload-1"
+        assert store.stats()["disk_hits"] == 1
+        assert store.stats()["writes"] == 1
+
+    def test_absent_key_is_a_miss(self, tmp_path):
+        store = CacheStore(tmp_path)
+        assert store.get("ns", "nope") is None
+        assert store.stats()["disk_misses"] == 1
+
+    def test_identical_rewrites_dedupe_to_one_entry(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("ns", "key", b"same")
+        store.put("ns", "key", b"same")
+        assert store.entry_count("ns") == 1
+        assert store.get("ns", "key") == b"same"
+
+    def test_layout_is_versioned_and_sharded(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("parse", "some-key", b"x")
+        path = store.path_for("parse", "some-key")
+        assert path.startswith(os.path.join(str(tmp_path), "v1", "parse"))
+        assert os.path.exists(path)
+        # Two-hex-char shard directory between namespace and entry.
+        shard = os.path.basename(os.path.dirname(path))
+        assert len(shard) == 2
+
+    def test_corrupt_entry_quarantined_and_recomputable(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("ns", "key", b"good-bytes")
+        path = store.path_for("ns", "key")
+        with open(path, "wb") as handle:
+            handle.write(b"garbage that is not an entry")
+        # The corrupt file reads as a miss and moves to quarantine/ ...
+        assert store.get("ns", "key") is None
+        assert store.quarantine_count() == 1
+        assert not os.path.exists(path)
+        assert store.stats()["quarantined"] == 1
+        # ... and the slot accepts a recompute.
+        assert store.put("ns", "key", b"good-bytes")
+        assert store.get("ns", "key") == b"good-bytes"
+
+    def test_truncated_payload_is_detected(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("ns", "key", b"a" * 100)
+        path = store.path_for("ns", "key")
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:-10])  # valid magic, torn payload
+        assert store.get("ns", "key") is None
+        assert store.quarantine_count() == 1
+
+    def test_clear_removes_entries_and_quarantine(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("a", "k1", b"1")
+        store.put("b", "k2", b"2")
+        with open(store.path_for("a", "k1"), "wb") as handle:
+            handle.write(b"junk")
+        store.get("a", "k1")  # quarantines
+        assert store.clear() == 1  # k2 (k1 already moved to quarantine)
+        assert store.entry_count() == 0
+        assert store.quarantine_count() == 0
+        assert store.get("b", "k2") is None
+
+    def test_stats_reports_namespace_footprint(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("parse", "k", b"abc")
+        stats = store.stats()
+        assert stats["layout_version"] == 1
+        assert stats["namespaces"]["parse"]["entries"] == 1
+        assert stats["namespaces"]["parse"]["bytes"] > 0
+
+
+# -- the promoted registry caches ----------------------------------------------
+
+def _parse_value():
+    form = Call("Is", (Const("type"), Const("0")))
+    result = ParseResult(logical_forms=[form], token_count=3,
+                         cells_filled=5, backend="indexed")
+    return (result, True)
+
+
+KEY = ("indexed", "lexsha", "chunkfp", "the type is 0", "type")
+
+
+class TestPersistentParseCache:
+    def test_write_through_and_cross_instance_hit(self, tmp_path):
+        store = CacheStore(tmp_path)
+        first = PersistentParseCache(store)
+        value = _parse_value()
+        first.put(KEY, value)
+
+        # A second cache over the same directory — a fresh process in
+        # miniature: no shared memory, only the store.
+        second = PersistentParseCache(CacheStore(tmp_path))
+        got = second.get(KEY)
+        assert got == value
+        stats = second.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 0
+        assert stats["disk_hits"] == 1
+        # The disk hit promoted into memory: the next get never touches disk.
+        second.get(KEY)
+        assert second.stats()["store"]["disk_hits"] == 1
+
+    def test_memory_clear_keeps_disk(self, tmp_path):
+        cache = PersistentParseCache(CacheStore(tmp_path))
+        cache.put(KEY, _parse_value())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(KEY) == _parse_value()
+        assert cache.stats()["disk_hits"] == 1
+
+    def test_clear_disk_forces_recompute(self, tmp_path):
+        cache = PersistentParseCache(CacheStore(tmp_path))
+        cache.put(KEY, _parse_value())
+        cache.clear()
+        assert cache.clear_disk() == 1
+        assert cache.get(KEY) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_corrupt_disk_entry_degrades_to_miss(self, tmp_path):
+        store = CacheStore(tmp_path)
+        cache = PersistentParseCache(store)
+        cache.put(KEY, _parse_value())
+        cache.clear()
+        # Valid store framing, garbage parse payload: the envelope decode
+        # fails and the cache reports an honest miss.
+        from repro.cache.persistent import _key_string
+        store.put(PARSE_NAMESPACE, _key_string(KEY), b"not a parse entry")
+        assert cache.get(KEY) is None
+        # The recompute republishes a good copy over it.
+        cache.put(KEY, _parse_value())
+        cache.clear()
+        assert cache.get(KEY) == _parse_value()
+
+    def test_ad_hoc_values_stay_memory_only(self, tmp_path):
+        store = CacheStore(tmp_path)
+        cache = PersistentParseCache(store)
+        cache.put(("weird",), {"not": "a parse entry"})
+        assert cache.get(("weird",)) == {"not": "a parse entry"}
+        assert store.entry_count(PARSE_NAMESPACE) == 0
+
+
+class TestPersistentCompiledCache:
+    def test_source_round_trips_across_instances(self, tmp_path):
+        first = PersistentCompiledCache(CacheStore(tmp_path))
+        key = ("python", "sha1-of-ir")
+        first.put_source(key, "def f():\n    return 1\n")
+        second = PersistentCompiledCache(CacheStore(tmp_path))
+        assert second.get_source(key) == "def f():\n    return 1\n"
+        assert second.get_source(("python", "other")) is None
+
+    def test_base_cache_has_no_disk_layer(self):
+        cache = CompiledProgramCache()
+        assert cache.get_source(("python", "x")) is None
+        cache.put_source(("python", "x"), "src")  # no-op, must not raise
+        assert cache.get_source(("python", "x")) is None
+
+
+# -- registry promotion --------------------------------------------------------
+
+class TestRegistryPromotion:
+    def test_no_cache_dir_keeps_plain_caches(self):
+        registry = ProtocolRegistry()
+        assert registry.cache_store() is None
+        assert type(registry.parse_cache()) is ParseCache
+        assert type(registry.compiled_cache()) is CompiledProgramCache
+
+    def test_cache_dir_promotes_both_caches(self, tmp_path):
+        registry = ProtocolRegistry(cache_dir=tmp_path)
+        assert registry.cache_store() is not None
+        assert isinstance(registry.parse_cache(), PersistentParseCache)
+        assert isinstance(registry.compiled_cache(), PersistentCompiledCache)
+        # Both promoted caches share the registry's one store.
+        assert registry.parse_cache().store is registry.compiled_cache().store
+
+    def test_env_var_pickup(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        registry = ProtocolRegistry()
+        assert registry.cache_dir == str(tmp_path)
+        assert isinstance(registry.parse_cache(), PersistentParseCache)
+
+    def test_explicit_dir_beats_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        registry = ProtocolRegistry(cache_dir=tmp_path / "arg")
+        assert registry.cache_dir == str(tmp_path / "arg")
+
+
+# -- the engine's single-worker parallel fallback ------------------------------
+
+class TestSingleWorkerFallback:
+    def test_one_worker_degrades_to_sequential(self):
+        engine = SageEngine(mode="revised")
+        baseline = engine.process_corpora(parallel=False)
+        fallback = engine.process_corpora(parallel=True, max_workers=1)
+        # No pool ran: the engine recorded no worker fan-out ...
+        assert engine.last_parallel_workers is None
+        # ... and the output is the sequential output, identically.
+        assert set(fallback) == set(baseline)
+        for name, run in baseline.items():
+            assert fallback[name].by_status() == run.by_status()
+            assert [r.status for r in fallback[name].results] == [
+                r.status for r in run.results
+            ]
+
+
+# -- concurrent writers (multiprocessing stress) -------------------------------
+
+N_WORKERS = 4
+N_SHARED = 6
+N_DISTINCT = 4
+N_ROUNDS = 5
+
+
+def _payload(tag):
+    return (f"payload:{tag}:").encode() * 40
+
+
+def _stress_worker(root, worker_id, barrier, errors):
+    """Race writes of identical and distinct keys; verify every read is
+    either a miss or the exact expected payload (no torn reads)."""
+    store = CacheStore(root)
+    barrier.wait()  # maximize write contention
+    try:
+        for round_no in range(N_ROUNDS):
+            for i in range(N_SHARED):
+                store.put("stress", f"shared-{i}", _payload(f"shared-{i}"))
+            for j in range(N_DISTINCT):
+                key = f"distinct-{worker_id}-{j}"
+                store.put("stress", key, _payload(key))
+            # Read everything any worker may have written so far.
+            for i in range(N_SHARED):
+                got = store.get("stress", f"shared-{i}")
+                if got is not None and got != _payload(f"shared-{i}"):
+                    errors.put(f"torn shared read: shared-{i} round {round_no}")
+            for other in range(N_WORKERS):
+                for j in range(N_DISTINCT):
+                    key = f"distinct-{other}-{j}"
+                    got = store.get("stress", key)
+                    if got is not None and got != _payload(key):
+                        errors.put(f"torn distinct read: {key}")
+        if store.quarantined:
+            errors.put(f"worker {worker_id} quarantined {store.quarantined} "
+                       "entries during a clean race")
+    except Exception as exc:  # pragma: no cover - failure reporting
+        errors.put(f"worker {worker_id} crashed: {exc!r}")
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_never_tear(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(N_WORKERS)
+        errors = ctx.Queue()
+        workers = [
+            ctx.Process(target=_stress_worker,
+                        args=(str(tmp_path), worker_id, barrier, errors))
+            for worker_id in range(N_WORKERS)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+        assert all(worker.exitcode == 0 for worker in workers)
+
+        failures = []
+        while not errors.empty():
+            failures.append(errors.get())
+        assert not failures, failures
+
+        # After the dust settles: one entry per key (identical racing
+        # writes deduped), every key answers without recompute, nothing
+        # was quarantined and no temp files leaked.
+        store = CacheStore(tmp_path)
+        assert store.entry_count("stress") == N_SHARED + N_WORKERS * N_DISTINCT
+        for i in range(N_SHARED):
+            assert store.get("stress", f"shared-{i}") == _payload(f"shared-{i}")
+        for worker_id in range(N_WORKERS):
+            for j in range(N_DISTINCT):
+                key = f"distinct-{worker_id}-{j}"
+                assert store.get("stress", key) == _payload(key)
+        assert store.disk_misses == 0
+        assert store.quarantine_count() == 0
+        assert os.listdir(os.path.join(store.base, "tmp")) == []
+
+    def test_corrupt_entry_recovered_after_race(self, tmp_path):
+        # Corrupt one settled entry, then let racing writers republish it:
+        # exactly one reader quarantines, every later read sees good bytes.
+        store = CacheStore(tmp_path)
+        store.put("stress", "shared-0", _payload("shared-0"))
+        with open(store.path_for("stress", "shared-0"), "wb") as handle:
+            handle.write(b"bit rot")
+
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        errors = ctx.Queue()
+        workers = [
+            ctx.Process(target=_stress_worker,
+                        args=(str(tmp_path), worker_id, barrier, errors))
+            for worker_id in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+        assert all(worker.exitcode == 0 for worker in workers)
+        # The workers' first shared-0 put landed before any read, so no
+        # worker should have seen the corrupt file as a quarantine *and*
+        # reads afterwards must all be clean.
+        failures = []
+        while not errors.empty():
+            failures.append(errors.get())
+        torn = [f for f in failures if f.startswith("torn")]
+        assert not torn, torn
+        assert store.get("stress", "shared-0") == _payload("shared-0")
