@@ -11,7 +11,10 @@ Measures, with wall-clock timers:
   cold-parses all four corpora through an uncached ParseStage — measured
   *before* anything else CCG-parses, so the indexed backend's
   process-global memos are genuinely cold — with a per-sentence LF
-  signature-set parity check between them;
+  signature-set parity check between them; the sweep runs twice
+  (round two re-cooled via ``reset_parser_state``) and each backend
+  scores its best round, so a one-off burst of machine noise inside one
+  backend's timers cannot flip the ratio gate;
 * one full ICMP strict run from a cold parse cache, then a revised run —
   the revised number shows the cross-mode win of the shared parse cache
   (both modes parse the same sentences once);
@@ -42,18 +45,27 @@ Measures, with wall-clock timers:
   second must answer every parse from disk.
 
 Writes ``BENCH_pipeline.json`` at the repository root so successive PRs can
-diff the numbers, and exits non-zero when a headline speedup regresses
-(CI runs this via ``scripts/ci.sh``):
+diff the numbers — including a bounded ``history`` array (one entry per
+git SHA, newest last) tracking the parser speedup across runs — and exits
+non-zero when a headline speedup regresses (CI runs this via
+``scripts/ci.sh``):
 
 * cached corpus load and Sage construction must stay >10x cheaper than
   cold;
 * the parser backends must agree sentence-for-sentence on every corpus
   (LF signature sets — the parity gate), and the optimized backend must
-  deliver ≥3x the reference backend's cold-parse throughput on the
-  4-protocol sweep;
-* the warm-cache sweep re-run must stay >3x faster than the cold
-  sequential sweep (the cached-vs-cold speedup gate) and must add zero
-  parse-cache misses;
+  deliver ≥5x the reference backend's cold-parse throughput on the
+  4-protocol sweep (timed GC-quiesced, best of two cold rounds; the
+  agenda/span-memo/deferred-
+  construction counters for the sweep are recorded under
+  ``parse_profile``, and the span-signature memo must answer >30% of
+  combined spans — the cross-sentence reuse sanity floor);
+* on a 1-CPU machine, ``parallel=True`` must degrade to the in-process
+  sequential path (no pool spawned, no fork overhead);
+* the warm-cache sweep re-run must stay >1.5x faster than the cold
+  sequential sweep (the cached-vs-cold speedup gate — the multiple is
+  modest because a "cold" sweep already reuses chart cells through the
+  span-signature memo) and must add zero parse-cache misses;
 * the warm parallel sweep must beat the cold sequential sweep, and — on
   machines with ≥2 workers — so must the cold parallel sweep;
 * a cached compile of the ICMP program must stay >10x cheaper than a cold
@@ -141,22 +153,69 @@ def main() -> int:
     numbers["parse_backends"] = backends
     parsers = {backend: registry.parser(backend=backend)
                for backend in backends}
-    elapsed_by_backend = {backend: 0.0 for backend in backends}
     backend_sigs = {backend: [] for backend in backends}
-    for tokens in token_streams:
+    # GC hygiene: both backends grow process-global memo graphs during
+    # the sweep, and a generational collection walking those graphs lands
+    # in whichever backend's timer happens to be open — pure measurement
+    # noise that can swing the ratio by tens of percent run to run.
+    # Collect once up front, hold GC for the timed region, re-enable
+    # after.  (The indexed backend already brackets each parse this way
+    # internally; this extends the same discipline to the reference side
+    # of the ratio.)
+    import gc
+
+    from repro.parsing.profile import PROFILE, profile_delta
+
+    # Best of two cold rounds: interleaving spreads *slow* drift across
+    # both sides of the ratio, but a single burst of machine noise (a
+    # noisy neighbour waking up for half a second) still lands entirely
+    # inside one backend's timers and can swing the ratio past the gate.
+    # Run the whole interleaved sweep twice — round two re-cooled via
+    # reset_parser_state(), so each round pays full chart construction
+    # and term production — and score each backend by its *minimum*
+    # round: the minimum is the run the noise missed, which is the
+    # number the cold gate is actually about.
+    from repro.parsing import reset_parser_state
+
+    rounds_by_backend = {backend: [] for backend in backends}
+    profile_before = PROFILE.counts()
+    for round_index in range(2):
+        if round_index:
+            # The profile delta covers exactly round one — the truly
+            # process-cold sweep (round two is cold-by-reset, which the
+            # counters would otherwise double).
+            numbers["parse_profile"] = profile_delta(profile_before,
+                                                     PROFILE.counts())
+            reset_parser_state()
+        elapsed_by_backend = {backend: 0.0 for backend in backends}
+        gc.collect()
+        gc.disable()
+        try:
+            for tokens in token_streams:
+                for backend in backends:
+                    parse = parsers[backend].parse
+                    start = time.perf_counter()
+                    result = parse(tokens)
+                    elapsed_by_backend[backend] += time.perf_counter() - start
+                    if round_index == 0:
+                        backend_sigs[backend].append(
+                            tuple(sorted(lf_signature(form)
+                                         for form in result.logical_forms))
+                        )
+        finally:
+            gc.enable()
         for backend in backends:
-            parse = parsers[backend].parse
-            start = time.perf_counter()
-            result = parse(tokens)
-            elapsed_by_backend[backend] += time.perf_counter() - start
-            backend_sigs[backend].append(
-                tuple(sorted(lf_signature(form)
-                             for form in result.logical_forms))
-            )
+            rounds_by_backend[backend].append(elapsed_by_backend[backend])
+    # The hot-path counter delta above covers the first sweep (the
+    # reference backend touches none of these counters, so the delta is
+    # the indexed backend's cold-sweep behavior: agenda pops, span
+    # reuse, memo hit rates, deferred/forced term construction, budget
+    # drops).
     for backend in backends:
-        numbers[f"parse_cold_{backend}_s"] = elapsed_by_backend[backend]
+        numbers[f"parse_cold_{backend}_s"] = min(rounds_by_backend[backend])
+        numbers[f"parse_cold_{backend}_rounds_s"] = rounds_by_backend[backend]
         numbers[f"parse_cold_{backend}_sentences_per_s"] = (
-            len(all_specs) / elapsed_by_backend[backend]
+            len(all_specs) / numbers[f"parse_cold_{backend}_s"]
         )
     numbers["parse_backend_parity"] = (
         len({tuple(sigs) for sigs in backend_sigs.values()}) == 1
@@ -371,7 +430,37 @@ def main() -> int:
         and cold_probe["icmp_c_sha1"] == warm_probe["icmp_c_sha1"]
     )
 
+    # -- speedup history ----------------------------------------------------
+    # Append this run's headline parser numbers to the `history` array
+    # (keyed by git SHA, newest last, bounded) carried over from the
+    # previous BENCH_pipeline.json — successive PRs see the trend, not
+    # just the latest point.
+    import subprocess
+
     out = REPO_ROOT / "BENCH_pipeline.json"
+    history = []
+    if out.exists():
+        try:
+            history = json.loads(out.read_text()).get("history", [])
+        except (json.JSONDecodeError, OSError):
+            history = []
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        sha = "unknown"
+    history = [entry for entry in history if entry.get("sha") != sha]
+    history.append({
+        "sha": sha,
+        "parse_backend_speedup": numbers["parse_backend_speedup"],
+        "parse_cold_indexed_s": numbers["parse_cold_indexed_s"],
+        "parse_cold_reference_s": numbers["parse_cold_reference_s"],
+        "span_reuse_rate": numbers["parse_profile"]["span_reuse_rate"],
+    })
+    numbers["history"] = history[-50:]
+
     out.write_text(json.dumps(numbers, indent=2) + "\n")
     print(json.dumps(numbers, indent=2))
 
@@ -380,17 +469,32 @@ def main() -> int:
     if not numbers["parse_backend_parity"]:
         failures.append("parser backends disagree on some sentence's "
                         "LF signature set (parity gate)")
-    if not numbers["parse_backend_speedup"] >= 3.0:
+    if not numbers["parse_backend_speedup"] >= 5.0:
         failures.append(
-            "indexed parser backend is not >=3x the reference backend's "
+            "indexed parser backend is not >=5x the reference backend's "
             f"cold-parse throughput (got {numbers['parse_backend_speedup']:.2f}x)"
+        )
+    if not numbers["parse_profile"]["span_reuse_rate"] > 0.30:
+        failures.append(
+            "span-signature memo reuse fell to "
+            f"{numbers['parse_profile']['span_reuse_rate']:.1%} of combined "
+            "spans on the cold sweep (sanity floor 30%: formulaic RFC "
+            "phrasing must keep reusing spans, or the cross-sentence memo "
+            "stopped paying for itself)"
         )
     if not numbers["corpus_load_cached_s"] < numbers["corpus_load_cold_s"] / 10:
         failures.append("cached corpus load is not >10x cheaper than cold")
     if not numbers["sage_construct_cached_s"] < numbers["sage_construct_cold_s"] / 10:
         failures.append("cached Sage construction is not >10x cheaper than cold")
-    if not numbers["sweep_warm_rerun_s"] < numbers["sweep_sequential_cold_s"] / 3:
-        failures.append("warm-cache sweep re-run is not >3x faster than cold")
+    # The warm-rerun multiple shrank by design when the indexed backend's
+    # span memo landed: a parse-cache-cold sweep now reuses whole chart
+    # cells across sentences (the memos were warmed by the head-to-head
+    # above — the production steady state), so skipping the parse
+    # entirely buys ~2x, not the ~4x it bought when every cold parse
+    # re-combined every span.  The floor guards the cache still paying
+    # for itself; the zero-miss gate below guards its correctness.
+    if not numbers["sweep_warm_rerun_s"] < numbers["sweep_sequential_cold_s"] / 1.5:
+        failures.append("warm-cache sweep re-run is not >1.5x faster than cold")
     if numbers["sweep_warm_rerun_new_misses"] != 0:
         failures.append("warm-cache sweep re-run re-parsed sentences")
     if not numbers["sweep_parallel_warm_s"] < numbers["sweep_sequential_cold_s"]:
@@ -421,6 +525,25 @@ def main() -> int:
             failures.append(
                 "cold parallel sweep overhead exceeds 2x cold sequential "
                 f"with {numbers['parallel_workers']} workers"
+            )
+    if numbers["cpu_count"] == 1:
+        # The single-CPU regression this gate exists for: the engine must
+        # degrade parallel=True to the in-process path (no pool spawned)
+        # rather than pay fork + cache shipping for zero concurrency.
+        if numbers["parallel_workers"] != 0:
+            failures.append(
+                "engine spawned a worker pool on a 1-CPU machine "
+                f"({numbers['parallel_workers']} workers) instead of "
+                "degrading to the sequential path"
+            )
+        if not (numbers["sweep_parallel_cold_s"]
+                < numbers["sweep_sequential_cold_s"] * 1.25):
+            failures.append(
+                "degraded parallel sweep is slower than sequential on a "
+                "1-CPU machine "
+                f"({numbers['sweep_parallel_cold_s']:.3f}s vs "
+                f"{numbers['sweep_sequential_cold_s']:.3f}s): the "
+                "parallel=True fallback should be the same code path"
             )
     if not numbers["codegen_compile_cached_s"] < numbers["codegen_compile_cold_s"] / 10:
         failures.append("cached program compile is not >10x cheaper than cold")

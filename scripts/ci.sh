@@ -13,7 +13,9 @@
 # that the api layer is importable and executable outside pytest.
 #
 # The smoke benchmark writes BENCH_pipeline.json and exits non-zero when a
-# headline speedup regresses (cached-vs-cold load/construction, the
+# headline speedup regresses (parser-backend parity and the indexed
+# backend's >=5x cold-parse speedup floor with >30% span-memo reuse,
+# cached-vs-cold load/construction, the
 # warm-cache sweep re-run, the parallel engine sweep, the codegen
 # compiled-program cache: a cached compile must stay >10x cheaper than a
 # cold one, or the service layer: the serialized run must round-trip equal

@@ -92,6 +92,10 @@ def _build_parser() -> argparse.ArgumentParser:
                               "LF-set parity, and report relative speed")
     p_parse.add_argument("--sentences", action="store_true",
                          help="print the per-sentence diagnostic lines")
+    p_parse.add_argument("--profile", action="store_true",
+                         help="print the parser hot-path counters for this "
+                              "batch (agenda pops, memo hit rates, deferred "
+                              "items, budget drops)")
     common(p_parse)
 
     p_resolve = sub.add_parser(
@@ -343,6 +347,13 @@ def _cmd_parse(service: SageService, args, out) -> int:
             suffix = f"  [{'; '.join(flags)}]" if flags else ""
             print(f"  #{sentence['index']:>3} LFs={sentence['lf_count']:<3}"
                   f" {sentence['text'][:60]}{suffix}", file=out)
+    if args.profile:
+        profile = report["profile"]
+        print("  profile:", file=out)
+        for key in sorted(profile):
+            value = profile[key]
+            rendered = f"{value:.3f}" if isinstance(value, float) else value
+            print(f"    {key:<28} {rendered}", file=out)
     return 0
 
 

@@ -179,23 +179,29 @@ class SageService:
         sentence diagnostics (the ``python -m repro parse`` payload).
 
         Returns a JSON-safe dict: backend identity, wall-clock timing and
-        throughput, parse-cache hit counts, and per-sentence LF counts /
-        unknown words / pruned flags.  No winnowing or code generation
-        runs — this is the parsing subsystem in isolation.
+        throughput, parse-cache hit counts, per-sentence LF counts /
+        unknown words / pruned flags, and — under ``"profile"`` — the
+        :mod:`repro.parsing.profile` counter delta for exactly this batch
+        (agenda pops, span/production/apply memo hit rates, deferred-item
+        counts, budget drops).  No winnowing or code generation runs —
+        this is the parsing subsystem in isolation.
         """
         import hashlib
         import time
 
         from ..ccg.semantics import signature
+        from ..parsing.profile import PROFILE, profile_delta
 
         if parser_backend:
             self._check_parser_backend(parser_backend)
         corpus = self._load_corpus(protocol)
         engine = self.engine(mode, parser_backend)
+        counters_before = PROFILE.counts()
         started = time.perf_counter()
         parsed = engine.parse_batch(corpus,
                                     parser_backend=parser_backend or None)
         elapsed = time.perf_counter() - started
+        profile = profile_delta(counters_before, PROFILE.counts())
         backend = (parser_backend
                    or self.registry.parser_backend_for(corpus.protocol))
         sentences = []
@@ -227,6 +233,7 @@ class SageService:
             "parsed_from_cache": sum(1 for item in parsed if item.from_cache),
             "unparsed": sum(1 for item in parsed if item.result.count == 0),
             "pruned_sentences": sum(1 for item in parsed if item.pruned),
+            "profile": profile,
             "sentences": sentences,
         }
 

@@ -17,6 +17,17 @@ Cells are bounded by ``max_cell_items``.  Items rejected by the bound are
 *counted* on :attr:`ParseResult.dropped_items` (and surfaced as the
 ``pruned`` flag) rather than silently vanishing — winnow provenance must
 know when the LF set it saw was truncated.
+
+Two pieces here are shared plumbing rather than reference-only code:
+:func:`lexical_span_items` (multiword lexical matching over the token
+stream) and :func:`strip_terminal_punct` are consumed verbatim by the
+indexed backend, so both backends see exactly the same lexical layer —
+any output divergence is therefore attributable to combination order,
+which is what the parity gate isolates.  The reference combination loop
+itself stays deliberately dumb: the agenda-driven exploration, span
+memoization, and deferred term construction all live in
+:mod:`repro.parsing.indexed` (DESIGN.md §10) and are measured *against*
+this module's fixed point.
 """
 
 from __future__ import annotations

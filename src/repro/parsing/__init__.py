@@ -4,7 +4,8 @@ The paper's front end (§4.1, CCG parsing of RFC sentences into logical
 forms) as a first-class subsystem: a :class:`ParserBackend` protocol with
 two registered implementations — the ``reference`` CKY chart and the
 ``indexed`` packed-forest parser — whose corpus-wide parity is locked in
-tests and gated in CI.  See DESIGN.md §8.
+tests and gated in CI.  See DESIGN.md §8, and §10 for the agenda-driven
+hot path, the cross-sentence span memo, and the :mod:`.profile` counters.
 """
 
 from .backend import (
@@ -18,7 +19,9 @@ from .backend import (
     register_parser_backend,
 )
 from .forest import PackedItem, ParseForest, PruneBudget
-from .indexed import IndexedChartParser
+from .indexed import IndexedChartParser, reset_parser_state, reset_span_memo
+from .profile import PROFILE, profile_delta, profile_snapshot, reset_profile
+from .values import normalize_batch
 
 __all__ = [
     "DEFAULT_PARSER_BACKEND",
@@ -33,4 +36,11 @@ __all__ = [
     "ParseForest",
     "PruneBudget",
     "IndexedChartParser",
+    "reset_parser_state",
+    "reset_span_memo",
+    "PROFILE",
+    "profile_delta",
+    "profile_snapshot",
+    "reset_profile",
+    "normalize_batch",
 ]

@@ -29,6 +29,7 @@ from typing import Iterator
 from ..ccg.categories import NP, S, Category, category_id
 from ..ccg.chart import MAX_CELL_ITEMS, ParseResult
 from ..ccg.semantics import Sem, signature
+from .profile import PROFILE
 
 __all__ = ["PruneBudget", "PackedItem", "Derivation", "ParseForest"]
 
@@ -41,9 +42,22 @@ class PruneBudget:
     single cell may hold; additional derivations of an item already present
     pack onto it for free.  Items rejected by the bound are counted, never
     silently discarded.
+
+    A budget below one item per cell is a contradiction, not a
+    configuration: it could only ever produce an empty forest while
+    *looking* like a successful parse with every item "dropped".  It fails
+    loudly at construction instead.
     """
 
     max_cell_items: int = MAX_CELL_ITEMS
+
+    def __post_init__(self) -> None:
+        if self.max_cell_items < 1:
+            raise ValueError(
+                f"PruneBudget.max_cell_items must be >= 1, got "
+                f"{self.max_cell_items}: a zero-item budget cannot parse "
+                "anything and would silently return an empty forest"
+            )
 
 
 #: One way an item was derived: ``(rule, left, right)`` backpointers.
@@ -51,6 +65,18 @@ class PruneBudget:
 Derivation = tuple[str, "PackedItem | None", "PackedItem | None"]
 
 LEXICAL_RULE = "lexical"
+
+#: The backend's production function, registered by :mod:`.indexed` at
+#: import time (avoids a circular import): ``(rule, left, right) -> tuple``
+#: of ``(category, triple)`` productions.  Deferred items call it to build
+#: their semantics on first demand.
+_PRODUCER = None
+
+
+def register_producer(produce) -> None:
+    """Install the production function deferred items force through."""
+    global _PRODUCER
+    _PRODUCER = produce
 
 
 class PackedItem:
@@ -63,25 +89,69 @@ class PackedItem:
     structural id — equal ids mean equal provenance-free structure, the
     dedup relation; :attr:`sig` renders the portable signature string on
     demand for cross-parse comparison and debugging.
+
+    Combined items are created :meth:`deferred`: their ``sid``, ``catid``
+    and groundedness are known from the structural production memo alone,
+    and those three are all chart construction ever consults — so the
+    actual term is not built until something *reads* it (:meth:`triple`),
+    which only happens along the backpointer cone of an enumerated root.
+    The pruned/packed majority of chart items never pays term
+    construction at all.
     """
 
     __slots__ = ("category", "catid", "sem", "sid", "grounded", "ntriple",
-                 "derivations", "_sig")
+                 "derivations", "_sig", "_pending")
 
     def __init__(self, category: Category, sem: Sem, ntriple: tuple) -> None:
         self.category = category
-        self.catid: int = category_id(category)
+        cid = category.__dict__.get("_cid")
+        self.catid: int = category_id(category) if cid is None else cid
         self.sem = sem
         self.ntriple = ntriple
         self.sid: int = ntriple[1]
         self.grounded: bool = ntriple[2]
         self.derivations: list[Derivation] = []
         self._sig: str | None = None
+        self._pending = None
+
+    @classmethod
+    def deferred(cls, category: Category, catid: int, sid: int,
+                 grounded: bool, rule: int, litem: "PackedItem",
+                 ritem: "PackedItem", position: int) -> "PackedItem":
+        """A combined item whose term is built on first :meth:`triple` call
+        from its founding candidate ``(rule, litem, ritem)`` — the same
+        production an eager insert would have run, so the forced triple is
+        value-identical."""
+        item = cls.__new__(cls)
+        item.category = category
+        item.catid = catid
+        item.sem = None
+        item.ntriple = None
+        item.sid = sid
+        item.grounded = grounded
+        item.derivations = []
+        item._sig = None
+        item._pending = (rule, litem, ritem, position)
+        PROFILE.deferred_items += 1
+        return item
+
+    def triple(self) -> tuple:
+        """The normalized ``(sem, sid, grounded)`` triple, building it (and
+        transitively its children's) on first demand for deferred items."""
+        t = self.ntriple
+        if t is None:
+            rule, litem, ritem, position = self._pending
+            t = _PRODUCER(rule, litem, ritem)[position][1]
+            self.sem = t[0]
+            self.ntriple = t
+            self._pending = None
+            PROFILE.forced_items += 1
+        return t
 
     @property
     def nsem(self) -> Sem:
         """The β-normal form of :attr:`sem`."""
-        return self.ntriple[0]
+        return self.triple()[0]
 
     @property
     def sig(self) -> str:
@@ -146,7 +216,22 @@ class ParseForest:
         for item in self.root_items():
             if item.sid not in seen:
                 seen.add(item.sid)
-                yield item.sem
+                sem = item.sem
+                yield sem if sem is not None else item.triple()[0]
+
+    def normal_forms(self) -> list[Sem]:
+        """The β-normal forms of :meth:`logical_forms`, batch-normalized.
+
+        One topological pass over the union DAG of the root readings
+        (:func:`~repro.parsing.values.normalize_batch`) normalizes every
+        shared subderivation once; readings the chart already stored in
+        normal form answer from their per-node stamps.  Same order and
+        dedup as :meth:`logical_forms`.
+        """
+        from .values import normalize_batch
+
+        return [triple[0]
+                for triple in normalize_batch(list(self.logical_forms()))]
 
     # -- statistics ------------------------------------------------------------
     def item_count(self) -> int:

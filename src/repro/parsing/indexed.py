@@ -14,6 +14,35 @@ only visits pairs whose categories can actually unify under some rule:
 * coordination: the left cell's CONJ items × the right cell's saturated
   constituents.
 
+Chart exploration is **agenda-driven**: instead of sweeping every
+``(span, mid)`` slot of the CKY triangle — most of which are provably
+empty the moment the lexical layer is down — the combination loop keeps a
+best-first agenda of *target* spans, fed by a cell-adjacency index.  A
+target is scheduled exactly when some adjacent pair of non-empty cells
+could produce into it, and the agenda priority ``(span width, start)`` is
+precisely the reference backend's sweep order, so popping the agenda dry
+visits the same cells in the same order while never touching the empty
+regions of the chart.  A cell is popped at most once (the scheduled set
+dedups), every pop either seeds the cell from the span memo or combines
+it, and the ``PruneBudget`` is charged per pop — the drops a pop records
+are final because nothing revisits its cell.
+
+On top of the agenda sits the cross-sentence **span-signature memo**:
+the finished contents of a combination cell are a pure function of the
+lexicon, the prune budget, the span's start offset, and the exact
+``(text, kind)`` token sequence it covers — nothing outside the span ever
+reaches into it.  Once any sentence has combined a span, every later
+sentence in the corpus that repeats those tokens at that offset (RFC
+prose repeats its phrasing heavily — "send an ICMP message", shared field
+clauses, boilerplate sentence prefixes) seeds the finished cell with the
+*same* packed items in one dict probe: no candidate enumeration, no
+production lookups, no new term objects.  Reuse is keyed by the lexicon
+fingerprint and the budget, so an edited grammar or a different pruning
+contract can never be served another configuration's cells, and the
+adopted items carry the exact provenance (spans, triggers) a fresh
+derivation would have produced — reuse is invisible in the output, which
+the shuffled-corpus property test locks.
+
 Candidate productions are tagged ``(mid, left_index, right_index, rule)``
 and sorted before insertion, which reproduces the reference backend's
 insertion sequence exactly — so semantic dedup keeps the *same*
@@ -21,6 +50,12 @@ representative (same provenance spans and triggers), cells truncate at the
 same point under the same budget, and the enumerated logical forms match
 the reference list element-for-element.  Parity is therefore structural;
 the test suite and the benchmark gate verify it corpus-wide.
+
+Everything the loop does is counted on the process-global
+:data:`~repro.parsing.profile.PROFILE` (agenda pops, seeded vs combined
+cells, memo hit rates, budget drops) — surfaced through
+``SageService.parse_diagnostics``, ``python -m repro parse --profile``,
+and the pipeline smoke benchmark.
 
 Semantics flow as the fused normalizer's ``(sem, sid, grounded)`` triples
 (:mod:`.values`): combining two items substitutes into already-normal
@@ -36,6 +71,7 @@ a single dict probe and no term construction at all.
 from __future__ import annotations
 
 import gc
+from heapq import heappop, heappush
 from operator import itemgetter
 
 from ..ccg.categories import (
@@ -67,7 +103,14 @@ from ..ccg.combinators import (
 from ..ccg.lexicon import Lexicon
 from ..ccg.semantics import Const
 from ..nlp.tokenizer import Token
-from .forest import LEXICAL_RULE, PackedItem, ParseForest, PruneBudget
+from .forest import (
+    LEXICAL_RULE,
+    PackedItem,
+    ParseForest,
+    PruneBudget,
+    register_producer,
+)
+from .profile import PROFILE
 from .values import (
     Triple,
     apply_triple,
@@ -75,7 +118,12 @@ from .values import (
     make_call_triple,
     neutral,
     normalize,
+    normalize_batch,
     reset_apply_memo,
+    reset_derived_memos,
+    sid_apply,
+    sid_grounded,
+    sid_of_key,
 )
 
 #: (rule, left category id, left sid, right category id, right sid) →
@@ -119,6 +167,56 @@ def _lexical_generation(fingerprint: str) -> dict[tuple, tuple]:
     return generation
 
 
+#: Cross-sentence span-signature memo (see module docstring).  Outer key:
+#: (lexicon fingerprint, budget max_cell_items) — a cell's contents and
+#: its counted drops are pure functions of those two plus the inner key,
+#: (start offset, ((text, kind), ...) for the span's tokens).  Values are
+#: (finished _Cell or None, drops charged when the cell was combined); a
+#: popped cell is final (nothing revisits it), so the *cell object* with
+#: its indexes is adopted wholesale on a hit — no re-insertion, no index
+#: rebuild.  Empty spans memoize as (None, 0) so repeated dead phrasing
+#: skips candidate enumeration too.  Generational like the lexical
+#: cache, and bounded by the same count, so a long-lived service cycling
+#: lexicons releases old span graphs.
+_SPAN_MEMO: dict[tuple[str, int], dict[tuple, tuple]] = {}
+_SPAN_GENERATIONS = 4
+
+_EMPTY_SPAN = (None, 0)
+
+
+def _span_generation(fingerprint: str, max_cell_items: int) -> dict[tuple, tuple]:
+    key = (fingerprint, max_cell_items)
+    generation = _SPAN_MEMO.get(key)
+    if generation is None:
+        while len(_SPAN_MEMO) >= _SPAN_GENERATIONS:
+            _SPAN_MEMO.pop(next(iter(_SPAN_MEMO)))
+        generation = _SPAN_MEMO.setdefault(key, {})
+    return generation
+
+
+def reset_span_memo() -> None:
+    """Drop every memoized span (tests / benchmark cold-start bracketing)."""
+    _SPAN_MEMO.clear()
+
+
+def reset_parser_state() -> None:
+    """Return the indexed backend to a process-cold state.
+
+    Drops every process-global memo a parse warms as a side effect — the
+    span-signature memo, the lexical span cache, the structural
+    production memo, and the derived term/sid memos in :mod:`.values` —
+    so the next sweep re-pays full chart construction and term
+    production.  The value intern tables survive (see
+    :func:`repro.parsing.values.reset_derived_memos`).  This exists for
+    benchmark cold-start bracketing: best-of-N cold rounds need each
+    round to actually be cold.
+    """
+    _SPAN_MEMO.clear()
+    _LEXICAL_CACHE.clear()
+    _PRODUCTION_MEMO.clear()
+    reset_derived_memos()
+
+
 class _Cell:
     """One chart cell plus the indexes the combination loop consults."""
 
@@ -146,22 +244,40 @@ class _Cell:
             self.by_key[key] = item
         category = item.category
         self.by_cat.setdefault(item.catid, []).append((index, item))
-        if isinstance(category, Func):
+        # The routing decision (function? which slash? which arg/result
+        # ids? conjunction?) is a pure function of the category — cache
+        # it on the category object so repeat inserts are one dict probe.
+        d = category.__dict__
+        plan = d.get("_ixplan")
+        if plan is None:
+            if isinstance(category, Func):
+                plan = (category_id(category.arg),
+                        category_id(category.result),
+                        category.slash == FORWARD)
+            else:
+                plan = (None, None, category == CONJ)
+            d["_ixplan"] = plan
+        arg_cid = plan[0]
+        if arg_cid is not None:
             # Function entries carry their argument-category id so the
             # candidate scan probes the opposite cell with plain ints.
-            entry = (index, item, category_id(category.arg))
-            result_cid = category_id(category.result)
-            if category.slash == FORWARD:
+            entry = (index, item, arg_cid)
+            if plan[2]:
                 self.fwd.append(entry)
-                self.fwd_by_result.setdefault(result_cid, []).append((index, item))
+                self.fwd_by_result.setdefault(plan[1], []).append((index, item))
             else:
                 self.bwd.append(entry)
-                self.bwd_by_result.setdefault(result_cid, []).append((index, item))
+                self.bwd_by_result.setdefault(plan[1], []).append((index, item))
         else:
             entry = (index, item)
             self.non_func.append(entry)
-            if category == CONJ:
+            if plan[2]:
                 self.conj.append(entry)
+
+
+#: Shared sentinel for cached-empty single-token spans (never mutated,
+#: never entered into a chart).
+_EMPTY_CELL = _Cell()
 
 
 class IndexedChartParser(CCGChartParser):
@@ -175,11 +291,17 @@ class IndexedChartParser(CCGChartParser):
     name = "indexed"
 
     def __init__(self, lexicon: Lexicon, max_cell_items: int = MAX_CELL_ITEMS,
-                 budget: PruneBudget | None = None) -> None:
+                 budget: PruneBudget | None = None,
+                 reuse_spans: bool = True) -> None:
         if budget is None:
             budget = PruneBudget(max_cell_items=max_cell_items)
         super().__init__(lexicon, budget.max_cell_items)
         self.budget = budget
+        #: Whether combination cells may be seeded from (and stored into)
+        #: the cross-sentence span-signature memo.  Reuse never changes
+        #: outputs (the property tests lock this); disabling it exists for
+        #: control runs and A/B measurement.
+        self.reuse_spans = reuse_spans
 
     # -- public API ------------------------------------------------------------
     def parse(self, tokens: list[Token]) -> ParseResult:
@@ -191,8 +313,8 @@ class IndexedChartParser(CCGChartParser):
         length = len(tokens)
         if not tokens:
             return ParseForest(0, {}, [], 0, self.budget, 0, backend=self.name)
+        PROFILE.parses += 1
         cells: dict[tuple[int, int], _Cell] = {}
-        cell_keys: set[tuple[int, int]] = set()
         covered = [False] * length
         # Chart construction is allocation-dense and most of what it
         # builds is either pinned in the process-global memos or garbage
@@ -204,8 +326,14 @@ class IndexedChartParser(CCGChartParser):
         if gc_was_enabled:
             gc.disable()
         try:
-            unknown = self._fill_lexical(tokens, cells, cell_keys, covered)
-            dropped = self._combine_spans(length, cells, cell_keys)
+            unknown = self._fill_lexical(tokens, cells, covered)
+            # The reference chart registers every width-1 cell it fills
+            # plus every width>=2 span it sweeps; the agenda never touches
+            # empty spans, so reproduce that count arithmetically.
+            cells_filled = (length * (length - 1)) // 2 + sum(
+                1 for (start, end) in cells if end - start == 1
+            )
+            dropped = self._combine_spans(tokens, cells)
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -215,12 +343,12 @@ class IndexedChartParser(CCGChartParser):
             unknown_words=unknown,
             dropped_items=dropped,
             budget=self.budget,
-            cells_filled=len(cell_keys),
+            cells_filled=cells_filled,
             backend=self.name,
         )
 
     # -- lexical spans ---------------------------------------------------------
-    def _fill_lexical(self, tokens: list[Token], cells, cell_keys,
+    def _fill_lexical(self, tokens: list[Token], cells,
                       covered: list[bool]) -> list[str]:
         length = len(tokens)
         words_lower = [token.lower for token in tokens]
@@ -231,33 +359,66 @@ class IndexedChartParser(CCGChartParser):
         # Same cell-filling order as the reference chart: span length
         # ascending, start ascending.
         lexical_cache = _lexical_generation(self.lexicon.fingerprint())
-        for span_len in range(1, min(self.lexicon.max_phrase_words, length) + 1):
+        cache_hits = 0
+        cache_misses = 0
+        # Width-1 cells are never combination targets (targets have
+        # width >= 2), so a finished single-token _Cell is immutable and
+        # can be *shared* across every sentence that repeats the token at
+        # the offset: one dict probe adopts the whole indexed cell, items
+        # and all.  Multiword lexical cells can receive combination
+        # insertions, so those still cache (category, sem, triple) tuples
+        # and rebuild fresh PackedItems per sentence.
+        for start in range(length):
+            token = tokens[start]
+            cache_key = (start, token.text, token.kind)
+            shared = lexical_cache.get(cache_key)
+            if shared is None:
+                cache_misses += 1
+                items = lexical_span_items(
+                    self.lexicon, tokens, start, start + 1,
+                    entries=matches_by_start[start].get(start + 1, ()),
+                )
+                # The stored sem is the verbatim (unreduced, stamped)
+                # lexical semantics — exactly what the reference cell
+                # carries — alongside the normalized triple that drives
+                # combination and dedup.  The span's item semantics share
+                # subterms (type-raised entries wrap the same stamped
+                # bodies), so normalize them as one batch over the shared
+                # DAG.
+                triples = normalize_batch([item.sem for item in items])
+                shared = _Cell() if items else _EMPTY_CELL
+                for item, triple in zip(items, triples):
+                    packed = PackedItem(category=item.category,
+                                        sem=item.sem, ntriple=triple)
+                    packed.derivations.append((LEXICAL_RULE, None, None))
+                    shared.insert(packed)
+                lexical_cache[cache_key] = shared
+            else:
+                cache_hits += 1
+            if shared.items:
+                covered[start] = True
+                cells[(start, start + 1)] = shared
+        for span_len in range(2, min(self.lexicon.max_phrase_words, length) + 1):
             for start in range(0, length - span_len + 1):
                 end = start + span_len
-                if span_len == 1:
-                    token = tokens[start]
-                    cache_key = (start, token.text, token.kind)
-                else:
-                    entries = matches_by_start[start].get(end, ())
-                    if not entries:
-                        continue  # multiword spans only exist via the trie
-                    cache_key = (start, tuple(words_lower[start:end]))
+                entries = matches_by_start[start].get(end, ())
+                if not entries:
+                    continue  # multiword spans only exist via the trie
+                cache_key = (start, tuple(words_lower[start:end]))
                 cached = lexical_cache.get(cache_key)
                 if cached is None:
+                    cache_misses += 1
                     items = lexical_span_items(
-                        self.lexicon, tokens, start, end,
-                        entries=(matches_by_start[start].get(end, ())
-                                 if span_len == 1 else entries),
+                        self.lexicon, tokens, start, end, entries=entries,
                     )
-                    # The cached sem is the verbatim (unreduced, stamped)
-                    # lexical semantics — exactly what the reference cell
-                    # carries — alongside the normalized triple that
-                    # drives combination and dedup.
+                    triples = normalize_batch([item.sem for item in items])
                     cached = tuple(
-                        (item.category, item.sem, normalize(item.sem, {}))
-                        for item in items
+                        (item.category, item.sem, triple)
+                        for item, triple in zip(items, triples)
                     )
                     lexical_cache[cache_key] = cached
+                else:
+                    cache_hits += 1
                 if not cached:
                     continue
                 for position in range(start, end):
@@ -265,12 +426,13 @@ class IndexedChartParser(CCGChartParser):
                 cell = cells.get((start, end))
                 if cell is None:
                     cell = cells[(start, end)] = _Cell()
-                    cell_keys.add((start, end))
                 for category, sem, ntriple in cached:
                     packed = PackedItem(category=category, sem=sem,
                                         ntriple=ntriple)
                     packed.derivations.append((LEXICAL_RULE, None, None))
                     cell.insert(packed)
+        PROFILE.lexical_cache_hits += cache_hits
+        PROFILE.lexical_cache_misses += cache_misses
         return [
             tokens[position].text
             for position in range(length)
@@ -278,34 +440,145 @@ class IndexedChartParser(CCGChartParser):
         ]
 
     # -- combination -----------------------------------------------------------
-    def _combine_spans(self, length: int, cells, cell_keys) -> int:
-        dropped = 0
+    def _combine_spans(self, tokens: list[Token], cells) -> int:
+        """Agenda-driven combination (see module docstring).
+
+        Invariants the byte parity rests on:
+
+        * the agenda holds *target* spans keyed ``(width, start, end)``;
+          heap order is therefore width ascending then start ascending —
+          exactly the reference sweep order;
+        * a target is scheduled the moment its *second* contributing
+          sub-cell becomes non-empty (adjacency lists ``left_ends`` /
+          ``right_starts`` make that O(adjacent cells)), and the
+          ``scheduled`` set guarantees at most one pop per span;
+        * every schedule event originates from a cell strictly narrower
+          than the target, so by the time the first width-w target pops,
+          every width-w target that will ever exist is already queued —
+          within a width class the heap yields starts in ascending order,
+          and equal-width cells can never feed each other;
+        * each pop charges the ``PruneBudget`` exactly once and its drops
+          are final: nothing ever revisits a popped cell.
+        """
+        length = len(tokens)
+        if length < 2:
+            return 0
         budget = self.budget.max_cell_items
-        for span_len in range(2, length + 1):
-            for start in range(0, length - span_len + 1):
-                end = start + span_len
-                cell_keys.add((start, end))
-                candidates = self._candidates(start, end, cells)
-                if not candidates:
+        span_memo = (
+            _span_generation(self.lexicon.fingerprint(), budget)
+            if self.reuse_spans else None
+        )
+        token_keys = ([(token.text, token.kind) for token in tokens]
+                      if span_memo is not None else None)
+
+        left_ends: list[list[int]] = [[] for _ in range(length + 1)]
+        right_starts: list[list[int]] = [[] for _ in range(length + 1)]
+        heap: list[tuple[int, int, int]] = []
+        scheduled: set[tuple[int, int]] = set()
+        scheduled_add = scheduled.add
+
+        def note_nonempty(i: int, j: int) -> None:
+            # Cell (i, j) just became non-empty: schedule every span a
+            # pairing with an adjacent non-empty cell could produce into.
+            for k in left_ends[j]:
+                target = (i, k)
+                if target not in scheduled:
+                    scheduled_add(target)
+                    heappush(heap, (k - i, i, k))
+            for h in right_starts[i]:
+                target = (h, j)
+                if target not in scheduled:
+                    scheduled_add(target)
+                    heappush(heap, (j - h, h, j))
+            left_ends[i].append(j)
+            right_starts[j].append(i)
+
+        # Seed adjacency from the lexical layer; _fill_lexical inserts in
+        # sweep order (width ascending, start ascending), so plain dict
+        # order is already sorted.
+        for span in list(cells):
+            note_nonempty(*span)
+
+        dropped_total = 0
+        pops = 0
+        seeded = 0
+        visited = 0
+        memo_hits = 0
+        memo_misses = 0
+        items_reused = 0
+        while heap:
+            _width, start, end = heappop(heap)
+            pops += 1
+            span_key = None
+            if span_memo is not None:
+                span_key = (start, tuple(token_keys[start:end]))
+                hit = span_memo.get(span_key)
+                if hit is not None:
+                    memo_hits += 1
+                    stored_cell, cell_dropped = hit
+                    dropped_total += cell_dropped
+                    if stored_cell is not None:
+                        seeded += 1
+                        items_reused += len(stored_cell.items)
+                        # Adopt the finished cell wholesale — object,
+                        # items, indexes.  If a lexical cell already sits
+                        # at this span, the stored cell is a superset
+                        # built from the *same* shared lexical objects,
+                        # so replacement is value- and
+                        # provenance-identical.
+                        was_empty = (start, end) not in cells
+                        cells[(start, end)] = stored_cell
+                        if was_empty:
+                            note_nonempty(start, end)
                     continue
-                candidates.sort(key=_CANDIDATE_ORDER)
-                cell = cells.get((start, end))
-                if cell is None:
-                    cell = cells[(start, end)] = _Cell()
-                dropped += self._insert_candidates(cell, candidates, budget)
-        return dropped
+                memo_misses += 1
+            visited += 1
+            # Valid split points: mids where both (start, mid) and
+            # (mid, end) are non-empty.  left_ends[start] holds exactly
+            # the non-empty spans starting at start.
+            mids = [mid for mid in left_ends[start]
+                    if mid < end and (mid, end) in cells]
+            candidates = None
+            if mids:
+                mids.sort()
+                candidates = self._candidates(mids, start, end, cells)
+            if not candidates:
+                if span_memo is not None:
+                    span_memo[span_key] = _EMPTY_SPAN
+                continue
+            candidates.sort(key=_CANDIDATE_ORDER)
+            cell = cells.get((start, end))
+            was_empty = cell is None
+            if was_empty:
+                cell = cells[(start, end)] = _Cell()
+            cell_dropped = self._insert_candidates(cell, candidates, budget)
+            dropped_total += cell_dropped
+            if span_memo is not None:
+                # The popped cell is final: store the object itself.
+                span_memo[span_key] = (cell if cell.items else None,
+                                       cell_dropped)
+            if was_empty and cell.items:
+                note_nonempty(start, end)
+        PROFILE.agenda_pops += pops
+        PROFILE.agenda_scheduled += len(scheduled)
+        PROFILE.cells_visited += visited
+        PROFILE.cells_seeded += seeded
+        PROFILE.span_memo_hits += memo_hits
+        PROFILE.span_memo_misses += memo_misses
+        PROFILE.items_reused += items_reused
+        PROFILE.budget_drops += dropped_total
+        return dropped_total
 
     @staticmethod
-    def _candidates(start: int, end: int, cells) -> list:
-        """Every rule-compatible (left item, right item) pairing, tagged
-        with its reference-order position ``(mid, l_idx, r_idx, rule)``."""
+    def _candidates(mids: list[int], start: int, end: int, cells) -> list:
+        """Every rule-compatible (left item, right item) pairing over the
+        given split points, tagged with its reference-order position
+        ``(mid, l_idx, r_idx, rule)``."""
         candidates = []
         append = candidates.append
-        for mid in range(start + 1, end):
-            left = cells.get((start, mid))
-            right = cells.get((mid, end))
-            if left is None or right is None:
-                continue
+        for mid in mids:
+            left = cells[(start, mid)]
+            right = cells[(mid, end)]
             empty: list = []
             for l_idx, litem, arg_cid in left.fwd:
                 for r_idx, ritem in right.by_cat.get(arg_cid, empty):
@@ -336,24 +609,26 @@ class IndexedChartParser(CCGChartParser):
         memo = _PRODUCTION_MEMO
         memo_get = memo.get
         rule_names = RULE_NAMES
-        for candidate in candidates:
-            rule = candidate[3]
-            litem = candidate[4]
-            ritem = candidate[5]
+        memo_hits = 0
+        memo_misses = 0
+        for _mid, _l_idx, _r_idx, rule, litem, ritem in candidates:
             pkey = (rule, litem.catid, litem.sid, ritem.catid, ritem.sid)
             outcomes = memo_get(pkey)
             if outcomes is None:
-                productions = _produce(rule, litem, ritem)
-                outcomes = memo[pkey] = tuple(
-                    (category, category_id(category), triple[1], triple[2])
-                    for category, triple in productions
-                )
+                # First sighting of this structural combination: learn
+                # its (category, sid, grounded) outcomes over interned
+                # ids only — no semantics are built unless an outcome
+                # actually enters the cell (below).  The packed/pruned
+                # majority never pays term construction.
+                memo_misses += 1
+                outcomes = memo[pkey] = _structural_outcomes(
+                    rule, litem, ritem)
             else:
-                # Fast path: the structural outcomes are known; the term
-                # is only built (lazily, below) for a first-time
-                # insertion.  Outcomes align positionally with
-                # ``_produce``'s production list.
-                productions = None
+                memo_hits += 1
+            # No term is built here at all: insertion stores a deferred
+            # item carrying its founding candidate, and the term
+            # materializes only if enumeration ever demands it.  Outcome
+            # positions align with ``_produce``'s production list.
             rule_name = rule_names[rule]
             for position, outcome in enumerate(outcomes):
                 existing = by_key_get((outcome[1], outcome[2]))
@@ -364,14 +639,66 @@ class IndexedChartParser(CCGChartParser):
                 if len(items) >= budget:
                     dropped += 1
                     continue
-                if productions is None:
-                    productions = _produce(rule, litem, ritem)
-                category, triple = productions[position]
-                packed = PackedItem(category=category, sem=triple[0],
-                                    ntriple=triple)
+                packed = PackedItem.deferred(
+                    outcome[0], outcome[1], outcome[2], outcome[3],
+                    rule, litem, ritem, position)
                 packed.derivations.append((rule_name, litem, ritem))
                 cell.insert(packed)
+        PROFILE.production_memo_hits += memo_hits
+        PROFILE.production_memo_misses += memo_misses
         return dropped
+
+
+def _structural_outcomes(rule: int, litem: PackedItem,
+                         ritem: PackedItem) -> tuple[tuple, ...]:
+    """The ``(category, catid, sid, grounded)`` outcome rows for one
+    candidate, computed entirely over interned structure ids.
+
+    Mirrors :func:`_produce` production-for-production — same categories,
+    and sids/groundedness identical to the triples ``_produce`` would
+    build (``sid_apply`` is ``apply_triple``'s structural shadow).  The
+    corpus-wide parity gate locks that equivalence."""
+    lcat, rcat = litem.category, ritem.category
+    if rule == RULE_FORWARD_APPLICATION:
+        rows = ((lcat.result, sid_apply(litem.sid, ritem.sid)),)
+    elif rule == RULE_BACKWARD_APPLICATION:
+        rows = ((rcat.result, sid_apply(ritem.sid, litem.sid)),)
+    elif rule == RULE_FORWARD_COMPOSITION:
+        inner = sid_apply(ritem.sid, _VAR_Z_SID)
+        rows = ((forward(lcat.result, rcat.arg),
+                 sid_of_key(("l", "z", sid_apply(litem.sid, inner)))),)
+    elif rule == RULE_BACKWARD_COMPOSITION:
+        inner = sid_apply(litem.sid, _VAR_Z_SID)
+        rows = ((backward(rcat.result, lcat.arg),
+                 sid_of_key(("l", "z", sid_apply(ritem.sid, inner)))),)
+    else:
+        lsem = litem.sem
+        if lsem is None:
+            lsem = litem.triple()[0]
+        conj_pred = "Or" if type(lsem) is Const and lsem.value == "or" else "And"
+        grouped = sid_of_key(
+            ("l", "a", sid_of_key(("@", conj_pred, (_VAR_A_SID, ritem.sid))))
+        )
+        rows = [(backward(rcat, rcat), grouped)]
+        if rcat == NP:
+            distributed = sid_of_key(("l", "a", sid_of_key(("l", "p", sid_of_key(
+                ("@", conj_pred,
+                 (sid_of_key(("a", _VAR_P_SID, _VAR_A_SID)),
+                  sid_of_key(("a", _VAR_P_SID, ritem.sid)))),
+            )))))
+            rows.append((_DISTRIBUTED_CATEGORY, distributed))
+    built = []
+    for category, sid in rows:
+        cid = category.__dict__.get("_cid")
+        if cid is None:
+            cid = category_id(category)
+        built.append((category, cid, sid, sid_grounded(sid)))
+    return tuple(built)
+
+
+_VAR_Z_SID = neutral("z")[1]
+_VAR_A_SID = neutral("a")[1]
+_VAR_P_SID = neutral("p")[1]
 
 
 def _produce(rule: int, litem: PackedItem,
@@ -380,22 +707,28 @@ def _produce(rule: int, litem: PackedItem,
 
     The category indexes guarantee the rule's precondition holds, so
     production is unconditional; results are built directly in normalized
-    triple form, mirroring :mod:`repro.ccg.combinators` rule-for-rule."""
+    triple form, mirroring :mod:`repro.ccg.combinators` rule-for-rule.
+
+    Children may themselves be deferred — :meth:`PackedItem.triple` forces
+    them first, so a forced root materializes exactly its backpointer cone
+    and nothing else."""
     lcat, rcat = litem.category, ritem.category
+    ltriple = litem.ntriple or litem.triple()
+    rtriple = ritem.ntriple or ritem.triple()
     if rule == RULE_FORWARD_APPLICATION:
-        return ((lcat.result, apply_triple(litem.ntriple, ritem.ntriple)),)
+        return ((lcat.result, apply_triple(ltriple, rtriple)),)
     if rule == RULE_BACKWARD_APPLICATION:
-        return ((rcat.result, apply_triple(ritem.ntriple, litem.ntriple)),)
+        return ((rcat.result, apply_triple(rtriple, ltriple)),)
     if rule == RULE_FORWARD_COMPOSITION:
         # λz. l (r z)
-        inner = apply_triple(ritem.ntriple, neutral("z"))
+        inner = apply_triple(rtriple, neutral("z"))
         return ((forward(lcat.result, rcat.arg),
-                 lam_wrap("z", apply_triple(litem.ntriple, inner))),)
+                 lam_wrap("z", apply_triple(ltriple, inner))),)
     if rule == RULE_BACKWARD_COMPOSITION:
         # λz. r (l z)
-        inner = apply_triple(litem.ntriple, neutral("z"))
+        inner = apply_triple(ltriple, neutral("z"))
         return ((backward(rcat.result, lcat.arg),
-                 lam_wrap("z", apply_triple(ritem.ntriple, inner))),)
+                 lam_wrap("z", apply_triple(rtriple, inner))),)
     # Coordination (grouped, then — for NP conjuncts — distributed),
     # mirroring repro.ccg.combinators.coordination term-for-term.
     lsem = litem.sem
@@ -403,7 +736,7 @@ def _produce(rule: int, litem: PackedItem,
     var_a = neutral("a")
     grouped = lam_wrap(
         "a",
-        make_call_triple(conj_pred, (var_a, ritem.ntriple), None, frozenset()),
+        make_call_triple(conj_pred, (var_a, rtriple), None, frozenset()),
     )
     productions = [(backward(rcat, rcat), grouped)]
     if rcat == NP:
@@ -414,7 +747,7 @@ def _produce(rule: int, litem: PackedItem,
                 "p",
                 make_call_triple(
                     conj_pred,
-                    (apply_triple(var_p, var_a), apply_triple(var_p, ritem.ntriple)),
+                    (apply_triple(var_p, var_a), apply_triple(var_p, rtriple)),
                     None,
                     frozenset({"distributed"}),
                 ),
@@ -425,6 +758,10 @@ def _produce(rule: int, litem: PackedItem,
 
 
 _DISTRIBUTED_CATEGORY = backward(forward(S, backward(S, NP)), NP)
+
+# Deferred items force their terms through this backend's production
+# function (forest.py cannot import it without a cycle).
+register_producer(_produce)
 
 #: Sort key reproducing the reference backend's insertion sequence.
 _CANDIDATE_ORDER = itemgetter(0, 1, 2, 3)

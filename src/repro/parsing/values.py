@@ -54,9 +54,11 @@ from __future__ import annotations
 import itertools
 
 from ..ccg.semantics import App, Call, Const, Lam, Sem, Var
+from .profile import PROFILE
 
-__all__ = ["normalize", "apply_triple", "Triple", "sid_of_key", "neutral",
-           "lam_wrap", "make_call_triple"]
+__all__ = ["normalize", "normalize_batch", "apply_triple", "Triple",
+           "sid_of_key", "sid_apply", "sid_grounded", "neutral", "lam_wrap",
+           "make_call_triple"]
 
 #: (sem, sid, grounded)
 Triple = tuple[Sem, int, bool]
@@ -103,12 +105,18 @@ def _mk_lam(param, body) -> Lam:
 _INTERN: dict[tuple, int] = {}
 _NEXT_SID = itertools.count()
 
+#: sid → its structural key — the inverse of :data:`_INTERN`, maintained at
+#: every intern site.  This is what lets the sid-level β-engine below walk
+#: and rewrite structures without ever materializing term objects.
+_KEY_OF: dict[int, tuple] = {}
+
 
 def sid_of_key(key: tuple) -> int:
     """The intern id for a structural key (see module docstring)."""
     sid = _INTERN.get(key)
     if sid is None:
         sid = _INTERN.setdefault(key, next(_NEXT_SID))
+        _KEY_OF.setdefault(sid, key)
     return sid
 
 
@@ -230,6 +238,7 @@ def normalize(term: Sem, env: dict[str, Triple]) -> Triple:
         sid = _INTERN.get(key)
         if sid is None:
             sid = _INTERN.setdefault(key, next(_NEXT_SID))
+            _KEY_OF.setdefault(sid, key)
         triple = (sem, sid, grounded)
         if grounded:
             # A grounded result is closed and self-normal: stamp it so any
@@ -241,8 +250,16 @@ def normalize(term: Sem, env: dict[str, Triple]) -> Triple:
             return triple
     elif kind is Lam:
         param = term.param
-        inner = dict(env)
-        inner[param] = neutral(param)
+        if env:
+            inner = dict(env)
+            inner[param] = neutral(param)
+        else:
+            # Closed lambda: the one-binding environment is a pure
+            # function of the parameter name — share it (environments
+            # are never mutated once passed down).
+            inner = _PARAM_ENVS.get(param)
+            if inner is None:
+                inner = _PARAM_ENVS[param] = {param: neutral(param)}
         body_sem, body_sid, _ = normalize(term.body, inner)
         sem = term if body_sem is term.body else _mk_lam(param, body_sem)
         triple = (sem, sid_of_key(("l", param, body_sid)), False)
@@ -250,8 +267,12 @@ def normalize(term: Sem, env: dict[str, Triple]) -> Triple:
         fn_t = term.fn
         if type(fn_t) is Lam:
             # Syntactic redex: substitute straight into the body.
-            inner = dict(env)
-            inner[fn_t.param] = normalize(term.arg, env)
+            arg_triple = normalize(term.arg, env)
+            if env:
+                inner = dict(env)
+                inner[fn_t.param] = arg_triple
+            else:
+                inner = {fn_t.param: arg_triple}
             return normalize(fn_t.body, inner)
         sub = type(fn_t)
         if sub is Var:
@@ -283,6 +304,61 @@ def normalize(term: Sem, env: dict[str, Triple]) -> Triple:
 
 _EMPTY_ENV: dict[str, Triple] = {}
 _EMPTY_FV: frozenset[str] = frozenset()
+
+#: param name → the shared ``{param: neutral(param)}`` environment used to
+#: descend under a closed lambda (read-only by construction).
+_PARAM_ENVS: dict[str, dict[str, Triple]] = {}
+
+
+def normalize_batch(terms: list[Sem]) -> list[Triple]:
+    """Normalize many closed terms in one topological pass.
+
+    The per-term recursive :func:`normalize` re-enters every node of every
+    derivation; when a batch of terms shares subderivations (one chart
+    cell's items, one forest's root readings), that sharing is invisible
+    to the recursion until the per-node ``_norm`` stamps start answering.
+    This driver makes the sharing explicit: an iterative post-order walk
+    over the *union* DAG of the batch stamps each distinct subterm exactly
+    once, children before parents, so every parent normalization is a
+    shallow combine over already-stamped children — no Python recursion
+    down spines the batch has already visited.
+
+    ``Lam`` nodes (and the syntactic-redex applications that substitute
+    into them) are delegated whole to :func:`normalize`: their bodies
+    normalize under a binder environment, which is exactly the recursion
+    the stamps cannot replace.  Lambda nesting in chart semantics is
+    shallow, so the delegated recursion is bounded by binder depth, not
+    derivation size.
+
+    Returns the ``(sem, sid, grounded)`` triple per input term, in input
+    order — each identical to what ``normalize(term, {})`` returns.
+    """
+    stack = [(term, False) for term in reversed(terms)]
+    push = stack.append
+    while stack:
+        term, ready = stack.pop()
+        kind = type(term)
+        if kind is Const or kind is Var:
+            continue  # leaf sids are computed (and cached) inline
+        if ready:
+            normalize(term, _EMPTY_ENV)  # children stamped: shallow combine
+            continue
+        d = term.__dict__
+        if d.get("_norm") is not None:
+            continue
+        if kind is Lam or (kind is App and type(term.fn) is Lam):
+            normalize(term, _EMPTY_ENV)  # binder/redex: delegate whole
+            continue
+        push((term, True))
+        if kind is Call:
+            for arg in term.args:
+                push((arg, False))
+        elif kind is App:
+            push((term.fn, False))
+            push((term.arg, False))
+        else:
+            raise TypeError(f"cannot normalize {term!r}")
+    return [normalize(term, _EMPTY_ENV) for term in terms]
 
 
 def lam_wrap(param: str, body: Triple) -> Triple:
@@ -331,6 +407,22 @@ def reset_apply_memo() -> None:
     _APPLY_MEMO.clear()
 
 
+def reset_derived_memos() -> None:
+    """Drop every derived memo while keeping the intern tables.
+
+    Clears the term- and sid-level application/substitution/groundedness
+    memos — everything recomputable from the interned structures.  The
+    intern tables themselves (:data:`_INTERN` / :data:`_KEY_OF`) stay:
+    sids are process-global identities that live :class:`PackedItem`\\ s
+    may still hold, and re-interning is O(structure) noise next to the
+    memoized work.  Used by cold-start benchmark bracketing.
+    """
+    _APPLY_MEMO.clear()
+    _SID_APPLY_MEMO.clear()
+    _SID_SUBST_MEMO.clear()
+    _SID_GROUNDED.clear()
+
+
 def apply_triple(fn: Triple, arg: Triple) -> Triple:
     """Apply one normalized triple to another.
 
@@ -345,7 +437,9 @@ def apply_triple(fn: Triple, arg: Triple) -> Triple:
         key = (id(fn_sem), id(arg_sem))
         hit = _APPLY_MEMO.get(key)
         if hit is not None:
+            PROFILE.apply_memo_hits += 1
             return hit[2]
+        PROFILE.apply_memo_misses += 1
         triple = normalize(fn_sem.body, {fn_sem.param: arg})
         _APPLY_MEMO[key] = (fn_sem, arg_sem, triple)
         return triple
@@ -355,3 +449,115 @@ def apply_triple(fn: Triple, arg: Triple) -> Triple:
         sid_of_key(("a", fn[1], arg[1])),
         False,
     )
+
+
+# -- the sid-level β-engine ----------------------------------------------------
+#
+# Every sid names a β-normal structure (the intern keys only ever come out
+# of the normalizer), so β-reduction can run *entirely over integers*:
+# hereditary substitution on the interned keys, never touching a term
+# object.  This is what lets the chart's production memo learn the
+# (sid, grounded) outcome of a combination without building its semantics
+# — term construction is deferred to items that actually enter a cell,
+# while the packed/pruned majority (CCG's spurious ambiguity) costs dict
+# probes over ints.  The mirrors are exact: ``sid_apply`` reproduces
+# ``apply_triple``'s sid, including the capture discipline of
+# :func:`normalize` (closed chart terms, binder names verbatim), which the
+# backend-parity suite locks corpus-wide.
+
+#: (fn sid, arg sid) → result sid.  Pure and process-global; unlike
+#: :data:`_APPLY_MEMO` the keys are ints, so one entry serves every
+#: provenance variant of the same structural application.
+_SID_APPLY_MEMO: dict[tuple[int, int], int] = {}
+
+#: (body sid, param, arg sid) → substituted sid.
+_SID_SUBST_MEMO: dict[tuple[int, str, int], int] = {}
+
+#: sid → groundedness of the structure it names.
+_SID_GROUNDED: dict[int, bool] = {}
+
+
+def sid_apply(fn_sid: int, arg_sid: int) -> int:
+    """The sid of applying one normal structure to another (mirrors
+    :func:`apply_triple` sid-for-sid)."""
+    key = (fn_sid, arg_sid)
+    hit = _SID_APPLY_MEMO.get(key)
+    if hit is not None:
+        return hit
+    fkey = _KEY_OF[fn_sid]
+    if fkey[0] == "l":
+        result = _sid_subst(fkey[2], fkey[1], arg_sid)
+    else:
+        result = sid_of_key(("a", fn_sid, arg_sid))
+    _SID_APPLY_MEMO[key] = result
+    return result
+
+
+def _sid_subst(body_sid: int, param: str, arg_sid: int) -> int:
+    """Hereditary substitution ``body[param := arg]`` over sids.
+
+    Normal in, normal out: substituting into a neutral application can
+    expose a redex at its head, which re-enters :func:`sid_apply`.
+    Shadowed binders stop the descent; otherwise the walk is as
+    capture-naive as :func:`normalize` itself — the two must agree
+    structure-for-structure, not be independently "correct"."""
+    mkey = (body_sid, param, arg_sid)
+    hit = _SID_SUBST_MEMO.get(mkey)
+    if hit is not None:
+        return hit
+    key = _KEY_OF[body_sid]
+    tag = key[0]
+    if tag == "v":
+        result = arg_sid if key[1] == param else body_sid
+    elif tag == "c":
+        result = body_sid
+    elif tag == "@":
+        args = key[2]
+        new_args = []
+        changed = False
+        for a in args:
+            na = _sid_subst(a, param, arg_sid)
+            if na != a:
+                changed = True
+            new_args.append(na)
+        result = (sid_of_key(("@", key[1], tuple(new_args)))
+                  if changed else body_sid)
+    elif tag == "l":
+        if key[1] == param:
+            result = body_sid  # shadowed
+        else:
+            new_body = _sid_subst(key[2], param, arg_sid)
+            result = (body_sid if new_body == key[2]
+                      else sid_of_key(("l", key[1], new_body)))
+    else:  # "a": neutral application
+        new_fn = _sid_subst(key[1], param, arg_sid)
+        new_arg = _sid_subst(key[2], param, arg_sid)
+        if new_fn == key[1] and new_arg == key[2]:
+            result = body_sid
+        else:
+            result = sid_apply(new_fn, new_arg)
+    _SID_SUBST_MEMO[mkey] = result
+    return result
+
+
+def sid_grounded(sid: int) -> bool:
+    """Groundedness of the structure ``sid`` names (mirrors the triple
+    flag :func:`normalize` computes: Consts are grounded, predicate
+    applications inherit from their arguments, everything else is not)."""
+    hit = _SID_GROUNDED.get(sid)
+    if hit is not None:
+        return hit
+    key = _KEY_OF[sid]
+    tag = key[0]
+    if tag == "c":
+        grounded = True
+    elif tag == "@":
+        grounded = True
+        for arg in key[2]:
+            if not sid_grounded(arg):
+                grounded = False
+                break
+    else:  # "v", "l", "a"
+        grounded = False
+    _SID_GROUNDED[sid] = grounded
+    return grounded
