@@ -1,0 +1,39 @@
+"""The sweep's worker reporting must be honest about the degrade path.
+
+``SageEngine.process_corpora(parallel=True)`` falls back to inline
+sequential execution when fork is unavailable or only one worker would
+run; that is one effective worker, and ``pipeline_smoke.py`` must record
+it as ``parallel_workers: 1`` with ``parallel_inline: true`` — never the
+historical misleading ``0``.
+"""
+
+from pipeline_smoke import parallel_workers_report
+
+from repro.core import SageEngine
+
+
+def test_inline_degrade_reports_one_worker():
+    assert parallel_workers_report(None) == {
+        "parallel_workers": 1,
+        "parallel_inline": True,
+    }
+
+
+def test_real_pool_reports_its_size():
+    assert parallel_workers_report(4) == {
+        "parallel_workers": 4,
+        "parallel_inline": False,
+    }
+    assert parallel_workers_report(2)["parallel_workers"] == 2
+
+
+def test_one_worker_sweep_degrades_and_reports_inline(revised_engine):
+    """A forced one-worker parallel sweep takes the degrade path, and the
+    smoke report renders that as inline single-worker execution."""
+    runs = revised_engine.process_corpora(["ICMP"], parallel=True,
+                                          max_workers=1)
+    assert set(runs) == {"ICMP"}
+    assert revised_engine.last_parallel_workers is None
+    report = parallel_workers_report(revised_engine.last_parallel_workers)
+    assert report["parallel_workers"] == 1
+    assert report["parallel_inline"] is True

@@ -110,6 +110,23 @@ def timed(fn, repeat: int = 1):
     return (time.perf_counter() - start) / repeat, result
 
 
+def parallel_workers_report(last_parallel_workers: int | None) -> dict:
+    """How a ``parallel=True`` sweep actually executed.
+
+    The engine's degrade path (no fork support, or a pool of one would
+    only add overhead) runs the sweep inline in this process — that is
+    one effective worker, not zero, so report ``parallel_workers: 1``
+    with an explicit ``parallel_inline`` flag rather than the misleading
+    ``0`` this file used to record.  Asserted by
+    ``benchmarks/bench_parallel_workers.py``.
+    """
+    inline = last_parallel_workers is None
+    return {
+        "parallel_workers": 1 if inline else last_parallel_workers,
+        "parallel_inline": inline,
+    }
+
+
 def main() -> int:
     numbers = {}
 
@@ -270,10 +287,10 @@ def main() -> int:
     numbers["sweep_parallel_cold_sentences_per_s"] = (
         total_sentences / numbers["sweep_parallel_cold_s"]
     )
-    # The pool size the engine actually chose (None = degraded to
-    # sequential because fork is unavailable or only one worker would
-    # have run).
-    numbers["parallel_workers"] = engine.last_parallel_workers or 0
+    # The pool size the engine actually chose; the degrade path (fork
+    # unavailable, or only one worker would have run) executes inline —
+    # reported as one worker plus an explicit inline flag.
+    numbers.update(parallel_workers_report(engine.last_parallel_workers))
 
     # The same parallel sweep against the now-warm shared cache — the
     # production configuration for a repeated sweep.
@@ -439,11 +456,19 @@ def main() -> int:
 
     out = REPO_ROOT / "BENCH_pipeline.json"
     history = []
+    carried = {}
     if out.exists():
         try:
-            history = json.loads(out.read_text()).get("history", [])
+            previous = json.loads(out.read_text())
+            history = previous.get("history", [])
+            # The serving-layer numbers (`serve_*`, written by
+            # benchmarks/load_harness.py against a live server) ride in
+            # the same file; a smoke re-run must not erase them.
+            carried = {key: value for key, value in previous.items()
+                       if key.startswith("serve_")}
         except (json.JSONDecodeError, OSError):
             history = []
+    numbers.update(carried)
     try:
         sha = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
@@ -530,11 +555,11 @@ def main() -> int:
         # The single-CPU regression this gate exists for: the engine must
         # degrade parallel=True to the in-process path (no pool spawned)
         # rather than pay fork + cache shipping for zero concurrency.
-        if numbers["parallel_workers"] != 0:
+        if not numbers["parallel_inline"]:
             failures.append(
                 "engine spawned a worker pool on a 1-CPU machine "
                 f"({numbers['parallel_workers']} workers) instead of "
-                "degrading to the sequential path"
+                "degrading to the inline sequential path"
             )
         if not (numbers["sweep_parallel_cold_s"]
                 < numbers["sweep_sequential_cold_s"] * 1.25):

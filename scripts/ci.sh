@@ -2,11 +2,12 @@
 # Tier-1 verification + the CLI smoke + the pipeline perf smoke, exactly as
 # CI runs them.
 #
-#   ./scripts/ci.sh          # tests + CLI smoke + cache smoke + smoke benchmark
+#   ./scripts/ci.sh          # tests + CLI smoke + cache smoke + smoke benchmark + serve gate
 #   ./scripts/ci.sh tests    # tier-1 tests only
 #   ./scripts/ci.sh bench    # CLI smoke + parser parity + cache smoke + smoke benchmark
 #   ./scripts/ci.sh parity   # parser-backend parity suite only
 #   ./scripts/ci.sh cache    # persistent cache cross-process smoke only
+#   ./scripts/ci.sh serve-gate  # HTTP serving layer load gate only
 #
 # The CLI smoke drives the `python -m repro` service entry point (a full
 # four-protocol sweep emitting the JSON wire contract) — a packaging check
@@ -59,6 +60,61 @@ if [ "${1:-all}" = "cache" ]; then
   exit 0
 fi
 
+# Serving-layer load gate: boot `python -m repro serve` twice over one
+# shared cache directory.  Boot #1 runs the harness cold (gates latency
+# and error rate only — its traffic populates the store); boot #2 runs it
+# with --expect-warm, which additionally requires zero parse misses
+# through the server (disk warm-start) and sustained throughput >= 1/2 of
+# the in-process api_sweep_warm_sentences_per_s baseline recorded in
+# BENCH_pipeline.json.  Boot #2's numbers land under serve_* keys there.
+serve_gate() {
+  echo "== serve gate: load harness against python -m repro serve =="
+  local store log pid=""
+  store="$(mktemp -d "${TMPDIR:-/tmp}/repro-serve-ci.XXXXXX")"
+  log="$store/serve.log"
+  # shellcheck disable=SC2064
+  trap "[ -n \"\$pid\" ] && kill \"\$pid\" 2>/dev/null; rm -rf '$store'" RETURN
+
+  local port
+  # Sets $pid and $port (no subshell: the trap needs the real pid).
+  boot_server() {
+    python -m repro serve --port 0 --cache-dir "$store/cache" > "$log" 2>&1 &
+    pid=$!
+    local i
+    for i in $(seq 1 100); do
+      grep -q "serving on" "$log" 2>/dev/null && break
+      if ! kill -0 "$pid" 2>/dev/null; then
+        echo "SERVE FAILURE: server died during boot:" >&2
+        cat "$log" >&2
+        return 1
+      fi
+      sleep 0.2
+    done
+    port="$(sed -n 's/.*:\([0-9]*\) .*/\1/p' "$log" | head -1)"
+    [ -n "$port" ] || { echo "SERVE FAILURE: could not read port" >&2; return 1; }
+  }
+
+  boot_server || return 1
+  echo "-- boot 1 (cold store, port $port): latency + error gates"
+  python benchmarks/load_harness.py --url "http://127.0.0.1:$port" \
+    --requests 24 --warmup 4 --concurrency 3 \
+    --min-throughput-fraction 0 --no-write
+  kill "$pid" 2>/dev/null && wait "$pid" 2>/dev/null || true
+  pid=""
+
+  boot_server || return 1
+  echo "-- boot 2 (warm store, port $port): throughput + warm-start gates"
+  python benchmarks/load_harness.py --url "http://127.0.0.1:$port" \
+    --requests 24 --warmup 4 --concurrency 3 --expect-warm
+  kill "$pid" 2>/dev/null && wait "$pid" 2>/dev/null || true
+  pid=""
+}
+
+if [ "${1:-all}" = "serve-gate" ]; then
+  serve_gate
+  exit 0
+fi
+
 if [ "${1:-all}" != "bench" ]; then
   echo "== tier-1: pytest =="
   python -m pytest -x -q
@@ -84,4 +140,8 @@ if [ "${1:-all}" != "tests" ]; then
 
   echo "== benchmarks: pipeline smoke (writes BENCH_pipeline.json, gates perf) =="
   python benchmarks/pipeline_smoke.py
+fi
+
+if [ "${1:-all}" = "all" ]; then
+  serve_gate
 fi

@@ -46,7 +46,7 @@ from ..core.engine import SageRun, SentenceResult, SentenceStatus
 from ..disambiguation.winnow import WinnowTrace
 from ..rfc.corpus import Rewrite, SpecSentence
 from .contracts import _CONTRACTS, kind_of
-from .errors import ContractError, ProtocolNotFound
+from .errors import ContractError, EnvelopeDecodeError, ProtocolNotFound
 
 #: The wire schema tag this module writes and reads (JSON's ``schema:1``
 #: sibling; the magic below is its byte-level spelling).
@@ -270,6 +270,15 @@ class _Writer:
 # -- the reader ----------------------------------------------------------------
 
 class _Reader:
+    """Decodes what :class:`_Writer` wrote — without ever trusting it.
+
+    Every length prefix and element count comes off the wire, so each one
+    is bounds-checked against the bytes that could possibly back it before
+    it sizes a read or drives a loop: a malformed (or malicious) frame
+    raises :class:`~repro.api.errors.EnvelopeDecodeError` instead of
+    producing an oversized allocation or a silently-truncated value.
+    """
+
     def __init__(self, data: bytes) -> None:
         self.data = data
         self.pos = len(MAGIC)
@@ -282,14 +291,40 @@ class _Reader:
         result = 0
         shift = 0
         while True:
-            byte = data[pos]
+            try:
+                byte = data[pos]
+            except IndexError:
+                raise EnvelopeDecodeError(
+                    "varint runs past the end of the payload"
+                ) from None
             pos += 1
             result |= (byte & 0x7F) << shift
             if byte < 0x80:
                 break
             shift += 7
+            if shift > 63:
+                # The writer never emits more than 64 bits; continuation
+                # bytes past that are garbage and would otherwise build an
+                # arbitrarily large int from wire input.
+                raise EnvelopeDecodeError("varint exceeds 64 bits")
         self.pos = pos
         return result
+
+    def _bounded(self, what: str) -> int:
+        """A varint length/count that must fit the remaining payload.
+
+        Strings need exactly this many bytes; list/arg/field counts cost
+        at least one byte per element.  Either way a prefix larger than
+        what remains can only come from a corrupt or hostile frame, and
+        must fail *before* it sizes an allocation or a loop.
+        """
+        n = self.varint()
+        remaining = len(self.data) - self.pos
+        if n > remaining:
+            raise EnvelopeDecodeError(
+                f"{what} {n} exceeds the {remaining} bytes remaining"
+            )
+        return n
 
     def _zigzag(self) -> int:
         raw = self.varint()
@@ -299,10 +334,17 @@ class _Reader:
         tag = self.data[self.pos]
         self.pos += 1
         if tag == _T_SREF:
-            return self.strings[self.varint()]
+            index = self.varint()
+            try:
+                return self.strings[index]
+            except IndexError:
+                raise EnvelopeDecodeError(
+                    f"string back-reference {index} names an intern slot "
+                    f"that does not exist yet ({len(self.strings)} interned)"
+                ) from None
         if tag != _T_SNEW:
             raise ContractError(f"expected a string, found tag {tag}")
-        length = self.varint()
+        length = self._bounded("string length")
         raw = self.data[self.pos:self.pos + length]
         self.pos += length
         text = raw.decode("utf-8")
@@ -314,7 +356,14 @@ class _Reader:
         tag = data[self.pos]
         self.pos += 1
         if tag == _T_SEM_REF:
-            return self.sems[self.varint()]
+            index = self.varint()
+            try:
+                return self.sems[index]
+            except IndexError:
+                raise EnvelopeDecodeError(
+                    f"term back-reference {index} names a node that does "
+                    f"not exist yet ({len(self.sems)} decoded)"
+                ) from None
         nodes = self.sems
         index = len(nodes)
         nodes.append(None)  # reserve the preorder slot before the children
@@ -322,12 +371,12 @@ class _Reader:
             aux = data[self.pos]
             self.pos += 1
             pred = self.string()
-            count = self.varint()
+            count = self._bounded("argument count")
             args = tuple([self.sem() for _ in range(count)])
             trigger = self._zigzag() if aux & 1 else None
             if aux & 2:
                 flags = frozenset(self.string()
-                                  for _ in range(self.varint()))
+                                  for _ in range(self._bounded("flag count")))
             else:
                 flags = _EMPTY_FLAGS
             term = _new_call(pred, args, trigger, flags)
@@ -357,10 +406,10 @@ class _Reader:
         if tag == _T_INT:
             return self._zigzag()
         if tag == _T_LIST:
-            return [self.value() for _ in range(self.varint())]
+            return [self.value() for _ in range(self._bounded("list count"))]
         if tag == _T_DICT:
             return {self.string(): self.value()
-                    for _ in range(self.varint())}
+                    for _ in range(self._bounded("dict count"))}
         if tag == _T_NONE:
             return None
         if tag == _T_TRUE:
@@ -368,6 +417,8 @@ class _Reader:
         if tag == _T_FALSE:
             return False
         if tag == _T_FLOAT:
+            if len(data) - self.pos < 8:
+                raise EnvelopeDecodeError("float runs past the payload end")
             result = _unpack_double(data, self.pos)[0]
             self.pos += 8
             return result
@@ -439,11 +490,11 @@ def _dec_trace(r: _Reader) -> WinnowTrace:
     r.pos += 1
     sentence = r.string()
     counts = {}
-    for _ in range(r.varint()):
+    for _ in range(r._bounded("stage count")):
         stage = r.string()
         counts[stage] = r.varint()
-    base_forms = [r.sem() for _ in range(r.varint())]
-    survivors = [r.sem() for _ in range(r.varint())]
+    base_forms = [r.sem() for _ in range(r._bounded("base-form count"))]
+    survivors = [r.sem() for _ in range(r._bounded("survivor count"))]
     return WinnowTrace(sentence=sentence, counts=counts,
                        survivors=survivors, base_forms=base_forms)
 
@@ -516,8 +567,8 @@ def _dec_result(r: _Reader) -> SentenceResult:
     trace = _dec_trace(r) if aux & 1 else None
     form = r.sem() if aux & 2 else None
     rewrite = _dec_rewrite(r) if aux & 4 else None
-    codes = [_dec_scode(r) for _ in range(r.varint())]
-    subs = [_dec_result(r) for _ in range(r.varint())]
+    codes = [_dec_scode(r) for _ in range(r._bounded("code count"))]
+    subs = [_dec_result(r) for _ in range(r._bounded("sub-result count"))]
     return SentenceResult(
         spec=spec, status=status, trace=trace, logical_form=form,
         codes=codes, rewrite=rewrite, sub_results=subs,
@@ -552,7 +603,7 @@ def _dec_run(r: _Reader, registry) -> SageRun:
         corpus = registry.load_corpus(name)
     except KeyError:
         raise ProtocolNotFound(name, registry.protocols()) from None
-    results = [_dec_result(r) for _ in range(r.varint())]
+    results = [_dec_result(r) for _ in range(r._bounded("result count"))]
     code_unit = program_from_dict(r.value())
     return SageRun(corpus=corpus, results=results, code_unit=code_unit)
 
@@ -635,7 +686,9 @@ def from_bytes(data: bytes, registry=None):
         raise
     except (IndexError, KeyError, TypeError, ValueError,
             UnicodeDecodeError, struct.error) as exc:
-        raise ContractError(f"malformed schema:1b payload: {exc!r}") from exc
+        raise EnvelopeDecodeError(
+            f"malformed schema:1b payload: {exc!r}"
+        ) from exc
 
 
 # -- parse-cache entries -------------------------------------------------------
@@ -676,10 +729,12 @@ def parse_entry_from_bytes(data: bytes) -> tuple[ParseResult, bool]:
         token_count = reader.varint()
         cells_filled = reader.varint()
         dropped_items = reader.varint()
-        unknown_words = [reader.string() for _ in range(reader.varint())]
-        logical_forms = [reader.sem() for _ in range(reader.varint())]
+        unknown_words = [reader.string()
+                         for _ in range(reader._bounded("word count"))]
+        logical_forms = [reader.sem()
+                         for _ in range(reader._bounded("form count"))]
     except (IndexError, UnicodeDecodeError, struct.error) as exc:
-        raise ContractError(f"malformed parse entry: {exc!r}") from exc
+        raise EnvelopeDecodeError(f"malformed parse entry: {exc!r}") from exc
     result = ParseResult(
         logical_forms=logical_forms,
         unknown_words=unknown_words,

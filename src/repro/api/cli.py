@@ -11,12 +11,16 @@ endpoints::
     python -m repro emit ICMP --backend c --output icmp.c
     python -m repro cache warm --cache-dir ~/.cache/repro --json
     python -m repro cache stats --cache-dir ~/.cache/repro
+    python -m repro serve --port 8742 --cache-dir ~/.cache/repro
 
 Everything ``--json`` prints is a schema-versioned contract payload
 (:mod:`repro.api.contracts`), so shell pipelines and test harnesses consume
 the same wire format a network transport would carry.  Structured
 :class:`~repro.api.errors.ApiError` failures print as error payloads and
-exit 2; unexpected exceptions propagate (a traceback is a bug).
+exit with the error's ``exit_code`` — aligned with the error codes across
+every subcommand: 2 bad request, 3 not found, 4 undecodable payload,
+5 deadline exceeded, 6 corrupted cache store.  Unexpected exceptions
+propagate (a traceback is a bug).
 """
 
 from __future__ import annotations
@@ -143,6 +147,24 @@ def _build_parser() -> argparse.ArgumentParser:
                               "warm: sweep every registered protocol "
                               "through the store and report hit/miss counts")
     common(p_cache)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP front end (see repro.server)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8742,
+                         help="bind port; 0 picks an ephemeral port "
+                              "(default: 8742)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: cpu count when >1, "
+                              "otherwise inline single-worker execution)")
+    p_serve.add_argument("--deadline", type=float, default=60.0,
+                         metavar="SECONDS",
+                         help="default per-request deadline; requests past "
+                              "it answer 504 (override per request with "
+                              "X-Repro-Deadline)")
+    common(p_serve)
     return parser
 
 
@@ -411,6 +433,9 @@ def _cmd_cache(service: SageService, args, out) -> int:
         }
         if "disk_hits" in parse_stats:
             data["parse"]["disk_hits"] = parse_stats["disk_hits"]
+        data["parse"]["hit_rate"] = _hit_rate(
+            data["parse"].get("hits", 0), data["parse"].get("misses", 0)
+        )
         if args.json:
             print(json.dumps({"schema": 1, "kind": "cache_warm",
                               "data": data}), file=out)
@@ -421,20 +446,92 @@ def _cmd_cache(service: SageService, args, out) -> int:
             print(f"  parse: {parse.get('size', 0)} entries, "
                   f"{parse.get('hits', 0)} hits "
                   f"({parse.get('disk_hits', 0)} from disk), "
-                  f"{parse.get('misses', 0)} misses", file=out)
+                  f"{parse.get('misses', 0)} misses "
+                  f"[hit rate {_render_rate(parse['hit_rate'])}]", file=out)
         return 0
 
+    # `cache stats`: report the footprint *and* verify it — a store full
+    # of corrupt entries is a store that silently recomputes everything,
+    # and that must be a loud non-zero exit, not a quiet quarantine.
+    verification = store.verify()
     stats = store.stats()
+    stats["verification"] = verification
+    parse_stats = registry.parse_cache().stats()
+    stats["rates"] = {
+        "parse_hit_rate": _hit_rate(parse_stats.get("hits", 0),
+                                    parse_stats.get("misses", 0)),
+        "disk_hit_rate": _hit_rate(stats["disk_hits"], stats["disk_misses"]),
+    }
     if args.json:
         print(json.dumps({"schema": 1, "kind": "cache_stats",
                           "data": stats}), file=out)
-        return 0
-    print(f"cache store {stats['root']} (layout v{stats['layout_version']})",
-          file=out)
-    for namespace, entry in sorted(stats["namespaces"].items()):
-        print(f"  {namespace:<10} {entry['entries']:>5} entries, "
-              f"{entry['bytes']} bytes", file=out)
-    print(f"  quarantine {stats['quarantine_entries']:>5} entries", file=out)
+    else:
+        print(f"cache store {stats['root']} "
+              f"(layout v{stats['layout_version']})", file=out)
+        for namespace, entry in sorted(stats["namespaces"].items()):
+            print(f"  {namespace:<10} {entry['entries']:>5} entries, "
+                  f"{entry['bytes']} bytes", file=out)
+        print(f"  quarantine {stats['quarantine_entries']:>5} entries",
+              file=out)
+        print(f"  verified   {verification['checked']:>5} entries, "
+              f"{verification['corrupt']} corrupt", file=out)
+        rates = stats["rates"]
+        print(f"  parse hit rate {_render_rate(rates['parse_hit_rate'])}, "
+              f"disk hit rate {_render_rate(rates['disk_hit_rate'])} "
+              "(this process)", file=out)
+    if verification["corrupt"]:
+        from .errors import CacheCorruption
+
+        raise CacheCorruption(store.root, verification["corrupt"],
+                              verification["checked"])
+    return 0
+
+
+def _hit_rate(hits: int, misses: int) -> float | None:
+    """hits / (hits + misses), or None before any traffic — a rate is only
+    meaningful over a window that saw lookups."""
+    total = hits + misses
+    return (hits / total) if total else None
+
+
+def _render_rate(rate: float | None) -> str:
+    return "n/a (no lookups)" if rate is None else f"{rate:.1%}"
+
+
+def _cmd_serve(args, out) -> int:
+    """Boot the asyncio HTTP front end (blocks until interrupted).
+
+    Unlike every other subcommand this does *not* build a service in this
+    process first: with a process pool, each worker constructs its own
+    service over the shared cache directory, and building one here would
+    only burn memory in a parent that never answers requests.
+    """
+    import asyncio
+    import os
+
+    from ..server import ReproServer, ServiceConfig
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+    config = ServiceConfig(cache_dir=cache_dir, journal_path=args.journal,
+                           bundled_rewrites=not args.no_bundled_rewrites)
+    server = ReproServer(args.host, args.port, config=config,
+                         workers=args.workers, deadline_s=args.deadline)
+
+    async def _serve() -> None:
+        await server.start()
+        pool = server.pool
+        plural = "" if pool.workers == 1 else "s"
+        print(f"serving on {server.url} ({pool.mode} mode, "
+              f"{pool.workers} worker{plural}; "
+              f"cache {cache_dir or 'in-memory'})", file=out, flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.pool.close()
     return 0
 
 
@@ -452,6 +549,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
     args = _build_parser().parse_args(argv)
     out = out or sys.stdout
     try:
+        if args.command == "serve":
+            return _cmd_serve(args, out)
         service = _service(args)
         return _COMMANDS[args.command](service, args, out)
     except ApiError as exc:
@@ -459,7 +558,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
             print(json.dumps(exc.to_dict()), file=sys.stderr)
         else:
             print(f"error [{exc.code}]: {exc}", file=sys.stderr)
-        return 2
+        return exc.exit_code
     except BrokenPipeError:
         # Downstream closed the pipe (`... | head`); exit quietly, pointing
         # stdout at devnull so interpreter shutdown does not re-raise.

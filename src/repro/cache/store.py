@@ -152,6 +152,37 @@ class CacheStore:
         with self._lock:
             self.quarantined += 1
 
+    def verify(self) -> dict:
+        """Validate every stored entry's header and payload digest.
+
+        Corrupt entries (torn write survivors, bit rot, truncation) are
+        quarantined exactly as a ``get`` would — the slot recomputes on
+        next use — and the tally comes back so callers can *fail loudly*
+        instead of silently serving misses: ``python -m repro cache
+        stats`` exits non-zero when ``corrupt`` is anything but 0.
+        """
+        checked = 0
+        corrupt = 0
+        for namespace in self.namespaces():
+            for path in list(self._entry_paths(namespace)):
+                checked += 1
+                try:
+                    with open(path, "rb") as handle:
+                        blob = handle.read()
+                except OSError:
+                    corrupt += 1
+                    continue
+                if (
+                    len(blob) >= _HEADER_LEN
+                    and blob[: len(_MAGIC)] == _MAGIC
+                    and hashlib.sha1(blob[_HEADER_LEN:]).digest()
+                    == blob[len(_MAGIC):_HEADER_LEN]
+                ):
+                    continue
+                corrupt += 1
+                self._quarantine(namespace, path)
+        return {"checked": checked, "corrupt": corrupt}
+
     # -- maintenance -----------------------------------------------------------
     def namespaces(self) -> list[str]:
         try:

@@ -189,8 +189,10 @@ class TestCli:
         assert cli_main(["sweep"]) == 2
         assert "bad-request" in capsys.readouterr().err
 
-    def test_unknown_protocol_exits_2(self, capsys):
-        assert cli_main(["process", "QUIC"]) == 2
+    def test_unknown_protocol_exits_3(self, capsys):
+        # Not-found failures exit 3, distinct from bad-request's 2 —
+        # aligned with the ApiError code family across all subcommands.
+        assert cli_main(["process", "QUIC"]) == 3
         assert "protocol-not-found" in capsys.readouterr().err
 
     def test_emit_writes_the_rendered_source(self, tmp_path):

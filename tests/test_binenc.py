@@ -20,9 +20,13 @@ from repro.api import (
 )
 from repro.api.binenc import (
     MAGIC,
+    _T_LIST,
+    _T_SNEW,
+    _T_SREF,
     parse_entry_from_bytes,
     parse_entry_to_bytes,
 )
+from repro.api.errors import EnvelopeDecodeError
 from repro.ccg.chart import ParseResult
 from repro.ccg.semantics import App, Call, Const, Lam, Var
 from repro.core import SageEngine, SentenceResult, SentenceStatus
@@ -212,3 +216,67 @@ class TestCorruptionRejection:
     def test_parse_entry_rejects_run_envelope(self, runs):
         with pytest.raises(ContractError):
             parse_entry_from_bytes(to_bytes(runs["ICMP"]))
+
+
+# -- wire bounds checks --------------------------------------------------------
+# Length prefixes and element counts come straight off the wire; each must
+# be rejected against the bytes actually present *before* sizing an
+# allocation or driving a decode loop.  A hostile 2**40 "length" must be a
+# structured decode error (HTTP 400 through the server), never a
+# multi-gigabyte allocation attempt or a hang.
+
+def _leb(n: int) -> bytes:
+    out = bytearray()
+    while n > 0x7F:
+        out.append((n & 0x7F) | 0x80)
+        n >>= 7
+    out.append(n)
+    return bytes(out)
+
+
+class TestWireBoundsChecks:
+    def test_decode_error_is_a_contract_error(self):
+        # transports catching ContractError keep working unchanged
+        assert issubclass(EnvelopeDecodeError, ContractError)
+
+    def test_oversized_string_length_is_rejected(self):
+        frame = MAGIC + bytes([_T_SNEW]) + _leb(2**40)
+        with pytest.raises(EnvelopeDecodeError, match="string length"):
+            from_bytes(frame)
+
+    def test_oversized_list_count_is_rejected(self):
+        kind = b"process_request"
+        frame = (MAGIC + bytes([_T_SNEW]) + _leb(len(kind)) + kind
+                 + bytes([_T_LIST]) + _leb(2**40))
+        with pytest.raises(EnvelopeDecodeError, match="list count"):
+            from_bytes(frame)
+
+    def test_never_terminating_varint_is_rejected(self):
+        # 11 continuation bytes: past 64 bits without ever terminating
+        frame = MAGIC + bytes([_T_SNEW]) + b"\x80" * 11
+        with pytest.raises(EnvelopeDecodeError, match="64 bits"):
+            from_bytes(frame)
+
+    def test_truncated_varint_is_rejected(self):
+        frame = MAGIC + bytes([_T_SNEW]) + b"\x80"
+        with pytest.raises(EnvelopeDecodeError, match="past the end"):
+            from_bytes(frame)
+
+    def test_dangling_string_backreference_is_rejected(self):
+        frame = MAGIC + bytes([_T_SREF]) + _leb(5)
+        with pytest.raises(EnvelopeDecodeError, match="intern slot"):
+            from_bytes(frame)
+
+    def test_truncated_parse_entry_is_structured(self, runs):
+        result = runs["ICMP"].results[0]
+        entry = parse_entry_to_bytes(
+            ParseResult(
+                logical_forms=([result.logical_form]
+                               if result.logical_form is not None else []),
+                token_count=3, cells_filled=9, backend="reference",
+            ),
+            True,
+        )
+        for cut in (len(MAGIC) + 1, len(entry) // 2, len(entry) - 1):
+            with pytest.raises(ContractError):
+                parse_entry_from_bytes(entry[:cut])

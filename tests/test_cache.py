@@ -100,6 +100,69 @@ class TestCacheStore:
         assert stats["namespaces"]["parse"]["entries"] == 1
         assert stats["namespaces"]["parse"]["bytes"] > 0
 
+    def test_verify_clean_store(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("a", "k1", b"one")
+        store.put("b", "k2", b"two")
+        assert store.verify() == {"checked": 2, "corrupt": 0}
+        assert store.quarantine_count() == 0
+
+    def test_verify_quarantines_corruption(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("ns", "good", b"good")
+        store.put("ns", "bad", b"soon-torn")
+        path = store.path_for("ns", "bad")
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:-4])  # valid magic, torn payload
+        assert store.verify() == {"checked": 2, "corrupt": 1}
+        assert store.quarantine_count() == 1
+        # The slot is free again: a recompute republishes and verifies clean.
+        assert store.put("ns", "bad", b"soon-torn")
+        assert store.verify() == {"checked": 2, "corrupt": 0}
+
+
+class TestCacheCliExitCodes:
+    """`python -m repro cache stats` must fail loudly (exit 6) on a
+    corrupted store and report hit *rates*, not just raw counters."""
+
+    def _corrupt_one_entry(self, store):
+        namespace = store.namespaces()[0]
+        path = next(iter(store._entry_paths(namespace)))
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:-4])
+
+    def test_stats_exit_zero_and_rates_on_clean_store(self, tmp_path, capsys):
+        from repro.api.cli import main as cli_main
+
+        store = CacheStore(tmp_path)
+        store.put("parse", "k", b"entry")
+        assert cli_main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "verified" in output
+        assert "hit rate" in output
+
+    def test_stats_exit_six_on_corrupted_store(self, tmp_path, capsys):
+        import json as json_module
+
+        from repro.api.cli import main as cli_main
+
+        store = CacheStore(tmp_path)
+        store.put("parse", "k1", b"entry-one")
+        store.put("parse", "k2", b"entry-two")
+        self._corrupt_one_entry(store)
+        code = cli_main(["cache", "stats", "--cache-dir", str(tmp_path),
+                         "--json"])
+        assert code == 6
+        captured = capsys.readouterr()
+        error = json_module.loads(captured.err)
+        assert error["error"] == "cache-corrupt"
+        assert error["corrupt"] == 1
+        # the stats payload still printed before the failure
+        payload = json_module.loads(captured.out)
+        assert payload["data"]["verification"]["corrupt"] == 1
+
 
 # -- the promoted registry caches ----------------------------------------------
 
