@@ -462,10 +462,12 @@ def main() -> int:
             previous = json.loads(out.read_text())
             history = previous.get("history", [])
             # The serving-layer numbers (`serve_*`, written by
-            # benchmarks/load_harness.py against a live server) ride in
-            # the same file; a smoke re-run must not erase them.
+            # benchmarks/load_harness.py against a live server) and the
+            # fuzz-gate numbers (`fuzz_*`, written by `python -m repro
+            # fuzz --record-bench`) ride in the same file; a smoke
+            # re-run must not erase them.
             carried = {key: value for key, value in previous.items()
-                       if key.startswith("serve_")}
+                       if key.startswith(("serve_", "fuzz_"))}
         except (json.JSONDecodeError, OSError):
             history = []
     numbers.update(carried)

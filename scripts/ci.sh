@@ -2,12 +2,13 @@
 # Tier-1 verification + the CLI smoke + the pipeline perf smoke, exactly as
 # CI runs them.
 #
-#   ./scripts/ci.sh          # tests + CLI smoke + cache smoke + smoke benchmark + serve gate
+#   ./scripts/ci.sh          # tests + CLI smoke + cache smoke + smoke benchmark + serve gate + fuzz gate
 #   ./scripts/ci.sh tests    # tier-1 tests only
 #   ./scripts/ci.sh bench    # CLI smoke + parser parity + cache smoke + smoke benchmark
 #   ./scripts/ci.sh parity   # parser-backend parity suite only
 #   ./scripts/ci.sh cache    # persistent cache cross-process smoke only
 #   ./scripts/ci.sh serve-gate  # HTTP serving layer load gate only
+#   ./scripts/ci.sh fuzz-gate   # differential fuzzer cross-backend gate only
 #
 # The CLI smoke drives the `python -m repro` service entry point (a full
 # four-protocol sweep emitting the JSON wire contract) — a packaging check
@@ -115,6 +116,60 @@ if [ "${1:-all}" = "serve-gate" ]; then
   exit 0
 fi
 
+# Differential fuzz gate: a fixed-seed campaign replays generated episodes
+# against every executable backend (reference, exec-Python, interpreter)
+# and must come back with zero divergences, zero oracle violations, a full
+# green interop matrix (every backend pair × all four protocols × every
+# scenario family), a stable emitted-C fingerprint lock, and — run twice —
+# a byte-identical trace digest.  The report lands in FUZZ_matrix.json
+# (uploaded as a CI artifact) and its headline numbers merge into
+# BENCH_pipeline.json under fuzz_* keys.  The CLI itself exits non-zero on
+# any divergence/violation; the python check below enforces coverage and
+# reproducibility on top.
+fuzz_gate() {
+  echo "== fuzz gate: python -m repro fuzz, fixed seed, all backends =="
+  local rerun
+  rerun="$(mktemp "${TMPDIR:-/tmp}/repro-fuzz-rerun.XXXXXX")"
+  # shellcheck disable=SC2064
+  trap "rm -f '$rerun'" RETURN
+  python -m repro fuzz --seed 0 --episodes 200 --json \
+    --record-bench BENCH_pipeline.json > FUZZ_matrix.json
+  python -m repro fuzz --seed 0 --episodes 200 --json > "$rerun"
+  python - "$rerun" <<'EOF'
+import json, sys
+
+first = json.load(open("FUZZ_matrix.json"))["data"]
+second = json.load(open(sys.argv[1]))["data"]
+if first["traces_sha1"] != second["traces_sha1"]:
+    sys.exit("FUZZ FAILURE: seed 0 is not reproducible — trace digests "
+             f"differ ({first['traces_sha1']} vs {second['traces_sha1']})")
+matrix = first["matrix"]
+if not first["clean"] or not matrix["all_green"]:
+    sys.exit(f"FUZZ FAILURE: matrix not green: {matrix}")
+if len(matrix["pairs"]) < 2:
+    sys.exit(f"FUZZ FAILURE: need >=2 backend pairs, got {matrix['pairs']}")
+protocols = {p for pair in matrix["cells"].values() for p in pair}
+if len(protocols) != 4:
+    sys.exit(f"FUZZ FAILURE: expected 4 fuzzed protocols, got {protocols}")
+for pair, per_protocol in matrix["cells"].items():
+    for protocol, families in per_protocol.items():
+        if len(families) < 3:
+            sys.exit(f"FUZZ FAILURE: {pair}/{protocol} covered only "
+                     f"{sorted(families)} — need >=3 scenario families")
+unstable = [p for p, e in first["c_fingerprints"].items() if not e["stable"]]
+if unstable:
+    sys.exit(f"FUZZ FAILURE: unstable C renders for {unstable}")
+print(f"ok ({first['episodes']} episodes x {len(matrix['pairs'])} pairs, "
+      f"{len(protocols)} protocols, matrix green, digest "
+      f"{first['traces_sha1'][:12]} reproducible)")
+EOF
+}
+
+if [ "${1:-all}" = "fuzz-gate" ]; then
+  fuzz_gate
+  exit 0
+fi
+
 if [ "${1:-all}" != "bench" ]; then
   echo "== tier-1: pytest =="
   python -m pytest -x -q
@@ -144,4 +199,5 @@ fi
 
 if [ "${1:-all}" = "all" ]; then
   serve_gate
+  fuzz_gate
 fi

@@ -9,6 +9,7 @@ endpoints::
     python -m repro resolve ICMP --journal decisions.json \
         --sentence 12 --rewrite "The revised sentence." --category ambiguous
     python -m repro emit ICMP --backend c --output icmp.c
+    python -m repro fuzz --seed 0 --episodes 200 --json
     python -m repro cache warm --cache-dir ~/.cache/repro --json
     python -m repro cache stats --cache-dir ~/.cache/repro
     python -m repro serve --port 8742 --cache-dir ~/.cache/repro
@@ -137,6 +138,33 @@ def _build_parser() -> argparse.ArgumentParser:
     p_emit.add_argument("--output", metavar="PATH",
                         help="write the rendered source here instead of stdout")
     common(p_emit)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential scenario fuzzing across executable "
+                     "backends (see repro.fuzz)"
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; the same seed reproduces "
+                             "byte-identical episode traces (default: 0)")
+    p_fuzz.add_argument("--episodes", type=int, default=50,
+                        help="episodes to generate (default: 50)")
+    p_fuzz.add_argument("--protocol", action="append", default=[],
+                        metavar="NAME",
+                        help="restrict to one protocol (repeatable; "
+                             "default: every fuzzed protocol)")
+    p_fuzz.add_argument("--family", action="append", default=[],
+                        metavar="NAME",
+                        help="restrict to one scenario family (repeatable)")
+    p_fuzz.add_argument("--replay", metavar="CASE_FILE",
+                        help="replay one saved case file instead of "
+                             "generating episodes")
+    p_fuzz.add_argument("--case-dir", metavar="DIR", default="fuzz-cases",
+                        help="where shrunk divergence cases are written "
+                             "(default: fuzz-cases)")
+    p_fuzz.add_argument("--record-bench", metavar="PATH",
+                        help="merge fuzz_* headline numbers into this "
+                             "BENCH_pipeline.json")
+    common(p_fuzz)
 
     p_cache = sub.add_parser(
         "cache", help="persistent cache maintenance (stats, clear, warm)"
@@ -396,6 +424,105 @@ def _cmd_emit(service: SageService, args, out) -> int:
     return 0
 
 
+def _cmd_fuzz(service: SageService, args, out) -> int:
+    """Differential fuzzing: a seeded campaign, or one saved case replayed."""
+    from ..fuzz import DifferentialRunner, Episode, load_case, save_case, shrink
+
+    def runner_for(protocol: str) -> DifferentialRunner:
+        runs = service.engine(args.mode).process_corpora([protocol],
+                                                         parallel=False)
+        return DifferentialRunner(
+            {name: run.code_unit for name, run in runs.items()})
+
+    if args.replay:
+        try:
+            episode = load_case(args.replay)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            raise RequestError(
+                f"cannot replay {args.replay}: {exc}") from exc
+        runner = runner_for(episode.protocol)
+        divergences, violations, _traces = runner.run_episode(episode)
+        failed = bool(divergences or violations)
+        if args.json:
+            payload = {
+                "schema": 1, "kind": "fuzz_replay",
+                "data": {"episode": episode.to_dict(),
+                         "divergences": [d.to_dict() for d in divergences],
+                         "violations": [v.to_dict() for v in violations],
+                         "clean": not failed},
+            }
+            print(json.dumps(payload), file=out)
+        else:
+            print(f"replayed {episode.key}: "
+                  f"{len(divergences)} divergences, "
+                  f"{len(violations)} violations", file=out)
+            for divergence in divergences:
+                print(f"  {divergence.backend_a}|{divergence.backend_b} "
+                      f"at {divergence.path}: {divergence.left!r} != "
+                      f"{divergence.right!r}", file=out)
+            for violation in violations:
+                print(f"  [{violation.backend}] {violation.message}",
+                      file=out)
+        return 1 if failed else 0
+
+    report = service.fuzz(seed=args.seed, episodes=args.episodes,
+                          protocols=tuple(args.protocol),
+                          families=tuple(args.family), mode=args.mode)
+    if args.record_bench:
+        from ..fuzz import record_bench
+
+        record_bench(report, args.record_bench)
+
+    # A divergence must leave a replayable artifact behind: shrink the
+    # first one and write the case file before reporting.
+    cases = []
+    if report["divergences"]:
+        first = report["divergences"][0]
+        episode = Episode.from_dict(first["episode"])
+        runner = runner_for(episode.protocol)
+        try:
+            smallest = shrink(episode, runner.diverges)
+        except ValueError:
+            smallest = episode  # no longer reproduces; save it unshrunk
+        path = save_case(smallest, args.case_dir,
+                         note=f"diverges at {first['path']} "
+                              f"({first['pair']})")
+        cases.append(str(path))
+    report["cases"] = cases
+
+    if args.json:
+        print(json.dumps({"schema": 1, "kind": "fuzz_report",
+                          "data": report}), file=out)
+        return 0 if report["clean"] else 1
+    print(f"fuzz seed {report['seed']}: {report['episodes']} episodes "
+          f"across {', '.join(report['backends'])} — "
+          f"{len(report['divergences'])} divergences, "
+          f"{len(report['violations'])} violations "
+          f"[{'clean' if report['clean'] else 'NOT CLEAN'}]", file=out)
+    for pair, protocols in sorted(report["matrix"].get("cells", {}).items()):
+        for protocol, families in sorted(protocols.items()):
+            for family, cell in sorted(families.items()):
+                verdict = "ok" if cell["pass"] else "DIVERGED"
+                print(f"  {pair:<17} {protocol:<5} {family:<18} "
+                      f"{cell['episodes']:>3} episodes  {verdict}", file=out)
+    for protocol, entry in sorted(report["c_fingerprints"].items()):
+        lock = "stable" if entry["stable"] else "UNSTABLE"
+        print(f"  c lock: {protocol:<5} {entry['sha1'][:12]} {lock}",
+              file=out)
+    print(f"  traces sha1 {report['traces_sha1']}", file=out)
+    for divergence in report["divergences"][:5]:
+        print(f"  divergence {divergence['episode']['protocol']}/"
+              f"{divergence['episode']['family']} "
+              f"({divergence['pair']}) at {divergence['path']}", file=out)
+    for violation in report["violations"][:5]:
+        print(f"  violation [{violation['backend']}] {violation['message']}",
+              file=out)
+    for case in cases:
+        print(f"  case saved: {case} "
+              f"(replay: python -m repro fuzz --replay {case})", file=out)
+    return 0 if report["clean"] else 1
+
+
 def _cmd_cache(service: SageService, args, out) -> int:
     """Persistent-cache maintenance over the service's registry store."""
     registry = service.registry
@@ -541,6 +668,7 @@ _COMMANDS = {
     "parse": _cmd_parse,
     "resolve": _cmd_resolve,
     "emit": _cmd_emit,
+    "fuzz": _cmd_fuzz,
     "cache": _cmd_cache,
 }
 

@@ -237,6 +237,48 @@ class SageService:
             "sentences": sentences,
         }
 
+    def fuzz(self, seed: int = 0, episodes: int = 50,
+             protocols: tuple[str, ...] = (),
+             families: tuple[str, ...] = (),
+             backends: tuple[str, ...] = (),
+             mode: str = "revised") -> dict:
+        """Run one seeded differential-fuzz campaign and report the matrix.
+
+        Generates ``episodes`` deterministic scenarios (see
+        :mod:`repro.fuzz.generator`), replays each against every
+        executable backend — the hand-written reference plus the
+        generated exec-Python and interpreter implementations — and
+        returns the :class:`~repro.fuzz.runner.FuzzReport` as a JSON-safe
+        dict: divergences, oracle violations, the interop matrix, the
+        emitted-C fingerprint lock, and the run's trace digest
+        (byte-identical for identical seeds).
+        """
+        from ..fuzz import EXECUTABLE_BACKENDS, PROTOCOLS, run_fuzz
+
+        mode = _check_mode(mode)
+        fuzzed = tuple(name.upper() for name in protocols) or PROTOCOLS
+        for name in fuzzed:
+            if name not in PROTOCOLS:
+                raise RequestError(
+                    f"unknown fuzz protocol {name!r}: fuzzed protocols are "
+                    f"{', '.join(PROTOCOLS)}"
+                )
+        engine = self.engine(mode)
+        runs = engine.process_corpora(list(fuzzed), parallel=False)
+        units = {name: run.code_unit for name, run in runs.items()}
+        try:
+            report = run_fuzz(
+                units, seed=seed, episodes=episodes, protocols=fuzzed,
+                families=tuple(families),
+                backends=tuple(backends) or EXECUTABLE_BACKENDS,
+            )
+        except (KeyError, ValueError) as exc:
+            # TraceGenerator/DifferentialRunner validate family and
+            # backend names with KeyError/ValueError; surface those as
+            # structured request failures, not tracebacks.
+            raise RequestError(str(exc).strip("'\"")) from exc
+        return report.to_dict()
+
     # -- validation -------------------------------------------------------------
     @staticmethod
     def _check_parser_backend(name: str) -> None:

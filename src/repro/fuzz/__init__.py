@@ -1,0 +1,74 @@
+"""Differential scenario fuzzer and cross-backend interop matrix.
+
+A seeded pipeline over the network simulator:
+
+1. :class:`~repro.fuzz.generator.TraceGenerator` turns one integer seed
+   into deterministic episodes — randomized packet traces, peer event
+   schedules, multi-node topologies with seeded link faults;
+2. :class:`~repro.fuzz.runner.DifferentialRunner` replays each episode
+   against every executable backend (hand-written reference, exec-Python,
+   IR interpreter) and demands exact trace equality, with per-protocol
+   invariant oracles (:mod:`repro.fuzz.oracles`) guarding against
+   agreed-upon wrongness and the C backend locked via emitted-source
+   fingerprints;
+3. divergent episodes shrink to replayable JSON case files
+   (:mod:`repro.fuzz.shrink`);
+4. the verdicts land in an :class:`~repro.fuzz.matrix.InteropMatrix`
+   recorded into ``BENCH_pipeline.json`` and gated in CI
+   (``scripts/ci.sh fuzz-gate``).
+
+Exposed via ``python -m repro fuzz`` and ``SageService.fuzz``.
+"""
+
+from .generator import FAMILIES, PROTOCOLS, Episode, TraceGenerator, synthesize
+from .matrix import InteropMatrix, MatrixCell, bench_keys, record_bench
+from .oracles import ORACLES, check_trace, register_oracle
+from .runner import (
+    DifferentialRunner,
+    Divergence,
+    FuzzReport,
+    Violation,
+    first_difference,
+    run_fuzz,
+)
+from .scenarios import (
+    EXECUTABLE_BACKENDS,
+    BFDNode,
+    ReferenceIGMP,
+    deliver_bfd,
+    make_peer,
+    register_peer,
+    replay,
+)
+from .shrink import case_name, load_case, save_case, shrink
+
+__all__ = [
+    "BFDNode",
+    "DifferentialRunner",
+    "Divergence",
+    "EXECUTABLE_BACKENDS",
+    "Episode",
+    "FAMILIES",
+    "FuzzReport",
+    "InteropMatrix",
+    "MatrixCell",
+    "ORACLES",
+    "PROTOCOLS",
+    "ReferenceIGMP",
+    "TraceGenerator",
+    "Violation",
+    "bench_keys",
+    "case_name",
+    "check_trace",
+    "deliver_bfd",
+    "first_difference",
+    "load_case",
+    "make_peer",
+    "record_bench",
+    "register_peer",
+    "replay",
+    "run_fuzz",
+    "save_case",
+    "shrink",
+    "synthesize",
+]

@@ -1,0 +1,278 @@
+"""Seeded episode synthesis for the differential scenario fuzzer.
+
+A :class:`TraceGenerator` turns one integer seed into a deterministic
+stream of :class:`Episode` objects — randomized packet traces, peer event
+schedules, and multi-node topology parameters — using nothing but
+``random.Random(seed)`` (no wall clock, no process state), so the same
+seed always synthesizes the same episodes, byte for byte.
+
+Every episode is a JSON-safe parameter record, not live objects: the
+:mod:`repro.fuzz.scenarios` replay functions rebuild the topology from the
+parameters, which is what makes a shrunk episode a *replayable case file*.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+PROTOCOLS = ("ICMP", "IGMP", "NTP", "BFD")
+
+#: Scenario families per protocol.  Each family names one replay function
+#: in :mod:`repro.fuzz.scenarios`; the interop matrix is indexed by them.
+FAMILIES: dict[str, tuple[str, ...]] = {
+    "ICMP": ("ping", "traceroute-switch", "fault-ping"),
+    "IGMP": ("query", "report", "fault-query"),
+    "NTP": ("timeout", "mode-matrix", "tick-jitter"),
+    "BFD": ("handshake", "packet-storm", "lossy-handshake"),
+}
+
+# NTP association modes (mirrors repro.framework.ntp; kept numeric so
+# episode params stay JSON scalars).
+_NTP_MODES = (1, 2, 3, 4, 5)
+
+_EPISODE_SCHEMA = 1
+
+
+@dataclass
+class Episode:
+    """One fuzz episode: a protocol, a scenario family, and its parameters.
+
+    ``seed`` is the episode's own RNG seed (used by fault schedules inside
+    the scenario); ``params`` is the JSON-safe record the replay functions
+    consume.  Two episodes are equal when all four agree — which is what
+    lets a shrunk case file claim "this exact episode diverges".
+    """
+
+    protocol: str
+    family: str
+    seed: int
+    params: dict = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return f"{self.protocol}/{self.family}/seed{self.seed}"
+
+    def to_dict(self) -> dict:
+        return {"schema": _EPISODE_SCHEMA, "protocol": self.protocol,
+                "family": self.family, "seed": self.seed,
+                "params": self.params}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Episode":
+        return cls(protocol=record["protocol"], family=record["family"],
+                   seed=record["seed"], params=dict(record.get("params", {})))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Episode":
+        return cls.from_dict(json.loads(text))
+
+
+class TraceGenerator:
+    """Deterministic episode synthesis from one integer seed.
+
+    Episodes round-robin over the requested protocols, cycling through
+    each protocol's scenario families, so any episode budget spreads
+    evenly across the matrix.  All randomness flows from the constructor's
+    ``random.Random(seed)``; per-episode parameters are drawn from a
+    *fresh* ``random.Random(episode_seed)`` so an episode's content
+    depends only on its own seed — the property the shrinker and the
+    replay CLI rely on.
+    """
+
+    def __init__(self, seed: int = 0,
+                 protocols: tuple[str, ...] = (),
+                 families: tuple[str, ...] = ()) -> None:
+        self.seed = seed
+        selected = tuple(p.upper() for p in protocols) or PROTOCOLS
+        unknown = [p for p in selected if p not in FAMILIES]
+        if unknown:
+            raise KeyError(f"no scenario families for protocols {unknown}; "
+                           f"known: {', '.join(FAMILIES)}")
+        self.protocols = selected
+        self.families = tuple(families)
+        for family in self.families:
+            if not any(family in FAMILIES[p] for p in self.protocols):
+                raise KeyError(f"unknown scenario family {family!r} for "
+                               f"protocols {list(self.protocols)}")
+
+    def episodes(self, count: int) -> list[Episode]:
+        """The first ``count`` episodes of this generator's stream."""
+        rng = random.Random(self.seed)
+        plan: list[tuple[str, str]] = []
+        for protocol in self.protocols:
+            for family in FAMILIES[protocol]:
+                if not self.families or family in self.families:
+                    plan.append((protocol, family))
+        if not plan:
+            raise ValueError("no (protocol, family) combinations selected")
+        episodes = []
+        for index in range(count):
+            protocol, family = plan[index % len(plan)]
+            episode_seed = rng.randrange(2 ** 32)
+            episodes.append(synthesize(protocol, family, episode_seed))
+        return episodes
+
+
+def synthesize(protocol: str, family: str, episode_seed: int) -> Episode:
+    """One episode's parameters from its own seed (pure function)."""
+    try:
+        maker = _SYNTHESIZERS[(protocol, family)]
+    except KeyError:
+        raise KeyError(f"no synthesizer for {protocol}/{family}") from None
+    rng = random.Random(episode_seed)
+    return Episode(protocol=protocol, family=family, seed=episode_seed,
+                   params=maker(rng))
+
+
+def _faults_params(rng: random.Random) -> dict:
+    """A seeded drop/delay/duplicate schedule, biased toward mild faults
+    so most episodes still see end-to-end traffic."""
+    return {
+        "drop": round(rng.choice((0.0, 0.1, 0.2, 0.3)), 3),
+        "duplicate": round(rng.choice((0.0, 0.15, 0.3)), 3),
+        "delay": round(rng.choice((0.0, 0.2, 0.4)), 3),
+        "fault_seed": rng.randrange(2 ** 16),
+    }
+
+
+# -- ICMP ----------------------------------------------------------------------
+
+def _icmp_ping(rng: random.Random) -> dict:
+    return {
+        "dest": rng.choice(("router", "server1", "server2", "unknown")),
+        "count": rng.randint(1, 3),
+        "payload_len": rng.choice((0, 8, 32, 56, 96)),
+        "ttl": rng.choice((1, 2, 64)),
+        "tos": rng.choice((0, 0, 0, 1)),
+        "require_tos_zero": rng.random() < 0.3,
+    }
+
+
+def _icmp_traceroute_switch(rng: random.Random) -> dict:
+    memberships = [
+        [f"10.0.1.{rng.randint(2, 250)}", f"225.0.{rng.randint(0, 9)}.{rng.randint(1, 250)}"]
+        for _ in range(rng.randint(0, 2))
+    ]
+    return {
+        "dest": rng.choice(("server1", "router")),
+        "max_ttl": rng.randint(2, 6),
+        "memberships": memberships,
+        "query_after": rng.random() < 0.5,
+    }
+
+
+def _icmp_fault_ping(rng: random.Random) -> dict:
+    params = {
+        "dest": rng.choice(("router", "server1")),
+        "count": rng.randint(1, 4),
+        "payload_len": rng.choice((8, 56)),
+    }
+    params.update(_faults_params(rng))
+    return params
+
+
+# -- IGMP ----------------------------------------------------------------------
+
+def _igmp_memberships(rng: random.Random, low: int = 0, high: int = 4) -> list:
+    return [
+        [f"10.0.5.{rng.randint(3, 250)}",
+         f"22{rng.randint(5, 9)}.1.{rng.randint(0, 9)}.{rng.randint(1, 250)}"]
+        for _ in range(rng.randint(low, high))
+    ]
+
+
+def _igmp_query(rng: random.Random) -> dict:
+    return {"memberships": _igmp_memberships(rng),
+            "queries": rng.randint(1, 3)}
+
+
+def _igmp_report(rng: random.Random) -> dict:
+    return {"groups": [f"226.0.{rng.randint(0, 9)}.{rng.randint(1, 250)}"
+                       for _ in range(rng.randint(1, 4))]}
+
+
+def _igmp_fault_query(rng: random.Random) -> dict:
+    params = {"memberships": _igmp_memberships(rng, low=1, high=3),
+              "queries": rng.randint(1, 2)}
+    params.update(_faults_params(rng))
+    return params
+
+
+# -- NTP -----------------------------------------------------------------------
+
+def _ntp_timeout(rng: random.Random) -> dict:
+    return {"mode": rng.choice(_NTP_MODES),
+            "threshold": rng.randint(1, 8),
+            "duration": rng.randint(4, 24)}
+
+
+def _ntp_mode_matrix(rng: random.Random) -> dict:
+    return {"modes": [rng.choice(_NTP_MODES) for _ in range(rng.randint(2, 4))],
+            "threshold": rng.randint(1, 4),
+            "duration": rng.randint(6, 12)}
+
+
+def _ntp_tick_jitter(rng: random.Random) -> dict:
+    return {"mode": rng.choice((1, 2, 3)),
+            "threshold": rng.randint(2, 6),
+            "ticks": [rng.randint(1, 3) for _ in range(rng.randint(5, 15))]}
+
+
+# -- BFD -----------------------------------------------------------------------
+
+def _bfd_handshake(rng: random.Random) -> dict:
+    return {"rounds": rng.randint(1, 5),
+            "local_discr": rng.randint(1, 0xFFFF),
+            "remote_discr": rng.randint(0x10000, 0x1FFFF),
+            "demand_after": rng.random() < 0.5}
+
+
+def _bfd_packet(rng: random.Random) -> dict:
+    """One scripted control packet; deliberately includes invalid values
+    so the §6.8.6 validation prefix gets differential coverage."""
+    return {
+        "version": rng.choice((1, 1, 1, 0)),
+        "state": rng.randint(0, 3),
+        "demand": rng.choice((0, 0, 1)),
+        "multipoint": rng.choice((0, 0, 0, 1)),
+        "detect_mult": rng.choice((3, 3, 1, 0)),
+        "length": rng.choice((24, 24, 24, 23)),
+        "my_discriminator": rng.choice((9, 9, 13, 0)),
+        "your_discriminator": rng.choice((7, 7, 0, 5)),
+        "required_min_rx_interval": rng.choice((1, 1000, 250000)),
+    }
+
+
+def _bfd_packet_storm(rng: random.Random) -> dict:
+    return {"initial_state": rng.randint(0, 3),
+            "local_discr": 7,
+            "packets": [_bfd_packet(rng) for _ in range(rng.randint(4, 16))]}
+
+
+def _bfd_lossy_handshake(rng: random.Random) -> dict:
+    params = {"rounds": rng.randint(2, 6),
+              "local_discr": rng.randint(1, 0xFFFF),
+              "remote_discr": rng.randint(0x10000, 0x1FFFF)}
+    params.update(_faults_params(rng))
+    return params
+
+
+_SYNTHESIZERS = {
+    ("ICMP", "ping"): _icmp_ping,
+    ("ICMP", "traceroute-switch"): _icmp_traceroute_switch,
+    ("ICMP", "fault-ping"): _icmp_fault_ping,
+    ("IGMP", "query"): _igmp_query,
+    ("IGMP", "report"): _igmp_report,
+    ("IGMP", "fault-query"): _igmp_fault_query,
+    ("NTP", "timeout"): _ntp_timeout,
+    ("NTP", "mode-matrix"): _ntp_mode_matrix,
+    ("NTP", "tick-jitter"): _ntp_tick_jitter,
+    ("BFD", "handshake"): _bfd_handshake,
+    ("BFD", "packet-storm"): _bfd_packet_storm,
+    ("BFD", "lossy-handshake"): _bfd_lossy_handshake,
+}

@@ -1,0 +1,123 @@
+"""The interop matrix: pass/fail per backend-pair × protocol × family.
+
+Every differential comparison lands in one cell; a cell is green when no
+episode in it diverged.  The matrix is the artifact CI gates on — it is
+serialized into the fuzz report, uploaded by the ``fuzz-gate`` workflow
+step, and its headline numbers are recorded into ``BENCH_pipeline.json``
+(as ``fuzz_*`` keys, carried across benchmark re-runs the same way the
+serving-layer numbers are).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class MatrixCell:
+    episodes: int = 0
+    divergences: int = 0
+
+    @property
+    def green(self) -> bool:
+        return self.divergences == 0
+
+    def to_dict(self) -> dict:
+        return {"episodes": self.episodes, "divergences": self.divergences,
+                "pass": self.green}
+
+
+@dataclass
+class InteropMatrix:
+    """Cells keyed by (backend pair, protocol, scenario family)."""
+
+    pairs: tuple[str, ...] = ()
+    cells: dict[tuple[str, str, str], MatrixCell] = field(default_factory=dict)
+
+    @classmethod
+    def for_backends(cls, backends: tuple[str, ...]) -> "InteropMatrix":
+        pairs = tuple(f"{a}|{b}"
+                      for a, b in itertools.combinations(backends, 2))
+        return cls(pairs=pairs)
+
+    def record(self, pair: str, protocol: str, family: str,
+               diverged: bool) -> None:
+        cell = self.cells.setdefault((pair, protocol, family), MatrixCell())
+        cell.episodes += 1
+        if diverged:
+            cell.divergences += 1
+
+    def cell(self, pair: str, protocol: str, family: str) -> MatrixCell:
+        return self.cells.get((pair, protocol, family), MatrixCell())
+
+    @property
+    def all_green(self) -> bool:
+        return all(cell.green for cell in self.cells.values())
+
+    @property
+    def divergent_cells(self) -> list[tuple[str, str, str]]:
+        return sorted(key for key, cell in self.cells.items()
+                      if not cell.green)
+
+    def protocols(self) -> list[str]:
+        return sorted({protocol for (_pair, protocol, _family) in self.cells})
+
+    def families(self, protocol: str) -> list[str]:
+        return sorted({family for (_pair, p, family) in self.cells
+                       if p == protocol})
+
+    def to_dict(self) -> dict:
+        nested: dict[str, dict] = {}
+        for (pair, protocol, family), cell in sorted(self.cells.items()):
+            nested.setdefault(pair, {}).setdefault(protocol, {})[family] = \
+                cell.to_dict()
+        return {"pairs": list(self.pairs), "cells": nested,
+                "all_green": self.all_green}
+
+    def rows(self) -> list[tuple[str, str, str, int, int, str]]:
+        """Flat (pair, protocol, family, episodes, divergences, verdict)
+        rows for table rendering."""
+        return [
+            (pair, protocol, family, cell.episodes, cell.divergences,
+             "ok" if cell.green else "DIVERGED")
+            for (pair, protocol, family), cell in sorted(self.cells.items())
+        ]
+
+
+def bench_keys(report_dict: dict) -> dict:
+    """The ``fuzz_*`` headline numbers for ``BENCH_pipeline.json``."""
+    matrix = report_dict.get("matrix", {})
+    return {
+        "fuzz_seed": report_dict.get("seed", 0),
+        "fuzz_episodes": report_dict.get("episodes", 0),
+        "fuzz_backends": report_dict.get("backends", []),
+        "fuzz_divergences": len(report_dict.get("divergences", [])),
+        "fuzz_violations": len(report_dict.get("violations", [])),
+        "fuzz_matrix_pairs": len(matrix.get("pairs", [])),
+        "fuzz_matrix_all_green": matrix.get("all_green", False),
+        "fuzz_traces_sha1": report_dict.get("traces_sha1", ""),
+        "fuzz_c_fingerprints": report_dict.get("c_fingerprints", {}),
+        "fuzz_clean": report_dict.get("clean", False),
+    }
+
+
+def record_bench(report_dict: dict, path: str | Path) -> dict:
+    """Merge the fuzz headline numbers into ``BENCH_pipeline.json``.
+
+    Read-modify-write: everything already in the file (pipeline numbers,
+    ``serve_*`` keys, history) is preserved; only ``fuzz_*`` keys are
+    replaced.  Returns the merged document.
+    """
+    path = Path(path)
+    numbers: dict = {}
+    if path.exists():
+        try:
+            numbers = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            numbers = {}
+    numbers.update(bench_keys(report_dict))
+    path.write_text(json.dumps(numbers, indent=2) + "\n")
+    return numbers

@@ -1,0 +1,537 @@
+"""Episode replay: parameters in, JSON-safe traces out, per backend.
+
+The differential contract lives here.  :func:`make_peer` builds the
+implementation-under-test for one ``(protocol, backend)`` cell — the
+hand-written reference, or a :class:`~repro.runtime.harness.
+GeneratedImplementation` compiled from the run's IR under any executable
+backend — and :func:`replay` drives one :class:`~repro.fuzz.generator.
+Episode` against it, returning a trace dict that is a pure function of
+(episode, peer behaviour).  Two backends agree on an episode exactly when
+their trace dicts are equal, wire bytes (hex) and state trajectories
+included.
+
+The peer registry is open (:func:`register_peer`), so tests can mount a
+deliberately broken peer and prove the runner catches it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..framework.addressing import ip_to_int
+from ..framework.bfd import BFDControlHeader
+from ..framework.igmp import ALL_HOSTS_GROUP, IGMPHeader, make_query, make_report
+from ..framework.ip import PROTO_IGMP, IPv4Header, make_ip_packet
+from ..framework.ntp import PeerVariables
+from ..netsim.bfd_session import BFDSession
+from ..netsim.core import LinkFaults, Network, Node
+from ..netsim.generated import GeneratedBFDSession, IGMPQueryScenario
+from ..netsim.host import Host
+from ..netsim.icmp_impl import ReferenceICMP
+from ..netsim.igmp_switch import ForwardingIGMPSwitch, IGMPSwitch
+from ..netsim.ntp_peer import NTPPeer, reference_timeout_predicate
+from ..netsim.ping import Ping
+from ..netsim.router import Router
+from ..netsim.topologies import (
+    ROUTER_CLIENT_SIDE,
+    SERVER1_IP,
+    SERVER2_IP,
+    UNKNOWN_DESTINATION,
+    course_topology,
+)
+from ..netsim.traceroute import Traceroute
+from .generator import Episode
+
+#: Backends the runner can execute as simulated peers.  The C backend is
+#: text-only and participates via emitted-source fingerprints instead
+#: (see :mod:`repro.fuzz.runner`).
+EXECUTABLE_BACKENDS = ("reference", "python", "interp")
+
+_DESTINATIONS = {
+    "router": ROUTER_CLIENT_SIDE,
+    "server1": SERVER1_IP,
+    "server2": SERVER2_IP,
+    "unknown": UNKNOWN_DESTINATION,
+}
+
+
+# -- reference peers -----------------------------------------------------------
+
+class ReferenceIGMP:
+    """The hand-written side of the IGMP differential: framework codecs
+    wrapped to present the same datagram surface as ``GeneratedIGMP``."""
+
+    def query_datagram(self, source_address: int) -> bytes:
+        return make_ip_packet(
+            src=source_address, dst=ALL_HOSTS_GROUP, protocol=PROTO_IGMP,
+            data=make_query().pack(), ttl=1,
+        ).pack()
+
+    def report_datagram(self, source_address: int, group_address: int) -> bytes:
+        return make_ip_packet(
+            src=source_address, dst=group_address, protocol=PROTO_IGMP,
+            data=make_report(group_address).pack(), ttl=1,
+        ).pack()
+
+
+class _ReferenceNTP:
+    """The reference Table 11 dispatch behind the adapter surface."""
+
+    @staticmethod
+    def timeout_predicate(peer: PeerVariables) -> bool:
+        return reference_timeout_predicate(peer)
+
+
+class _ReferenceBFDPeer:
+    def make_session(self) -> BFDSession:
+        return BFDSession()
+
+
+class _GeneratedBFDPeer:
+    def __init__(self, unit, backend: str) -> None:
+        self.unit = unit
+        self.backend = backend
+
+    def make_session(self) -> GeneratedBFDSession:
+        return GeneratedBFDSession.from_unit(self.unit, backend=self.backend)
+
+
+# -- peer registry -------------------------------------------------------------
+
+PeerFactory = Callable[[object], object]
+
+_PEER_FACTORIES: dict[tuple[str, str], PeerFactory] = {}
+
+
+def register_peer(protocol: str, backend: str, factory: PeerFactory) -> None:
+    """Mount a peer factory for one matrix cell.
+
+    ``factory(unit)`` receives the protocol's IR program (None for peers
+    that do not need it) and returns the implementation object the
+    protocol's replay functions drive.  Tests use this to inject broken
+    peers under a fresh backend name.
+    """
+    _PEER_FACTORIES[(protocol.upper(), backend)] = factory
+
+
+def _generated_factory(protocol: str, backend: str) -> PeerFactory:
+    def factory(unit):
+        if unit is None:
+            raise ValueError(f"backend {backend!r} needs the {protocol} "
+                             "code unit, got None")
+        if protocol == "BFD":
+            return _GeneratedBFDPeer(unit, backend)
+        from ..runtime.harness import generated_implementation
+
+        return generated_implementation(protocol, unit, backend=backend)
+
+    return factory
+
+
+def _install_builtin_peers() -> None:
+    _PEER_FACTORIES[("ICMP", "reference")] = lambda unit: ReferenceICMP()
+    _PEER_FACTORIES[("IGMP", "reference")] = lambda unit: ReferenceIGMP()
+    _PEER_FACTORIES[("NTP", "reference")] = lambda unit: _ReferenceNTP()
+    _PEER_FACTORIES[("BFD", "reference")] = lambda unit: _ReferenceBFDPeer()
+    for protocol in ("ICMP", "IGMP", "NTP", "BFD"):
+        for backend in ("python", "interp"):
+            _PEER_FACTORIES[(protocol, backend)] = _generated_factory(
+                protocol, backend
+            )
+
+
+_install_builtin_peers()
+
+
+def make_peer(protocol: str, backend: str, unit) -> object:
+    try:
+        factory = _PEER_FACTORIES[(protocol.upper(), backend)]
+    except KeyError:
+        known = sorted({b for (p, b) in _PEER_FACTORIES
+                        if p == protocol.upper()})
+        raise KeyError(
+            f"no peer factory for {protocol}/{backend}; registered "
+            f"backends for {protocol}: {known}"
+        ) from None
+    return factory(unit)
+
+
+# -- shared trace helpers ------------------------------------------------------
+
+def _hexes(captures: list[bytes]) -> list[str]:
+    return [data.hex() for data in captures]
+
+
+def _episode_faults(params: dict) -> LinkFaults:
+    return LinkFaults(
+        drop=params.get("drop", 0.0),
+        duplicate=params.get("duplicate", 0.0),
+        delay=params.get("delay", 0.0),
+        seed=params.get("fault_seed", 0),
+    )
+
+
+def _ping_trace(result, client, router) -> dict:
+    return {
+        "transmitted": result.transmitted,
+        "received": result.received,
+        "replies": [[r.sequence, r.source, r.length] for r in result.replies],
+        "errors": [[e.icmp_type, e.icmp_code, e.source] for e in result.errors],
+        "rejections": list(result.rejections),
+        "client_rx": _hexes(client.received_capture),
+        "router_tx": _hexes(router.sent_capture),
+    }
+
+
+# -- ICMP replay ---------------------------------------------------------------
+
+def _replay_icmp_ping(params: dict, peer, seed: int) -> dict:
+    topology = course_topology(
+        implementation=peer,
+        require_tos_zero=params.get("require_tos_zero", False),
+    )
+    pinger = Ping(topology.client, payload_len=params["payload_len"],
+                  ttl=params["ttl"])
+    result = pinger.run(ip_to_int(_DESTINATIONS[params["dest"]]),
+                        count=params["count"], tos=params.get("tos", 0))
+    return _ping_trace(result, topology.client, topology.router)
+
+
+def _replay_icmp_fault_ping(params: dict, peer, seed: int) -> dict:
+    topology = course_topology(implementation=peer)
+    # links[0] is the client-router wire (the first connect() call).
+    topology.network.install_faults(topology.network.links[0],
+                                    _episode_faults(params))
+    pinger = Ping(topology.client, payload_len=params["payload_len"])
+    result = pinger.run(ip_to_int(_DESTINATIONS[params["dest"]]),
+                        count=params["count"])
+    trace = _ping_trace(result, topology.client, topology.router)
+    trace["fault_log"] = list(topology.network.fault_log)
+    return trace
+
+
+def _replay_icmp_traceroute_switch(params: dict, peer, seed: int) -> dict:
+    """Traceroute through an IGMP-aware switch sitting on the client LAN.
+
+    The switch floods ICMP/UDP without touching TTL, so the discovered
+    path must be [router, server1] regardless of memberships — while the
+    same device keeps answering membership queries in the same episode.
+    """
+    network = Network()
+    client = Host("client")
+    client.add_interface("eth0", "10.0.1.100/24")
+    switch = ForwardingIGMPSwitch("switch")
+    switch.add_interface("eth0", "10.0.1.2/24")
+    switch.add_interface("eth1", "10.0.1.3/24")
+    router = Router("router", implementation=peer)
+    router.add_interface("eth0", "10.0.1.1/24")
+    router.add_interface("eth1", "192.168.2.1/24")
+    router.add_route("10.0.1.0/24", "eth0")
+    router.add_route("192.168.2.0/24", "eth1")
+    server1 = Host("server1")
+    server1.add_interface("eth0", "192.168.2.2/24")
+    for node in (client, switch, router, server1):
+        network.add_node(node)
+    network.connect("client", "eth0", "switch", "eth0")
+    network.connect("switch", "eth1", "router", "eth0")
+    network.connect("router", "eth1", "server1", "eth0")
+    for member, group in params.get("memberships", ()):
+        switch.join(ip_to_int(member), ip_to_int(group))
+
+    destination = SERVER1_IP if params["dest"] == "server1" else ROUTER_CLIENT_SIDE
+    result = Traceroute(client).run(ip_to_int(destination),
+                                    max_ttl=params["max_ttl"])
+    report_count = 0
+    if params.get("query_after"):
+        cursor = len(switch.sent_capture)
+        query = make_ip_packet(
+            src=client.interface("eth0").address, dst=ALL_HOSTS_GROUP,
+            protocol=PROTO_IGMP, data=make_query().pack(), ttl=1,
+        )
+        client.send(query)
+        network.run()
+        report_count = len(switch.sent_capture) - cursor
+    return {
+        "path": result.path(),
+        "reached": result.destination_reached,
+        "rejections": list(result.rejections),
+        "router_tx": _hexes(router.sent_capture),
+        "switch_tx": _hexes(switch.sent_capture),
+        "queries_seen": len(switch.queries_seen),
+        "reports": report_count,
+    }
+
+
+# -- IGMP replay ---------------------------------------------------------------
+
+def _igmp_scenario(peer, memberships, faults: LinkFaults | None = None,
+                   ) -> IGMPQueryScenario:
+    network = Network()
+    sender = Host("querier")
+    sender.add_interface("eth0", "10.0.5.2/24")
+    switch = IGMPSwitch("switch")
+    switch.add_interface("eth0", "10.0.5.1/24")
+    network.add_node(sender)
+    network.add_node(switch)
+    network.connect("querier", "eth0", "switch", "eth0", faults=faults)
+    for member, group in memberships:
+        switch.join(ip_to_int(member), ip_to_int(group))
+    return IGMPQueryScenario(network=network, sender=sender, switch=switch,
+                             implementation=peer)
+
+
+def _igmp_query_trace(scenario: IGMPQueryScenario, queries: int,
+                      network: Network) -> dict:
+    rounds = []
+    for _ in range(queries):
+        reports = scenario.run_query()
+        rounds.append([[r.type, r.group_address] for r in reports])
+    return {
+        "rounds": rounds,
+        "query_log": [list(entry) for entry in scenario.query_log],
+        "querier_tx": _hexes(scenario.sender.sent_capture),
+        "switch_tx": _hexes(scenario.switch.sent_capture),
+        "fault_log": list(network.fault_log),
+    }
+
+
+def _replay_igmp_query(params: dict, peer, seed: int) -> dict:
+    scenario = _igmp_scenario(peer, params.get("memberships", ()))
+    return _igmp_query_trace(scenario, params["queries"], scenario.network)
+
+
+def _replay_igmp_fault_query(params: dict, peer, seed: int) -> dict:
+    scenario = _igmp_scenario(peer, params.get("memberships", ()),
+                              faults=_episode_faults(params))
+    return _igmp_query_trace(scenario, params["queries"], scenario.network)
+
+
+def _replay_igmp_report(params: dict, peer, seed: int) -> dict:
+    source = ip_to_int("10.0.5.2")
+    reports = []
+    for group in params["groups"]:
+        datagram = peer.report_datagram(source, ip_to_int(group))
+        reports.append(datagram.hex() if datagram is not None else None)
+    return {"reports": reports}
+
+
+# -- NTP replay ----------------------------------------------------------------
+
+def _ntp_trace(predicate, mode: int, threshold: int,
+               tick_seconds: list[int]) -> dict:
+    peer = NTPPeer(
+        local_address=ip_to_int("10.0.9.2"),
+        remote_address=ip_to_int("10.0.9.1"),
+        peer=PeerVariables(mode=mode, threshold=threshold),
+        timeout_predicate=predicate,
+    )
+    trajectory = []
+    for seconds in tick_seconds:
+        packet = peer.tick(seconds)
+        trajectory.append([peer.peer.timer, peer.peer.timeouts_fired,
+                           packet.hex() if packet is not None else None])
+    return {"trajectory": trajectory,
+            "emitted": _hexes(peer.emitted_packets)}
+
+
+def _replay_ntp_timeout(params: dict, peer, seed: int) -> dict:
+    return _ntp_trace(peer.timeout_predicate, params["mode"],
+                      params["threshold"], [1] * params["duration"])
+
+
+def _replay_ntp_mode_matrix(params: dict, peer, seed: int) -> dict:
+    return {
+        "modes": [
+            [mode, _ntp_trace(peer.timeout_predicate, mode,
+                              params["threshold"], [1] * params["duration"])]
+            for mode in params["modes"]
+        ]
+    }
+
+
+def _replay_ntp_tick_jitter(params: dict, peer, seed: int) -> dict:
+    return _ntp_trace(peer.timeout_predicate, params["mode"],
+                      params["threshold"], list(params["ticks"]))
+
+
+# -- BFD replay ----------------------------------------------------------------
+
+#: State variables excluded from the differential snapshot.  The paper's
+#: generated §6.8.6 subset covers the state-management sentences; the
+#: diagnostic-code sentence ("set bfd.LocalDiag ...") is outside that
+#: winnowed set, so the reference transcription sets LocalDiag where the
+#: generated code (faithfully to its scope) does not.  Comparing it would
+#: flag a scope difference, not an implementation divergence.
+BFD_SNAPSHOT_EXCLUDED = frozenset({"LocalDiag"})
+
+
+def _bfd_snapshot(session) -> dict:
+    return {name: int(value)
+            for name, value in session.state.snapshot().items()
+            if name not in BFD_SNAPSHOT_EXCLUDED}
+
+
+def bfd_demux(packet: BFDControlHeader, state) -> str | None:
+    """§6.8.6 validation steps *outside* the generated sentence scope.
+
+    The generated reception code implements the winnowed sentence set
+    (version, detect mult, multipoint, discriminator checks); the Length
+    check and the "Your Discriminator zero outside Down/AdminDown" check
+    fall outside it.  The differential harness applies them here — one
+    shared demultiplexer in front of every backend, reference included —
+    so all implementations are compared over the generated contract's
+    domain and a pre-dropped packet shows up identically in every trace.
+    """
+    from ..framework.bfd import STATE_ADMIN_DOWN, STATE_DOWN
+
+    if packet.length < 24:
+        return "length too short"
+    if (packet.your_discriminator == 0
+            and packet.state not in (STATE_DOWN, STATE_ADMIN_DOWN)):
+        return "your discriminator zero outside Down/AdminDown"
+    return None
+
+
+def deliver_bfd(session, packet: BFDControlHeader) -> str | None:
+    """Hand one control packet to a session, reference or generated.
+
+    Runs the shared demux prefix (:func:`bfd_demux`) first; returns the
+    pre-drop reason (without touching the session) or None after normal
+    delivery.  The reference transcription performs the "select the
+    session by Your Discriminator" lookup inline; the generated reception
+    code asks the demultiplexer via ``ctx.session_found()`` — model that
+    lookup here so both paths see the same world: a session exists exactly
+    when Your Discriminator is zero or names this session's local
+    discriminator.
+    """
+    reason = bfd_demux(packet, session.state)
+    if reason is not None:
+        return reason
+    if hasattr(session, "session_exists"):
+        session.session_exists = (
+            packet.your_discriminator == 0
+            or packet.your_discriminator == session.state.LocalDiscr
+        )
+    session.receive_control(packet)
+    return None
+
+
+class BFDNode(Node):
+    """A node that speaks raw BFD control packets over a point-to-point
+    link — the substrate for handshakes across lossy/reordering wires."""
+
+    def __init__(self, name: str, session) -> None:
+        super().__init__(name)
+        self.session = session
+
+    def receive(self, data: bytes, interface: str) -> None:
+        try:
+            packet = BFDControlHeader.unpack(data)
+        except ValueError:
+            return
+        deliver_bfd(self.session, packet)
+
+    def send_round(self, interface: str = "eth0") -> None:
+        if self.session.periodic_transmission_enabled:
+            self.transmit(interface, self.session.send_control().pack())
+
+
+def _replay_bfd_handshake(params: dict, peer, seed: int) -> dict:
+    local = peer.make_session()
+    local.state.LocalDiscr = params["local_discr"]
+    remote = BFDSession()
+    remote.state.LocalDiscr = params["remote_discr"]
+    wire = []
+    snapshots = []
+    for _ in range(params["rounds"]):
+        outbound = local.send_control()
+        deliver_bfd(remote, outbound)
+        inbound = remote.send_control()
+        deliver_bfd(local, inbound)
+        wire.append([outbound.pack().hex(), inbound.pack().hex()])
+        snapshots.append(_bfd_snapshot(local))
+    if params.get("demand_after"):
+        remote.state.DemandMode = 1
+        inbound = remote.send_control()
+        deliver_bfd(local, inbound)
+        wire.append([None, inbound.pack().hex()])
+        snapshots.append(_bfd_snapshot(local))
+    return {
+        "snapshots": snapshots,
+        "wire": wire,
+        "transmission_enabled": local.periodic_transmission_enabled,
+        "discards": len(local.discarded),
+    }
+
+
+def _replay_bfd_packet_storm(params: dict, peer, seed: int) -> dict:
+    session = peer.make_session()
+    session.state.LocalDiscr = params["local_discr"]
+    session.state.SessionState = params["initial_state"]
+    steps = []
+    for fields in params["packets"]:
+        predropped = deliver_bfd(session, BFDControlHeader(**fields))
+        steps.append({
+            "snapshot": _bfd_snapshot(session),
+            "discards": len(session.discarded),
+            "predropped": predropped,
+            "transmission_enabled": session.periodic_transmission_enabled,
+        })
+    return {"steps": steps}
+
+
+def _replay_bfd_lossy_handshake(params: dict, peer, seed: int) -> dict:
+    local = peer.make_session()
+    local.state.LocalDiscr = params["local_discr"]
+    remote = BFDSession()
+    remote.state.LocalDiscr = params["remote_discr"]
+    network = Network()
+    local_node = BFDNode("local", local)
+    local_node.add_interface("eth0", "10.0.7.1/24")
+    remote_node = BFDNode("remote", remote)
+    remote_node.add_interface("eth0", "10.0.7.2/24")
+    network.add_node(local_node)
+    network.add_node(remote_node)
+    network.connect("local", "eth0", "remote", "eth0",
+                    faults=_episode_faults(params))
+    snapshots = []
+    for _ in range(params["rounds"]):
+        local_node.send_round()
+        remote_node.send_round()
+        network.run()
+        snapshots.append([_bfd_snapshot(local), len(local.discarded),
+                          local.periodic_transmission_enabled])
+    return {
+        "snapshots": snapshots,
+        "fault_log": list(network.fault_log),
+        "local_tx": _hexes(local_node.sent_capture),
+        "remote_tx": _hexes(remote_node.sent_capture),
+    }
+
+
+_REPLAYERS = {
+    ("ICMP", "ping"): _replay_icmp_ping,
+    ("ICMP", "traceroute-switch"): _replay_icmp_traceroute_switch,
+    ("ICMP", "fault-ping"): _replay_icmp_fault_ping,
+    ("IGMP", "query"): _replay_igmp_query,
+    ("IGMP", "report"): _replay_igmp_report,
+    ("IGMP", "fault-query"): _replay_igmp_fault_query,
+    ("NTP", "timeout"): _replay_ntp_timeout,
+    ("NTP", "mode-matrix"): _replay_ntp_mode_matrix,
+    ("NTP", "tick-jitter"): _replay_ntp_tick_jitter,
+    ("BFD", "handshake"): _replay_bfd_handshake,
+    ("BFD", "packet-storm"): _replay_bfd_packet_storm,
+    ("BFD", "lossy-handshake"): _replay_bfd_lossy_handshake,
+}
+
+
+def replay(episode: Episode, peer) -> dict:
+    """Run one episode against one peer; the JSON-safe trace is the
+    differential observable."""
+    try:
+        replayer = _REPLAYERS[(episode.protocol, episode.family)]
+    except KeyError:
+        raise KeyError(
+            f"no replayer for {episode.protocol}/{episode.family}"
+        ) from None
+    return replayer(episode.params, peer, episode.seed)

@@ -1,0 +1,121 @@
+"""Minimizing reproducer: shrink a divergent episode to a small case file.
+
+Given an episode that fails some predicate (usually
+:meth:`~repro.fuzz.runner.DifferentialRunner.diverges`), :func:`shrink`
+greedily simplifies its parameters — delta-debugging over lists, bisection
+toward zero for numbers — while the predicate keeps failing.  The result
+round-trips through a JSON case file (:func:`save_case` /
+:func:`load_case`) that ``python -m repro fuzz --replay`` re-executes
+verbatim, so a divergence found in CI is reproducible from the artifact
+alone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+from .generator import Episode
+
+CASE_SCHEMA = 1
+
+StillFails = Callable[[Episode], bool]
+
+
+def _list_candidates(value: list) -> list[list]:
+    """Shorter versions of ``value``: halves first, then drop-one."""
+    candidates = []
+    length = len(value)
+    if length == 0:
+        return candidates
+    if length > 1:
+        half = length // 2
+        candidates.append(value[:half])
+        candidates.append(value[half:])
+    for index in range(length):
+        candidates.append(value[:index] + value[index + 1:])
+    return candidates
+
+
+def _scalar_candidates(value) -> list:
+    if isinstance(value, bool):
+        return [False] if value else []
+    if isinstance(value, int):
+        candidates = []
+        for simpler in (0, 1, value // 2):
+            if simpler != value and simpler not in candidates:
+                candidates.append(simpler)
+        return candidates
+    if isinstance(value, float):
+        return [0.0] if value != 0.0 else []
+    return []
+
+
+def _with_param(episode: Episode, name: str, value) -> Episode:
+    params = dict(episode.params)
+    params[name] = value
+    return Episode(protocol=episode.protocol, family=episode.family,
+                   seed=episode.seed, params=params)
+
+
+def shrink(episode: Episode, still_fails: StillFails,
+           max_passes: int = 8) -> Episode:
+    """The smallest parameter record that still fails, greedily.
+
+    Each pass tries, per parameter: list shortening (delta-debugging
+    chunks, then single removals) and scalar simplification (0, 1,
+    bisection).  Passes repeat until a fixpoint or ``max_passes``.  The
+    returned episode keeps the original protocol/family/seed — only
+    ``params`` shrinks — so the case stays replayable.
+    """
+    if not still_fails(episode):
+        raise ValueError(f"{episode.key} does not fail the predicate; "
+                         "nothing to shrink")
+    current = episode
+    for _ in range(max_passes):
+        changed = False
+        for name in sorted(current.params):
+            value = current.params[name]
+            if isinstance(value, list):
+                candidates = _list_candidates(value)
+            else:
+                candidates = _scalar_candidates(value)
+            for candidate in candidates:
+                trial = _with_param(current, name, candidate)
+                if still_fails(trial):
+                    current = trial
+                    changed = True
+                    break
+        if not changed:
+            break
+    return current
+
+
+def case_name(episode: Episode) -> str:
+    return (f"{episode.protocol}_{episode.family}_seed{episode.seed}"
+            .lower().replace("-", "_") + ".json")
+
+
+def save_case(episode: Episode, directory: str | Path,
+              note: str = "") -> Path:
+    """Write a replayable case file; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / case_name(episode)
+    payload = {
+        "schema": CASE_SCHEMA,
+        "kind": "fuzz_case",
+        "note": note,
+        "episode": episode.to_dict(),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_case(path: str | Path) -> Episode:
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "fuzz_case":
+        raise ValueError(f"{path} is not a fuzz case file "
+                         f"(kind={payload.get('kind')!r})")
+    return Episode.from_dict(payload["episode"])

@@ -7,7 +7,7 @@ BFD sessions, and NTP peers cover the generality experiments (§6.3-6.4).
 """
 
 from .bfd_session import BFDSession, run_handshake
-from .core import Link, Network, Node, Transmission
+from .core import Link, LinkFaults, Network, Node, StepClock, Transmission
 from .generated import (
     GeneratedBFDSession,
     IGMPQueryScenario,
@@ -18,7 +18,7 @@ from .generated import (
 )
 from .host import Host
 from .icmp_impl import ICMPImplementation, ReferenceICMP
-from .igmp_switch import IGMPSwitch
+from .igmp_switch import ForwardingIGMPSwitch, IGMPSwitch
 from .ntp_peer import NTPPeer, reference_timeout_predicate
 from .ping import Ping, PingResult, ping
 from .router import Router, fill_buffer
@@ -29,12 +29,14 @@ from .traceroute import Traceroute, TracerouteResult, traceroute
 __all__ = [
     "BFDSession",
     "CourseTopology",
+    "ForwardingIGMPSwitch",
     "GeneratedBFDSession",
     "Host",
     "ICMPImplementation",
     "IGMPQueryScenario",
     "IGMPSwitch",
     "Link",
+    "LinkFaults",
     "NTPPeer",
     "Network",
     "Node",
@@ -44,6 +46,7 @@ __all__ = [
     "Route",
     "Router",
     "RoutingTable",
+    "StepClock",
     "Traceroute",
     "TracerouteResult",
     "Transmission",

@@ -28,7 +28,7 @@ from ..framework.bfd import BFDControlHeader
 from ..framework.igmp import IGMPHeader
 from ..framework.ip import PROTO_IGMP, IPv4Header
 from .bfd_session import BFDSession
-from .core import Network
+from .core import LinkFaults, Network, StepClock
 from .host import Host
 from .igmp_switch import IGMPSwitch
 from .ntp_peer import NTPPeer
@@ -56,12 +56,24 @@ def generated_course_topology(unit, backend: str = "python",
 
 @dataclass
 class IGMPQueryScenario:
-    """A querier host wired to the commodity-switch model."""
+    """A querier host wired to the commodity-switch model.
+
+    Observation is explicit, not positional: an injectable
+    :class:`~repro.netsim.core.StepClock` stamps every query with a step
+    number and an owned capture cursor accounts for the switch's emissions
+    since *this scenario's* last query — so repeated queries, duplicated
+    deliveries, and fault-reordered runs replay deterministically instead
+    of depending on whatever happened to be in the capture list when
+    ``run_query`` sampled its length.
+    """
 
     network: Network
     sender: Host
     switch: IGMPSwitch
     implementation: object  # GeneratedIGMP
+    clock: StepClock = dataclass_field(default_factory=StepClock)
+    query_log: list[tuple[int, int]] = dataclass_field(default_factory=list)
+    _capture_cursor: int = 0
 
     def run_query(self) -> list[IGMPHeader]:
         """Transmit the generated query; return the reports it elicited."""
@@ -70,22 +82,30 @@ class IGMPQueryScenario:
         )
         if query is None:
             return []
-        already_sent = len(self.switch.sent_capture)
+        step = self.clock.tick()
+        cursor = self._capture_cursor
         self.sender.send(query)
         self.network.run()
-        return [
+        reports = [
             IGMPHeader.unpack(IPv4Header.unpack(raw).data)
-            for raw in self.switch.sent_capture[already_sent:]
+            for raw in self.switch.sent_capture[cursor:]
         ]
+        self._capture_cursor = len(self.switch.sent_capture)
+        self.query_log.append((step, len(reports)))
+        return reports
 
 
 def igmp_query_scenario(unit, backend: str = "python",
                         memberships: list[tuple[int, int]] = (),
+                        clock: StepClock | None = None,
+                        faults: LinkFaults | None = None,
                         ) -> IGMPQueryScenario:
     """The §6.3 experiment: generated query code against the switch model.
 
     ``memberships`` is a list of (member address, group) pairs joined on
-    the switch before any query runs.
+    the switch before any query runs.  ``clock`` injects the scenario's
+    step counter (a fresh one by default); ``faults`` installs a seeded
+    drop/delay/duplicate schedule on the querier-switch link.
     """
     from ..runtime.harness import GeneratedIGMP  # lazy: see module docstring
 
@@ -96,12 +116,13 @@ def igmp_query_scenario(unit, backend: str = "python",
     switch.add_interface("eth0", "10.0.5.1/24")
     network.add_node(sender)
     network.add_node(switch)
-    network.connect("querier", "eth0", "switch", "eth0")
+    network.connect("querier", "eth0", "switch", "eth0", faults=faults)
     for member, group in memberships:
         switch.join(member, group)
     implementation = GeneratedIGMP.from_unit(unit, backend=backend)
     return IGMPQueryScenario(network=network, sender=sender, switch=switch,
-                             implementation=implementation)
+                             implementation=implementation,
+                             clock=clock or StepClock())
 
 
 # -- NTP (§6.3) ----------------------------------------------------------------
@@ -129,30 +150,41 @@ class GeneratedBFDSession(BFDSession):
     code against this session's state variables.
     """
 
-    def __init__(self, implementation, session_exists: bool = True) -> None:
+    def __init__(self, implementation, session_exists: bool = True,
+                 clock: StepClock | None = None) -> None:
         super().__init__()
         self.implementation = implementation
         self.session_exists = session_exists
+        # Injectable step counter: every processed packet lands in
+        # ``trajectory`` under an explicit step number, so fuzz episodes
+        # replayed under reordered delivery compare snapshots by step
+        # rather than by list position.
+        self.clock = clock or StepClock()
+        self.trajectory: list[tuple[int, dict]] = []
 
     @classmethod
     def from_unit(cls, unit, backend: str = "python",
-                  session_exists: bool = True) -> "GeneratedBFDSession":
+                  session_exists: bool = True,
+                  clock: StepClock | None = None) -> "GeneratedBFDSession":
         from ..runtime.state_runtime import GeneratedBFD  # lazy: see module docstring
 
         return cls(GeneratedBFD.from_unit(unit, backend=backend),
-                   session_exists=session_exists)
+                   session_exists=session_exists, clock=clock)
 
     def receive_control(self, packet: BFDControlHeader) -> None:
         context = self.implementation.receive_control(
             self.state, packet, session_exists=self.session_exists
         )
+        step = self.clock.tick()
         if context.discarded_reason is not None:
             # The reference session returns early on discard, leaving the
             # transmission policy untouched — a discarded packet must not
             # re-enable periodic transmission ceased by demand mode.
             self.discarded.append(context.discarded_reason)
+            self.trajectory.append((step, self.state.snapshot()))
             return
         self.periodic_transmission_enabled = not context.transmission_ceased
+        self.trajectory.append((step, self.state.snapshot()))
 
 
 def generated_bfd_handshake(unit, backend: str = "python",

@@ -69,3 +69,31 @@ class IGMPSwitch(Node):
                     ttl=1,
                 )
                 self.transmit(interface, packet.pack())
+
+
+class ForwardingIGMPSwitch(IGMPSwitch):
+    """An IGMP-aware switch that also floods non-IGMP traffic.
+
+    IGMP datagrams get the snooping behaviour of :class:`IGMPSwitch`
+    (queries elicit one report per membership); every other valid IP
+    datagram is flooded out every interface except the one it arrived on,
+    like a learning-free L2 switch that does not touch TTL.  This is the
+    multi-node substrate for scenarios such as "traceroute through an
+    IGMP-aware switch": ICMP/UDP traffic crosses the switch unmodified
+    while the same device keeps answering membership queries.
+    """
+
+    def receive(self, data: bytes, interface: str) -> None:
+        try:
+            packet = IPv4Header.unpack(data)
+        except ValueError:
+            return  # malformed datagrams die at the switch
+        if packet.protocol == PROTO_IGMP:
+            super().receive(data, interface)
+            return
+        self._flood(data, interface)
+
+    def _flood(self, data: bytes, arrival_interface: str) -> None:
+        for candidate in self.os.interfaces:
+            if candidate.name != arrival_interface:
+                self.transmit(candidate.name, data)

@@ -1,10 +1,13 @@
 """Tests for the network simulator: nodes, links, routing, delivery."""
 
+import json
+
 import pytest
 
 from repro.framework.addressing import ip_to_int
 from repro.framework.ip import PROTO_ICMP, make_ip_packet
-from repro.netsim import Host, Network, Router, RoutingTable
+from repro.netsim import Host, LinkFaults, Network, Router, RoutingTable
+from repro.netsim.core import Transmission
 from repro.netsim.topologies import course_topology
 
 
@@ -129,3 +132,132 @@ class TestRouterForwarding:
         topology.client.transmit("eth0", bytes(raw))
         topology.run()
         assert topology.router.sent_capture == []
+
+
+class TestTransmissionIdentity:
+    def test_equality_ignores_fault_bookkeeping(self):
+        original = Transmission("a", "eth0", b"\x01\x02")
+        copy = Transmission("a", "eth0", b"\x01\x02", duplicate=True)
+        copy.delayed = 2
+        assert original == copy
+        assert hash(original) == hash(copy)
+        assert len({original, copy}) == 1
+
+    def test_inequality_on_any_identity_field(self):
+        base = Transmission("a", "eth0", b"\x01")
+        assert base != Transmission("b", "eth0", b"\x01")
+        assert base != Transmission("a", "eth1", b"\x01")
+        assert base != Transmission("a", "eth0", b"\x02")
+        assert base != "not a transmission"
+
+    def test_repr_carries_flags_and_digest(self):
+        plain = Transmission("a", "eth0", b"\x01\x02\x03")
+        assert "a/eth0" in repr(plain)
+        assert "3B" in repr(plain)
+        assert "sha1:" in repr(plain)
+        faulted = Transmission("a", "eth0", b"\x01", duplicate=True)
+        faulted.delayed = 2
+        assert "delayed x2" in repr(faulted)
+        assert "duplicate" in repr(faulted)
+
+    def test_summary_is_json_safe(self):
+        record = Transmission("a", "eth0", b"\xde\xad").summary()
+        assert record["hex"] == "dead"
+        assert record["length"] == 2
+        json.dumps(record)  # must not raise
+
+
+def _host_pair(faults=None):
+    """Two hosts on one (optionally faulted) wire; returns the network,
+    both hosts, and the list every delivery to ``b`` appends to."""
+    network = Network()
+    a = Host("a")
+    a.add_interface("eth0", "10.0.0.1/24")
+    b = Host("b")
+    b.add_interface("eth0", "10.0.0.2/24")
+    network.add_node(a)
+    network.add_node(b)
+    network.connect("a", "eth0", "b", "eth0", faults=faults)
+    seen = []
+    b.add_listener(lambda packet, iface: seen.append(packet))
+    return network, a, b, seen
+
+
+def _send(host, payload: bytes) -> None:
+    host.send(make_ip_packet(ip_to_int("10.0.0.1"), ip_to_int("10.0.0.2"),
+                             PROTO_ICMP, payload))
+
+
+class TestQueueDrainOrder:
+    def test_fifo_delivery_order(self):
+        network, a, _b, seen = _host_pair()
+        for index in range(4):
+            _send(a, bytes([index]))
+        network.run()
+        assert [packet.payload for packet in seen] == \
+            [bytes([index]) for index in range(4)]
+
+    def test_run_on_empty_queue_is_a_noop(self):
+        network, a, _b, seen = _host_pair()
+        assert network.run() == 0
+        _send(a, b"\x01")
+        network.run()
+        delivered = network.delivered
+        # Draining an already-empty queue performs nothing and must not
+        # disturb the delivery counter.
+        assert network.run() == 0
+        assert network.delivered == delivered
+        assert len(seen) == 1
+
+
+class TestLinkFaultInjection:
+    def test_certain_duplicate_delivers_twice(self):
+        network, a, _b, seen = _host_pair(LinkFaults(duplicate=1.0, seed=7))
+        _send(a, b"\x42")
+        network.run()
+        # The injected copy is never re-duplicated, so exactly two arrive.
+        assert len(seen) == 2
+        assert seen[0].pack() == seen[1].pack()
+        assert len(network.fault_log) == 1
+        assert network.fault_log[0].startswith("duplicate ")
+
+    def test_certain_drop_delivers_nothing(self):
+        network, a, _b, seen = _host_pair(LinkFaults(drop=1.0, seed=7))
+        _send(a, b"\x42")
+        network.run()
+        assert seen == []
+        assert network.fault_log[0].startswith("drop ")
+
+    def test_delay_is_bounded_and_still_delivers(self):
+        network, a, _b, seen = _host_pair(LinkFaults(delay=1.0, seed=7))
+        _send(a, b"\x42")
+        network.run()
+        assert len(seen) == 1  # max_delays exhausted, then delivered
+        assert len(network.fault_log) == LinkFaults().max_delays
+        assert all(entry.startswith("delay ") for entry in network.fault_log)
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            LinkFaults(drop=1.5)
+
+    def _fault_log_for(self, seed: int) -> list:
+        network, a, _b, _seen = _host_pair(
+            LinkFaults(drop=0.3, duplicate=0.3, delay=0.3, seed=seed))
+        for index in range(20):
+            _send(a, bytes([index]))
+        network.run()
+        return network.fault_log
+
+    def test_fault_sequence_deterministic_under_fixed_seed(self):
+        assert self._fault_log_for(123) == self._fault_log_for(123)
+
+    def test_fault_sequence_depends_on_seed(self):
+        assert self._fault_log_for(123) != self._fault_log_for(321)
+
+    def test_install_faults_rejects_foreign_link(self):
+        network, _a, _b, _seen = _host_pair()
+        from repro.netsim.core import Link
+
+        with pytest.raises(KeyError):
+            network.install_faults(Link("x", "eth0", "y", "eth0"),
+                                   LinkFaults(drop=1.0))
