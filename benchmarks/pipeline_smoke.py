@@ -25,9 +25,14 @@ Measures, with wall-clock timers:
   parent's cache, warming it); the same parallel sweep warm; and a
   warm-cache sequential re-run that must skip re-parsing entirely — with
   sentences/sec throughput and parse-cache hit/miss counters for each.
-  ("Cold" throughout the sweep section means *parse-cache* cold; the
-  indexed backend's process-global structural memos were warmed by the
-  head-to-head above, which is the production steady state);
+  ("Cold" throughout the sweep section means *parse- and winnow-cache*
+  cold; the indexed backend's process-global structural memos were warmed
+  by the head-to-head above, which is the production steady state).  The
+  winnow layer rides the same sweeps: the §4.2 check-memo and
+  winnow-result-cache counters for the cold sequential sweep land under
+  ``winnow_profile``, and the warm re-run must add zero winnow-cache
+  misses while reproducing byte-identical winnow traces (per-stage LF
+  counts plus ordered survivor signatures);
 * codegen + execution over the ICMP IR program: C and Python emission,
   compile-cold (every call re-execs the rendering), compile-cached (the
   registry's compiled-program cache answers on the content SHA-1), a
@@ -65,7 +70,12 @@ non-zero when a headline speedup regresses (CI runs this via
 * the warm-cache sweep re-run must stay >1.5x faster than the cold
   sequential sweep (the cached-vs-cold speedup gate — the multiple is
   modest because a "cold" sweep already reuses chart cells through the
-  span-signature memo) and must add zero parse-cache misses;
+  span-signature memo), must add zero parse-cache misses and zero
+  winnow-cache misses, must clear a ≥4600 sentences/s throughput floor
+  (~3x the pre-winnow-cache warm re-run), and must produce winnow traces
+  byte-identical to the cold sweep's;
+* ``networkx`` must never be imported: the canonical-signature rewrite
+  keeps the VF2 isomorphism oracle off the production winnow path;
 * the warm parallel sweep must beat the cold sequential sweep, and — on
   machines with ≥2 workers — so must the cold parallel sweep;
 * a cached compile of the ICMP program must stay >10x cheaper than a cold
@@ -79,12 +89,14 @@ non-zero when a headline speedup regresses (CI runs this via
   to round-trip than the JSON contract for the ICMP run, and must decode
   to an object equal to the JSON-decoded one;
 * the cross-process warm start must complete the sweep ≥5x faster than
-  its cold-store run, with zero parse-cache misses and byte-identical
-  statuses / LF signatures / golden ICMP C.
+  its cold-store run, with zero parse-cache misses, zero winnow-cache
+  misses, and byte-identical statuses / LF signatures / winnow traces /
+  golden ICMP C.
 
 Run:  PYTHONPATH=src python benchmarks/pipeline_smoke.py
 """
 
+import hashlib
 import json
 import os
 import pathlib
@@ -108,6 +120,32 @@ def timed(fn, repeat: int = 1):
     for _ in range(repeat):
         result = fn()
     return (time.perf_counter() - start) / repeat, result
+
+
+def winnow_trace_digest(runs: dict) -> str:
+    """SHA-1 over every sentence's winnow trace, in corpus order.
+
+    Covers the per-stage LF counts *and* the ordered survivor signatures:
+    two sweeps whose digests match produced byte-identical winnow traces,
+    which is the exactness contract the winnow-result cache must honour
+    (a cache that changes which forms survive, or in what order, is a
+    correctness bug no speedup excuses).
+    """
+    from repro.ccg.semantics import signature
+
+    digest = hashlib.sha1()
+    for name in sorted(runs):
+        for result in runs[name].results:
+            digest.update(result.spec.text.encode())
+            trace = result.trace
+            if trace is not None:
+                for stage, count in trace.counts.items():
+                    digest.update(f"{stage}={count};".encode())
+                for form in trace.survivors:
+                    digest.update(signature(form).encode())
+                    digest.update(b"\x01")
+            digest.update(b"\x00")
+    return digest.hexdigest()
 
 
 def parallel_workers_report(last_parallel_workers: int | None) -> dict:
@@ -259,18 +297,32 @@ def main() -> int:
 
     # -- the staged-engine sweep: all registered protocols, one call --------
     engine = SageEngine(mode="revised", protocol_registry=registry)
+    winnow_cache = registry.winnow_cache()
     total_sentences = sum(
         len(c.sentences) for c in registry.corpora()
     )
     numbers["sweep_protocols"] = registry.protocols()
     numbers["sweep_sentences"] = total_sentences
 
+    from repro.disambiguation.profile import PROFILE as WINNOW_PROFILE
+    from repro.disambiguation.profile import (
+        profile_delta as winnow_profile_delta,
+    )
+
     cache.clear()
-    numbers["sweep_sequential_cold_s"], _ = timed(
+    winnow_cache.clear()
+    winnow_profile_before = WINNOW_PROFILE.counts()
+    numbers["sweep_sequential_cold_s"], cold_runs = timed(
         lambda: engine.process_corpora(parallel=False)
     )
     numbers["sweep_sequential_cold_sentences_per_s"] = (
         total_sentences / numbers["sweep_sequential_cold_s"]
+    )
+    # The check-memo / traversal-cache / stage-cache counters for exactly
+    # the cold sequential sweep: this is the window where the canonical-
+    # signature and type memos do their cross-sentence work.
+    numbers["winnow_profile"] = winnow_profile_delta(
+        winnow_profile_before, WINNOW_PROFILE.counts()
     )
 
     # Parallel fan-out over the fork worker pool, from a cold cache: this
@@ -281,6 +333,7 @@ def main() -> int:
     # CI.
     numbers["cpu_count"] = os.cpu_count() or 1
     cache.clear()
+    winnow_cache.clear()
     numbers["sweep_parallel_cold_s"], _ = timed(
         lambda: engine.process_corpora(parallel=True)
     )
@@ -302,7 +355,8 @@ def main() -> int:
     )
 
     misses_before_rerun = cache.stats()["misses"]
-    numbers["sweep_warm_rerun_s"], _ = timed(
+    winnow_misses_before_rerun = winnow_cache.stats()["misses"]
+    numbers["sweep_warm_rerun_s"], warm_runs = timed(
         lambda: engine.process_corpora(parallel=False)
     )
     numbers["sweep_warm_rerun_sentences_per_s"] = (
@@ -311,7 +365,17 @@ def main() -> int:
     numbers["sweep_warm_rerun_new_misses"] = (
         cache.stats()["misses"] - misses_before_rerun
     )
+    numbers["sweep_warm_rerun_new_winnow_misses"] = (
+        winnow_cache.stats()["misses"] - winnow_misses_before_rerun
+    )
+    # The winnow-result cache must be *exact*: the warm re-run's traces —
+    # per-stage counts and ordered survivors — must be byte-identical to
+    # what the cold sweep computed from scratch.
+    numbers["winnow_traces_identical"] = (
+        winnow_trace_digest(cold_runs) == winnow_trace_digest(warm_runs)
+    )
     numbers["parse_cache"] = cache.stats()
+    numbers["winnow_cache"] = winnow_cache.stats()
 
     # -- codegen + execution over the ICMP IR program -----------------------
     unit = revised.code_unit
@@ -394,6 +458,18 @@ def main() -> int:
                 run_back_bin = result
     numbers["api_serialize_run_s"] = min(wire_times["json_enc"])
     numbers["api_deserialize_run_s"] = min(wire_times["json_dec"])
+    # The pre-lazy encode path for comparison: build the full envelope
+    # dict eagerly (per-Sem-node dict construction), then dump it.
+    # ``to_json`` now defers Sem rendering into a json.dumps default
+    # hook; this pair of numbers records what that bought.
+    from repro.api.contracts import to_envelope
+
+    numbers["api_serialize_eager_run_s"], _ = timed(
+        lambda: json.dumps(to_envelope(revised, registry=registry)), repeat=5
+    )
+    numbers["api_serialize_lazy_speedup"] = (
+        numbers["api_serialize_eager_run_s"] / numbers["api_serialize_run_s"]
+    )
     numbers["api_run_json_bytes"] = len(run_json)
     numbers["api_roundtrip_equal"] = run_back == revised
     numbers["api_bin_encode_run_s"] = min(wire_times["bin_enc"])
@@ -441,11 +517,22 @@ def main() -> int:
     )
     numbers["xproc_warm_parse_misses"] = warm_probe["parse"]["misses"]
     numbers["xproc_warm_disk_hits"] = warm_probe["parse"].get("disk_hits", 0)
+    numbers["xproc_warm_winnow_misses"] = warm_probe["winnow"]["misses"]
+    numbers["xproc_warm_winnow_disk_hits"] = (
+        warm_probe["winnow"].get("disk_hits", 0)
+    )
     numbers["xproc_outputs_identical"] = (
         cold_probe["statuses"] == warm_probe["statuses"]
         and cold_probe["lf_sha1"] == warm_probe["lf_sha1"]
+        and cold_probe["trace_sha1"] == warm_probe["trace_sha1"]
         and cold_probe["icmp_c_sha1"] == warm_probe["icmp_c_sha1"]
     )
+
+    # The VF2 oracle's backing library must never load in this process:
+    # the canonical-signature rewrite exists so the full parse → winnow →
+    # generate → serialize pipeline runs without graph isomorphism, and
+    # an import anywhere above means something fell back onto it.
+    numbers["networkx_imported"] = "networkx" in sys.modules
 
     # -- speedup history ----------------------------------------------------
     # Append this run's headline parser numbers to the `history` array
@@ -485,6 +572,13 @@ def main() -> int:
         "parse_cold_indexed_s": numbers["parse_cold_indexed_s"],
         "parse_cold_reference_s": numbers["parse_cold_reference_s"],
         "span_reuse_rate": numbers["parse_profile"]["span_reuse_rate"],
+        "sweep_warm_rerun_sentences_per_s":
+            numbers["sweep_warm_rerun_sentences_per_s"],
+        "winnow_type_memo_hit_rate":
+            numbers["winnow_profile"]["type_memo_hit_rate"],
+        "winnow_canon_memo_hit_rate":
+            numbers["winnow_profile"]["canon_memo_hit_rate"],
+        "api_serialize_run_s": numbers["api_serialize_run_s"],
     })
     numbers["history"] = history[-50:]
 
@@ -524,6 +618,25 @@ def main() -> int:
         failures.append("warm-cache sweep re-run is not >1.5x faster than cold")
     if numbers["sweep_warm_rerun_new_misses"] != 0:
         failures.append("warm-cache sweep re-run re-parsed sentences")
+    if numbers["sweep_warm_rerun_new_winnow_misses"] != 0:
+        failures.append(
+            "warm-cache sweep re-run re-winnowed sentences "
+            f"({numbers['sweep_warm_rerun_new_winnow_misses']} winnow-cache "
+            "misses)"
+        )
+    if not numbers["sweep_warm_rerun_sentences_per_s"] >= 4600:
+        failures.append(
+            "warm-cache sweep re-run throughput fell below the 4600 "
+            "sentences/s floor (got "
+            f"{numbers['sweep_warm_rerun_sentences_per_s']:.0f}/s): the "
+            "winnow-result cache stopped carrying the warm path"
+        )
+    if not numbers["winnow_traces_identical"]:
+        failures.append(
+            "warm-cache sweep re-run produced different winnow traces than "
+            "the cold sweep (the winnow-result cache must be exact: same "
+            "per-stage counts, same survivors, same order)"
+        )
     if not numbers["sweep_parallel_warm_s"] < numbers["sweep_sequential_cold_s"]:
         failures.append("warm parallel sweep is not faster than the cold sequential sweep")
     if not numbers["sweep_parallel_warm_s"] < numbers["sweep_parallel_cold_s"]:
@@ -608,9 +721,21 @@ def main() -> int:
             "cross-process warm sweep re-parsed sentences "
             f"({numbers['xproc_warm_parse_misses']} parse-cache misses)"
         )
+    if numbers["xproc_warm_winnow_misses"] != 0:
+        failures.append(
+            "cross-process warm sweep re-winnowed sentences "
+            f"({numbers['xproc_warm_winnow_misses']} winnow-cache misses)"
+        )
     if not numbers["xproc_outputs_identical"]:
         failures.append("cross-process warm sweep outputs differ from cold "
-                        "(statuses / LF signatures / generated ICMP C)")
+                        "(statuses / LF signatures / winnow traces / "
+                        "generated ICMP C)")
+    if numbers["networkx_imported"]:
+        failures.append(
+            "networkx was imported during the benchmark: the VF2 oracle "
+            "leaked onto the production winnow path (canonical signatures "
+            "must carry associativity detection alone)"
+        )
     if failures:
         for failure in failures:
             print(f"SMOKE FAILURE: {failure}", file=sys.stderr)

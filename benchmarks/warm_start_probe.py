@@ -16,6 +16,11 @@ Prints one JSON object on stdout:
   not interpreter startup);
 * ``parse`` — the parse cache's counters (``misses`` must be 0 on the
   warm run; ``disk_hits`` shows the store answering);
+* ``winnow`` — the winnow-result cache's counters (same contract: zero
+  misses on the warm run means not one §4.2 check re-ran);
+* ``trace_sha1`` — SHA-1 over every sentence's full winnow trace
+  (per-stage counts plus ordered survivor signatures), in corpus order
+  (winnow-output identity across runs);
 * ``statuses`` — per-protocol ``SageRun.by_status()`` tallies;
 * ``lf_sha1`` — SHA-1 over every sentence's status and winnowed
   logical-form signature, in corpus order (semantic-output identity
@@ -56,6 +61,7 @@ def main() -> int:
     sweep_s = time.perf_counter() - start
 
     lf_digest = hashlib.sha1()
+    trace_digest = hashlib.sha1()
     for name in registry.protocols():
         for result in runs[name].results:
             lf_digest.update(result.spec.text.encode())
@@ -63,15 +69,26 @@ def main() -> int:
             if result.logical_form is not None:
                 lf_digest.update(signature(result.logical_form).encode())
             lf_digest.update(b"\x00")
+            if result.trace is not None:
+                trace = result.trace
+                trace_digest.update(trace.sentence.encode())
+                for stage, count in trace.counts.items():
+                    trace_digest.update(f"{stage}={count};".encode())
+                for form in trace.survivors:
+                    trace_digest.update(signature(form).encode())
+                    trace_digest.update(b"\x01")
+            trace_digest.update(b"\x00")
 
     icmp_c = runs["ICMP"].code_unit.render_c()
 
     print(json.dumps({
         "sweep_s": sweep_s,
         "parse": registry.parse_cache().stats(),
+        "winnow": registry.winnow_cache().stats(),
         "statuses": {name: runs[name].by_status()
                      for name in registry.protocols()},
         "lf_sha1": lf_digest.hexdigest(),
+        "trace_sha1": trace_digest.hexdigest(),
         "icmp_c_sha1": hashlib.sha1(icmp_c.encode()).hexdigest(),
     }))
     return 0

@@ -18,11 +18,14 @@
 # headline speedup regresses (parser-backend parity and the indexed
 # backend's >=5x cold-parse speedup floor with >30% span-memo reuse,
 # cached-vs-cold load/construction, the
-# warm-cache sweep re-run, the parallel engine sweep, the codegen
-# compiled-program cache: a cached compile must stay >10x cheaper than a
-# cold one, or the service layer: the serialized run must round-trip equal
-# and the warm sweep endpoint must beat the cold sequential engine sweep)
-# — see benchmarks/pipeline_smoke.py for the exact gates.
+# warm-cache sweep re-run — which must add zero parse AND winnow cache
+# misses, clear the 4600 sentences/s floor, and reproduce byte-identical
+# winnow traces with networkx never imported — the parallel engine sweep,
+# the codegen compiled-program cache: a cached compile must stay >10x
+# cheaper than a cold one, or the service layer: the serialized run must
+# round-trip equal and the warm sweep endpoint must beat the cold
+# sequential engine sweep) — see benchmarks/pipeline_smoke.py for the
+# exact gates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,7 +39,8 @@ fi
 
 # Persistent cache cross-process smoke: warm the store from one process,
 # then sweep again from a *second* process — the second run must answer
-# every parse from disk (zero parse-cache misses).
+# every parse AND every winnow from disk (zero misses in both layers: the
+# warm boot re-runs no CKY chart and no §4.2 check).
 cache_smoke() {
   echo "== cache smoke: python -m repro cache warm twice, separate processes =="
   local store
@@ -47,12 +51,14 @@ cache_smoke() {
     | python -c '
 import json, sys
 data = json.load(sys.stdin)["data"]
-misses = data["parse"]["misses"]
-disk_hits = data["parse"].get("disk_hits", 0)
-if misses:
-    sys.exit(f"CACHE FAILURE: second-process sweep re-parsed "
-             f"{misses} sentences (disk hits: {disk_hits})")
-print(f"ok (second process: 0 misses, {disk_hits} disk hits)")
+for layer in ("parse", "winnow"):
+    stats = data[layer]
+    misses = stats["misses"]
+    disk_hits = stats.get("disk_hits", 0)
+    if misses:
+        sys.exit(f"CACHE FAILURE: second-process sweep recomputed {misses} "
+                 f"{layer} entries (disk hits: {disk_hits})")
+    print(f"ok ({layer}: 0 misses, {disk_hits} disk hits)")
 '
 }
 
@@ -189,6 +195,10 @@ if [ "${1:-all}" != "tests" ]; then
 
   echo "== cli smoke: python -m repro parse ICMP --compare (backend parity) =="
   python -m repro parse ICMP --compare > /dev/null
+  echo "ok"
+
+  echo "== cli smoke: python -m repro winnow ICMP --profile =="
+  python -m repro winnow ICMP --profile > /dev/null
   echo "ok"
 
   cache_smoke

@@ -744,3 +744,24 @@ def parse_entry_from_bytes(data: bytes) -> tuple[ParseResult, bool]:
         backend=backend,
     )
     return result, subject_supplied
+
+
+# -- winnow-cache entries ------------------------------------------------------
+
+def winnow_entry_to_bytes(trace: WinnowTrace) -> bytes:
+    """One persistent winnow-cache value: the whole :class:`WinnowTrace`
+    (per-stage counts, base forms, survivors) with full provenance, so a
+    disk-warmed winnow stage replays byte-identical traces."""
+    writer = _Writer()
+    _enc_trace(writer, trace)
+    return bytes(writer.buf)
+
+
+def winnow_entry_from_bytes(data: bytes) -> WinnowTrace:
+    if bytes(data[:len(MAGIC)]) != MAGIC:
+        raise ContractError("not a schema:1b winnow entry (bad magic)")
+    reader = _Reader(bytes(data))
+    try:
+        return _dec_trace(reader)
+    except (IndexError, UnicodeDecodeError, struct.error) as exc:
+        raise EnvelopeDecodeError(f"malformed winnow entry: {exc!r}") from exc

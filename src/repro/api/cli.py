@@ -103,6 +103,22 @@ def _build_parser() -> argparse.ArgumentParser:
                               "items, budget drops)")
     common(p_parse)
 
+    p_winnow = sub.add_parser(
+        "winnow", help="winnow-subsystem diagnostics: parse + run the §4.2 "
+                       "check suite over one corpus (no codegen)"
+    )
+    p_winnow.add_argument("protocol")
+    p_winnow.add_argument("--parser-backend", default="", metavar="NAME",
+                          help="parser backend feeding the winnow stage "
+                               "(default: the protocol's registered choice)")
+    p_winnow.add_argument("--sentences", action="store_true",
+                          help="print the per-sentence stage-count lines")
+    p_winnow.add_argument("--profile", action="store_true",
+                          help="print the winnow hot-path counters for this "
+                               "batch (canonical-sid and check-memo hit "
+                               "rates, stage-cache hits, oracle calls)")
+    common(p_winnow)
+
     p_resolve = sub.add_parser(
         "resolve", help="inspect flagged sentences and journal decisions"
     )
@@ -407,6 +423,45 @@ def _cmd_parse(service: SageService, args, out) -> int:
     return 0
 
 
+def _cmd_winnow(service: SageService, args, out) -> int:
+    """Winnow diagnostics: the §4.2 check suite in isolation."""
+    report = service.winnow_diagnostics(
+        args.protocol, parser_backend=args.parser_backend, mode=args.mode
+    )
+    if args.json:
+        payload = {"schema": 1, "kind": "winnow_diagnostics", "data": report}
+        print(json.dumps(payload), file=out)
+        return 0
+    print(f"{report['protocol']}: winnowed {report['sentence_count']} "
+          f"sentences in {report['elapsed_s']:.3f}s "
+          f"({report['sentences_per_s']:.1f}/s)", file=out)
+    print(f"  still ambiguous: {report['ambiguous_after_winnowing']}",
+          file=out)
+    cache_stats = report.get("winnow_cache")
+    if cache_stats:
+        line = (f"  winnow cache: {cache_stats.get('size', 0)} entries, "
+                f"{cache_stats.get('hits', 0)} hits, "
+                f"{cache_stats.get('misses', 0)} misses")
+        if "disk_hits" in cache_stats:
+            line += f" ({cache_stats['disk_hits']} from disk)"
+        print(line, file=out)
+    if args.sentences:
+        for sentence in report["sentences"]:
+            counts = sentence["counts"]
+            stages = " > ".join(str(counts[stage]) for stage in counts)
+            flag = "  [ambiguous]" if sentence["ambiguous"] else ""
+            print(f"  #{sentence['index']:>3} {stages:<24} "
+                  f"{sentence['text'][:56]}{flag}", file=out)
+    if args.profile:
+        profile = report["profile"]
+        print("  profile:", file=out)
+        for key in sorted(profile):
+            value = profile[key]
+            rendered = f"{value:.3f}" if isinstance(value, float) else value
+            print(f"    {key:<28} {rendered}", file=out)
+    return 0
+
+
 def _cmd_emit(service: SageService, args, out) -> int:
     artifact = service.artifact(args.protocol, backend=args.backend,
                                 mode=args.mode)
@@ -536,6 +591,7 @@ def _cmd_cache(service: SageService, args, out) -> int:
     if args.action == "clear":
         removed = store.clear()
         registry.parse_cache().clear()
+        registry.winnow_cache().clear()
         registry.compiled_cache().clear()
         if args.json:
             payload = {"schema": 1, "kind": "cache_clear",
@@ -549,32 +605,37 @@ def _cmd_cache(service: SageService, args, out) -> int:
         from .contracts import SweepRequest as _SweepRequest
 
         response = service.sweep(_SweepRequest(mode=args.mode))
-        parse_stats = registry.parse_cache().stats()
+
+        def _layer(stats: dict) -> dict:
+            layer = {key: stats[key] for key in ("size", "hits", "misses")
+                     if key in stats}
+            if "disk_hits" in stats:
+                layer["disk_hits"] = stats["disk_hits"]
+            layer["hit_rate"] = _hit_rate(layer.get("hits", 0),
+                                          layer.get("misses", 0))
+            return layer
+
         data = {
             "root": store.root,
             "protocols": list(response.protocols),
-            "parse": {key: parse_stats[key]
-                      for key in ("size", "hits", "misses")
-                      if key in parse_stats},
+            "parse": _layer(registry.parse_cache().stats()),
+            "winnow": _layer(registry.winnow_cache().stats()),
             "store": store.stats(),
         }
-        if "disk_hits" in parse_stats:
-            data["parse"]["disk_hits"] = parse_stats["disk_hits"]
-        data["parse"]["hit_rate"] = _hit_rate(
-            data["parse"].get("hits", 0), data["parse"].get("misses", 0)
-        )
         if args.json:
             print(json.dumps({"schema": 1, "kind": "cache_warm",
                               "data": data}), file=out)
         else:
-            parse = data["parse"]
             print(f"warmed {len(data['protocols'])} protocols into "
                   f"{store.root}", file=out)
-            print(f"  parse: {parse.get('size', 0)} entries, "
-                  f"{parse.get('hits', 0)} hits "
-                  f"({parse.get('disk_hits', 0)} from disk), "
-                  f"{parse.get('misses', 0)} misses "
-                  f"[hit rate {_render_rate(parse['hit_rate'])}]", file=out)
+            for name in ("parse", "winnow"):
+                layer = data[name]
+                print(f"  {name}: {layer.get('size', 0)} entries, "
+                      f"{layer.get('hits', 0)} hits "
+                      f"({layer.get('disk_hits', 0)} from disk), "
+                      f"{layer.get('misses', 0)} misses "
+                      f"[hit rate {_render_rate(layer['hit_rate'])}]",
+                      file=out)
         return 0
 
     # `cache stats`: report the footprint *and* verify it — a store full
@@ -584,9 +645,12 @@ def _cmd_cache(service: SageService, args, out) -> int:
     stats = store.stats()
     stats["verification"] = verification
     parse_stats = registry.parse_cache().stats()
+    winnow_stats = registry.winnow_cache().stats()
     stats["rates"] = {
         "parse_hit_rate": _hit_rate(parse_stats.get("hits", 0),
                                     parse_stats.get("misses", 0)),
+        "winnow_hit_rate": _hit_rate(winnow_stats.get("hits", 0),
+                                     winnow_stats.get("misses", 0)),
         "disk_hit_rate": _hit_rate(stats["disk_hits"], stats["disk_misses"]),
     }
     if args.json:
@@ -604,6 +668,7 @@ def _cmd_cache(service: SageService, args, out) -> int:
               f"{verification['corrupt']} corrupt", file=out)
         rates = stats["rates"]
         print(f"  parse hit rate {_render_rate(rates['parse_hit_rate'])}, "
+              f"winnow hit rate {_render_rate(rates['winnow_hit_rate'])}, "
               f"disk hit rate {_render_rate(rates['disk_hit_rate'])} "
               "(this process)", file=out)
     if verification["corrupt"]:
@@ -666,6 +731,7 @@ _COMMANDS = {
     "process": _cmd_process,
     "sweep": _cmd_sweep,
     "parse": _cmd_parse,
+    "winnow": _cmd_winnow,
     "resolve": _cmd_resolve,
     "emit": _cmd_emit,
     "fuzz": _cmd_fuzz,

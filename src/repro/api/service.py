@@ -237,6 +237,69 @@ class SageService:
             "sentences": sentences,
         }
 
+    def winnow_diagnostics(self, protocol: str, parser_backend: str = "",
+                           mode: str = "revised") -> dict:
+        """Parse + winnow one corpus and report per-sentence winnow
+        diagnostics (the ``python -m repro winnow`` payload).
+
+        Parsing runs first (cache-served when warm) and is *excluded* from
+        the timing: ``elapsed_s`` brackets exactly the winnow stage, so
+        this is the §4.2 check suite in isolation.  Returns a JSON-safe
+        dict: per-sentence stage counts and survivor digests, wall-clock
+        throughput, the winnow-result cache stats, and — under
+        ``"profile"`` — the :mod:`repro.disambiguation.profile` counter
+        delta for exactly this batch (canonical-sid and check-memo hit
+        rates, per-form cache hits, stage-cache hits, oracle calls).  No
+        code generation runs.
+        """
+        import hashlib
+        import time
+
+        from ..ccg.semantics import signature
+        from ..disambiguation.profile import PROFILE, profile_delta
+
+        if parser_backend:
+            self._check_parser_backend(parser_backend)
+        corpus = self._load_corpus(protocol)
+        engine = self.engine(mode, parser_backend)
+        parsed = engine.parse_batch(corpus,
+                                    parser_backend=parser_backend or None)
+        counters_before = PROFILE.counts()
+        started = time.perf_counter()
+        traces = [engine.winnow_stage.run(item) for item in parsed]
+        elapsed = time.perf_counter() - started
+        profile = profile_delta(counters_before, PROFILE.counts())
+        sentences = []
+        for index, (item, trace) in enumerate(zip(parsed, traces)):
+            survivor_sigs = [signature(form) for form in trace.survivors]
+            sentences.append({
+                "index": index,
+                "text": item.spec.text,
+                "counts": dict(trace.counts),
+                "base_count": trace.base_count,
+                "final_count": trace.final_count,
+                "ambiguous": trace.ambiguous_after_winnowing,
+                # Content hash of the ordered survivor signatures: two
+                # winnow paths (cold checks vs warm cache, any backend)
+                # agree iff these match sentence for sentence.
+                "survivors_sha1": hashlib.sha1(
+                    "\n".join(survivor_sigs).encode("utf-8")
+                ).hexdigest(),
+            })
+        cache = engine.winnow_stage.cache
+        return {
+            "protocol": corpus.protocol,
+            "sentence_count": len(parsed),
+            "elapsed_s": elapsed,
+            "sentences_per_s": (len(parsed) / elapsed) if elapsed else 0.0,
+            "ambiguous_after_winnowing": sum(
+                1 for trace in traces if trace.ambiguous_after_winnowing
+            ),
+            "winnow_cache": cache.stats() if cache is not None else None,
+            "profile": profile,
+            "sentences": sentences,
+        }
+
     def fuzz(self, seed: int = 0, episodes: int = 50,
              protocols: tuple[str, ...] = (),
              families: tuple[str, ...] = (),

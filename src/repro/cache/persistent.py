@@ -39,6 +39,7 @@ from .store import CacheStore
 
 #: Store namespaces, one per promoted cache.
 PARSE_NAMESPACE = "parse"
+WINNOW_NAMESPACE = "winnow"
 COMPILED_NAMESPACE = "compiled"
 
 _KEY_SEP = "\x1f"
@@ -118,6 +119,81 @@ class PersistentParseCache(ParseCache):
         except Exception:
             # Decodable-header-but-bad-body entries (e.g. written by a
             # future schema) degrade to a recompute, never a crash.
+            return None
+
+
+class PersistentWinnowCache(ParseCache):
+    """The shared winnow-result cache, promoted to the same disk store.
+
+    Values are whole :class:`~repro.disambiguation.winnow.WinnowTrace`
+    objects, serialized through the ``schema:1b`` trace codec (per-stage
+    counts plus survivor and base forms with full provenance), so a
+    warm-booting process replays every previously winnowed sentence —
+    byte-identical counts, survivors, and survivor order — without running
+    one check.  Keys are content fingerprints of the check suite, grammar
+    substrate, sentence, and LF set (see
+    :meth:`~repro.core.stages.WinnowStage.cache_key`), so rule edits make
+    stale entries unreachable rather than wrong.
+    """
+
+    def __init__(self, store: CacheStore) -> None:
+        super().__init__()
+        self.store = store
+        self.disk_hits = 0
+
+    def get(self, key: tuple):
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                self.hits += 1
+                return hit
+        payload = self.store.get(WINNOW_NAMESPACE, _key_string(key))
+        if payload is not None:
+            value = self._decode(payload)
+            if value is not None:
+                with self._lock:
+                    self._entries[key] = value
+                    self.hits += 1
+                    self.disk_hits += 1
+                return value
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, key: tuple, value) -> None:
+        super().put(key, value)
+        payload = self._encode(value)
+        if payload is not None:
+            self.store.put(WINNOW_NAMESPACE, _key_string(key), payload)
+
+    def clear_disk(self) -> int:
+        return self.store.clear()
+
+    def stats(self) -> dict:
+        counters = super().stats()
+        with self._lock:
+            counters["disk_hits"] = self.disk_hits
+        counters["store"] = self.store.stats()
+        return counters
+
+    @staticmethod
+    def _encode(value) -> bytes | None:
+        from ..api.binenc import winnow_entry_to_bytes
+
+        try:
+            return winnow_entry_to_bytes(value)
+        except Exception:
+            # Ad-hoc values outside the WinnowTrace contract stay
+            # memory-only rather than failing the winnow.
+            return None
+
+    @staticmethod
+    def _decode(payload: bytes):
+        from ..api.binenc import winnow_entry_from_bytes
+
+        try:
+            return winnow_entry_from_bytes(payload)
+        except Exception:
             return None
 
 

@@ -187,12 +187,45 @@ def stamp(term: Sem, index: int) -> Sem:
     return term
 
 
+#: Distinguishes "not cached yet" from a cached None result.
+_UNSET = object()
+
+
 def span_of(term: Sem) -> tuple[int, int] | None:
-    """The token span covered by ``term``: min/max over constant spans."""
-    spans = [const.span for const in iter_consts(term) if const.span is not None]
+    """The token span covered by ``term``: min/max over constant spans.
+
+    Cached on the node (terms are immutable): the winnow checks probe the
+    same argument subtrees thousands of times per warm sweep.
+    """
+    d = term.__dict__
+    span = d.get("_span", _UNSET)
+    if span is not _UNSET:
+        return span
+    spans = [const.span for const in consts_of(term) if const.span is not None]
     if not spans:
-        return None
-    return (min(start for start, _ in spans), max(end for _, end in spans))
+        span = None
+    else:
+        span = (min(start for start, _ in spans), max(end for _, end in spans))
+    d["_span"] = span
+    return span
+
+
+def consts_of(term: Sem) -> tuple[Const, ...]:
+    """:func:`iter_consts` materialized once per node (cached traversal)."""
+    d = term.__dict__
+    consts = d.get("_consts")
+    if consts is None:
+        consts = d["_consts"] = tuple(iter_consts(term))
+    return consts
+
+
+def calls_of(term: Sem) -> tuple[Call, ...]:
+    """:func:`iter_calls` materialized once per node (cached traversal)."""
+    d = term.__dict__
+    calls = d.get("_calls")
+    if calls is None:
+        calls = d["_calls"] = tuple(iter_calls(term))
+    return calls
 
 
 def iter_consts(term: Sem) -> Iterator[Const]:
@@ -230,7 +263,19 @@ def is_grounded(term: Sem) -> bool:
 
 
 def signature(term: Sem) -> str:
-    """Structural identity ignoring provenance metadata (for dedup)."""
+    """Structural identity ignoring provenance metadata (for dedup).
+
+    Cached on the node: survivor sorting, journal keys, and parity digests
+    re-render the same forms constantly, and terms are immutable.
+    """
+    d = term.__dict__
+    sig = d.get("_sig")
+    if sig is None:
+        sig = d["_sig"] = _signature_of(term)
+    return sig
+
+
+def _signature_of(term: Sem) -> str:
     if isinstance(term, Const):
         return f"'{term.value}'"
     if isinstance(term, Var):

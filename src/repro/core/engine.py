@@ -176,6 +176,7 @@ class SageEngine:
         resolver: ContextResolver | None = None,
         protocol_registry: ProtocolRegistry | None = None,
         parse_cache: ParseCache | None | bool = True,
+        winnow_cache: ParseCache | None | bool = True,
         parser_backend: str | None = None,
     ) -> None:
         if mode not in ("strict", "revised"):
@@ -207,7 +208,18 @@ class SageEngine:
         self._parse_stages: dict[str, ParseStage] = {
             backend_id(parser): self.parse_stage
         }
-        self.winnow_stage = WinnowStage(suite)
+        # The winnow cache follows the parse-cache switch: a default engine
+        # shares the registry's (possibly disk-backed) winnow cache, and an
+        # engine built hermetic (parse_cache=False) stays fully uncached.
+        if winnow_cache is True:
+            winnow_cache = (self.protocol_registry.winnow_cache()
+                            if parse_cache is not None else None)
+        elif winnow_cache is False:
+            winnow_cache = None
+        self.winnow_stage = WinnowStage(
+            suite, cache=winnow_cache,
+            substrate_fingerprint=self.parse_stage.substrate_fingerprint,
+        )
         self.generate_stage = GenerateStage(resolver=resolver)
         self.rewrites = self.protocol_registry.rewrites()
         #: Journaled LF selections (sentence key → chosen LF signature),
@@ -268,6 +280,10 @@ class SageEngine:
     @property
     def parse_cache(self) -> ParseCache | None:
         return self.parse_stage.cache
+
+    @property
+    def winnow_cache(self) -> ParseCache | None:
+        return self.winnow_stage.cache
 
     def stages(self) -> tuple[ParseStage, WinnowStage, GenerateStage]:
         return (self.parse_stage, self.winnow_stage, self.generate_stage)
@@ -562,10 +578,14 @@ class SageEngine:
             for name, corpus in corpora.items()
         }
         cache = self.parse_stage.cache
-        for (name, start, _end), (results, cache_entries) in zip(tasks, outputs):
+        winnow_cache = self.winnow_stage.cache
+        for (name, start, _end), output in zip(tasks, outputs):
+            results, cache_entries, winnow_entries = output
             by_name[name][start:start + len(results)] = results
             if cache is not None and cache_entries:
                 cache.merge(cache_entries)
+            if winnow_cache is not None and winnow_entries:
+                winnow_cache.merge(winnow_entries)
         return by_name
 
     def _assemble(self, corpus: Corpus, results: list[SentenceResult]) -> CodeUnit:
@@ -596,10 +616,11 @@ class SageEngine:
 _WORKER_ENGINE: "SageEngine | None" = None
 _WORKER_ENGINE_LOCK = threading.Lock()
 _WORKER_SEEN_KEYS: set | None = None
+_WORKER_SEEN_WINNOW_KEYS: set | None = None
 
 
 def _init_worker() -> None:
-    global _WORKER_SEEN_KEYS
+    global _WORKER_SEEN_KEYS, _WORKER_SEEN_WINNOW_KEYS
     # Fork can land while another thread of the parent holds the cache or
     # registry lock; the child would inherit it permanently held.  Workers
     # are single-threaded, so fresh locks are safe and unblock them.
@@ -611,6 +632,11 @@ def _init_worker() -> None:
         # an explicitly passed cache needs its own fresh lock.
         cache._lock = threading.Lock()
     _WORKER_SEEN_KEYS = set(cache.items()) if cache is not None else set()
+    winnow_cache = _WORKER_ENGINE.winnow_stage.cache if _WORKER_ENGINE else None
+    if winnow_cache is not None:
+        winnow_cache._lock = threading.Lock()
+    _WORKER_SEEN_WINNOW_KEYS = (set(winnow_cache.items())
+                                if winnow_cache is not None else set())
 
 
 def _process_chunk(task: tuple[str, int, int]):
@@ -626,4 +652,12 @@ def _process_chunk(task: tuple[str, int, int]):
         new_entries = {key: value for key, value in cache.items().items()
                        if key not in _WORKER_SEEN_KEYS}
         _WORKER_SEEN_KEYS.update(new_entries)
-    return results, new_entries
+    winnow_cache = engine.winnow_stage.cache
+    new_winnow_entries = {}
+    if winnow_cache is not None:
+        new_winnow_entries = {
+            key: value for key, value in winnow_cache.items().items()
+            if key not in _WORKER_SEEN_WINNOW_KEYS
+        }
+        _WORKER_SEEN_WINNOW_KEYS.update(new_winnow_entries)
+    return results, new_entries, new_winnow_entries

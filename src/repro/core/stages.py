@@ -25,11 +25,12 @@ which is what makes the parse cache and the process-pool fan-out in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from hashlib import sha1
 import re
 
 from ..ccg.chart import CCGChartParser, ParseResult
 from ..parsing import backend_id, create_parser
-from ..ccg.semantics import Sem
+from ..ccg.semantics import Sem, signature
 from ..codegen.context import (
     AmbiguousReference,
     ContextResolver,
@@ -41,6 +42,7 @@ from ..codegen.handlers import HandlerRegistry, HandlerResult, NonActionable
 from ..codegen.ir import Program, SentenceCode
 from ..codegen.ops import SetField, Value
 from ..disambiguation.checks import CheckSuite
+from ..disambiguation.profile import PROFILE as WINNOW_PROFILE
 from ..disambiguation.winnow import WinnowTrace, winnow
 from ..nlp.chunker import NounPhraseChunker
 from ..nlp.tokenizer import KIND_NOUN_PHRASE, Token
@@ -168,6 +170,20 @@ class ParseStage:
                 + self.parser.lexicon.fingerprint() + ":"
                 + self._chunker_fingerprint)
 
+    def substrate_fingerprint(self) -> str:
+        """The grammar-only content identity: lexicon + chunker, no backend.
+
+        The winnow-result cache keys on this instead of ``fingerprint()``:
+        winnowing consumes logical forms, which every backend over the same
+        grammar is gated to produce identically (the parity suite), so a
+        backend swap must *hit* the winnow cache even though it misses the
+        parse cache.
+        """
+        if self._chunker_fingerprint is None:
+            self._chunker_fingerprint = self.chunker.fingerprint()
+        return (self.parser.lexicon.fingerprint() + ":"
+                + self._chunker_fingerprint)
+
     def cache_key(self, spec: SpecSentence) -> tuple:
         return (self.fingerprint(), spec.text, spec.field)
 
@@ -247,13 +263,67 @@ class ParseStage:
 
 
 class WinnowStage:
-    """Apply the §4.2 disambiguation checks to a sentence's parses."""
+    """Apply the §4.2 disambiguation checks to a sentence's parses.
 
-    def __init__(self, suite: CheckSuite | None = None) -> None:
+    With a cache attached, the whole :class:`WinnowTrace` is served by
+    content address instead of re-running the checks.  The key is
+
+    ``(suite fingerprint, grammar substrate fingerprint, field, sentence,
+    LF-set digest)``
+
+    — every input the trace depends on and nothing else.  The suite part
+    self-invalidates when any check's rules change (see
+    :meth:`~repro.disambiguation.checks.CheckSuite.fingerprint`); the
+    substrate part is the *backend-free* grammar identity from
+    :meth:`ParseStage.substrate_fingerprint`, so both parser backends hit
+    the same winnow entries; the LF digest hashes the provenance-free
+    structural signatures of the parsed forms, guarding against any route
+    (resolution rewrites, hand-built forms) that changes the LF set under
+    an unchanged sentence.  Like the parse cache, the attached cache may be
+    the plain in-memory :class:`~repro.rfc.registry.ParseCache` or the
+    persistent variant that falls through to the shared on-disk store.
+    """
+
+    def __init__(self, suite: CheckSuite | None = None,
+                 cache: ParseCache | None = None,
+                 substrate_fingerprint=None) -> None:
         self.suite = suite or CheckSuite.default()
+        self.cache = cache
+        #: Zero-arg callable giving the grammar substrate fingerprint
+        #: (usually ``ParseStage.substrate_fingerprint``); "" when absent.
+        self._substrate_fingerprint = substrate_fingerprint
+        self._suite_fp: str | None = None
+        self._suite_fp_generation = -1
+
+    def suite_fingerprint(self) -> str:
+        """The suite's content digest, recomputed only when classes mutate."""
+        generation = self.suite.type_check.classes.generation
+        if self._suite_fp is None or self._suite_fp_generation != generation:
+            self._suite_fp = self.suite.fingerprint()
+            self._suite_fp_generation = generation
+        return self._suite_fp
+
+    def cache_key(self, parsed: ParsedSentence) -> tuple:
+        digest = sha1("\x1e".join(
+            signature(form) for form in parsed.logical_forms
+        ).encode("utf-8")).hexdigest()
+        substrate = (self._substrate_fingerprint()
+                     if self._substrate_fingerprint is not None else "")
+        return (self.suite_fingerprint(), substrate, parsed.spec.field,
+                parsed.spec.text, digest)
 
     def run(self, parsed: ParsedSentence) -> WinnowTrace:
-        return winnow(parsed.spec.text, parsed.logical_forms, self.suite)
+        if self.cache is None:
+            return winnow(parsed.spec.text, parsed.logical_forms, self.suite)
+        key = self.cache_key(parsed)
+        hit = self.cache.get(key)
+        if hit is not None:
+            WINNOW_PROFILE.stage_cache_hits += 1
+            return hit
+        WINNOW_PROFILE.stage_cache_misses += 1
+        trace = winnow(parsed.spec.text, parsed.logical_forms, self.suite)
+        self.cache.put(key, trace)
+        return trace
 
 
 class GenerateStage:

@@ -6,8 +6,16 @@ from .checks import (
     Check,
     CheckSuite,
     DistributivityCheck,
+    NestingRule,
     PredicateOrderingCheck,
     TypeCheck,
+    reset_winnow_state,
+)
+from .profile import (
+    WinnowProfile,
+    profile_delta,
+    profile_snapshot,
+    reset_profile,
 )
 from .resolution import (
     RESOLUTION_KINDS,
@@ -33,14 +41,20 @@ __all__ = [
     "DecisionJournal",
     "DistributivityCheck",
     "IsolatedEffect",
+    "NestingRule",
     "PredicateOrderingCheck",
     "RESOLUTION_KINDS",
     "Resolution",
     "ResolutionError",
     "TypeCheck",
+    "WinnowProfile",
     "WinnowSummary",
     "WinnowTrace",
     "isolated_effects",
+    "profile_delta",
+    "profile_snapshot",
+    "reset_profile",
+    "reset_winnow_state",
     "resolution_for_rewrite",
     "summarize",
     "winnow",

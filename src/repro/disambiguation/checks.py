@@ -1,4 +1,4 @@
-"""The five winnowing checks of §4.2.
+"""The five winnowing checks of §4.2, memoized over interned structure.
 
 Each check filters a sentence's logical-form set:
 
@@ -12,15 +12,53 @@ Each check filters a sentence's logical-form set:
 * **Distributivity** — when both the grouped "(A and B) is C" and the
   distributed "(A is C) and (B is C)" survive, keep the grouped form.
 * **Associativity** — logical forms equal up to associative regrouping
-  (graph-isomorphic after flattening, Figure 3) collapse to one.
+  (Figure 3) collapse to one, by canonical-form membership.
+
+Memoization discipline — what may key on what:
+
+* **Sid-pure checks** (Type, Predicate Ordering, Associativity) depend
+  only on provenance-free structure, so their per-node results live in
+  process-global tables keyed on the interned sids from
+  :mod:`repro.parsing.values`, shared across every parse that produces the
+  same shape.  Each table is addressed by the owning check's content
+  *fingerprint* (rule set + constant classes / blocklist), so two
+  differently-configured checks never alias, and an edited configuration
+  self-invalidates by landing in a fresh table.
+* **Provenance-dependent checks** (Argument Ordering reads Const spans and
+  Call triggers; Distributivity reads Call flags — none of which are part
+  of a sid) must NOT key on sids.  Their per-form results cache on the
+  node objects themselves (``__dict__``, the ``_norm`` idiom), exact by
+  object identity.
+
+To add a memo-safe check: pure functions of structure may use
+``sid_for_term`` + a ``_memo_table(fingerprint)`` table; anything reading
+``span``/``trigger``/``flags`` caches on the node or not at all.  Custom
+:class:`~repro.lf.predicates.TypeRule` sets must give behaviorally
+distinct rules distinct names — rule closures cannot be content-hashed,
+so the fingerprint identifies them by ``(name, predicate)``.
+
+``reset_winnow_state()`` drops every global table (cold-benchmark
+bracketing, mirroring ``reset_parser_state``); per-node caches die with
+their nodes.  Set ``REPRO_WINNOW_ORACLE=1`` to cross-check the
+associativity canonical form against the legacy VF2 matcher on every
+sentence (slow; imports networkx).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from hashlib import sha1
 
-from ..ccg.semantics import Call, Sem, iter_calls, span_of
-from ..lf.graph import canonical_signature, isomorphic
+from ..ccg.semantics import Call, Sem, calls_of, span_of
+from ..lf.graph import (
+    _CANON_SID,
+    canon_of_sid,
+    canonical_signature,
+    isomorphic,
+    reset_canonical_memos,
+    sid_for_term,
+)
 from ..lf.predicates import (
     LEFT_TO_RIGHT_PREDICATES,
     TRIGGER_ADJACENT_PREDICATES,
@@ -29,6 +67,53 @@ from ..lf.predicates import (
     default_type_rules,
     rules_by_predicate,
 )
+from ..parsing.values import _KEY_OF
+from .profile import PROFILE
+
+#: Environment flag: verify the canonical form against VF2 per sentence.
+ORACLE_ENV = "REPRO_WINNOW_ORACLE"
+
+#: check fingerprint → its process-global sid-keyed memo table.  Tables are
+#: cleared in place by :func:`reset_winnow_state` so checks holding a
+#: reference keep it across resets.
+_CHECK_MEMOS: dict[str, dict[int, bool]] = {}
+
+
+def _memo_table(fingerprint: str) -> dict[int, bool]:
+    table = _CHECK_MEMOS.get(fingerprint)
+    if table is None:
+        table = _CHECK_MEMOS[fingerprint] = {}
+    return table
+
+
+def reset_winnow_state() -> None:
+    """Drop every process-global winnow memo (honest cold benchmarks).
+
+    Clears the per-check sid tables and the canonicalization memos; the
+    intern tables themselves survive (sids stay valid), mirroring
+    :func:`repro.parsing.values.reset_derived_memos`.
+    """
+    for table in _CHECK_MEMOS.values():
+        table.clear()
+    reset_canonical_memos()
+
+
+def _calls(term: Sem) -> tuple[Call, ...]:
+    """Profiled access to the per-node cached call list."""
+    if "_calls" in term.__dict__:
+        PROFILE.calls_cache_hits += 1
+    else:
+        PROFILE.calls_cache_misses += 1
+    return calls_of(term)
+
+
+def _span(term: Sem):
+    """Profiled access to the per-node cached span."""
+    if "_span" in term.__dict__:
+        PROFILE.span_cache_hits += 1
+    else:
+        PROFILE.span_cache_misses += 1
+    return span_of(term)
 
 
 class Check:
@@ -38,6 +123,14 @@ class Check:
 
     def filter(self, forms: list[Sem]) -> list[Sem]:
         raise NotImplementedError
+
+    def fingerprint(self) -> str:
+        """Content identity for memo tables and winnow-cache keys.
+
+        Configuration-free checks are identified by their class; checks
+        with tunable rules override this with a content digest.
+        """
+        return type(self).__name__
 
 
 class TypeCheck(Check):
@@ -50,10 +143,70 @@ class TypeCheck(Check):
         self.rules = rules if rules is not None else default_type_rules()
         self.classes = classes or ConstantClasses()
         self._by_predicate = rules_by_predicate(self.rules)
+        self._memo: dict[int, bool] | None = None
+        self._fp: str | None = None
+        self._fp_generation = -1
+
+    def fingerprint(self) -> str:
+        self._refresh()
+        return self._fp
+
+    def _refresh(self) -> dict[int, bool]:
+        """The memo table for the *current* configuration.
+
+        ``ConstantClasses`` is mutable (``register``); its generation
+        counter rides in the fingerprint, so registering a class moves
+        this check to a fresh table instead of serving stale verdicts.
+        """
+        generation = self.classes.generation
+        if self._memo is None or self._fp_generation != generation:
+            payload = repr((
+                "Type",
+                tuple((rule.name, rule.predicate) for rule in self.rules),
+                self.classes.fingerprint(),
+            ))
+            self._fp = sha1(payload.encode("utf-8")).hexdigest()
+            self._fp_generation = generation
+            self._memo = _memo_table(self._fp)
+        return self._memo
 
     def well_typed(self, form: Sem) -> bool:
-        for call in iter_calls(form):
-            for rule in self._by_predicate.get(call.pred, []):
+        memo = self._refresh()
+        sid, grounded = sid_for_term(form)
+        if not grounded:
+            return self._well_typed_uncached(form)
+        if type(form) is not Call:
+            return True  # a bare constant has no calls to violate
+        return self._typed_sid(form, sid, memo)
+
+    def _typed_sid(self, node: Call, sid: int, memo: dict[int, bool]) -> bool:
+        hit = memo.get(sid)
+        if hit is not None:
+            PROFILE.type_memo_hits += 1
+            return hit
+        PROFILE.type_memo_misses += 1
+        result = True
+        rules = self._by_predicate.get(node.pred)
+        if rules:
+            for rule in rules:
+                if not rule.check(node, self.classes):
+                    result = False
+                    break
+        if result:
+            # The sid's intern key decomposes in lockstep with the node's
+            # argument tuple, handing every child its sid for free.
+            arg_sids = _KEY_OF[sid][2]
+            for arg, arg_sid in zip(node.args, arg_sids):
+                if type(arg) is Call and not self._typed_sid(arg, arg_sid,
+                                                            memo):
+                    result = False
+                    break
+        memo[sid] = result
+        return result
+
+    def _well_typed_uncached(self, form: Sem) -> bool:
+        for call in _calls(form):
+            for rule in self._by_predicate.get(call.pred, ()):
                 if not rule.check(call, self.classes):
                     return False
         return True
@@ -69,19 +222,32 @@ class ArgumentOrderingCheck(Check):
     argument must be the clause that immediately follows the trigger word.
     For left-to-right predicates (@Is, @Reach) the target's source span must
     begin before the value's.
+
+    Spans and triggers are provenance — not part of a sid — so the verdict
+    caches on the form object itself, never in a sid table.
     """
 
     name = "Argument Ordering"
 
     def ordered(self, form: Sem) -> bool:
-        for call in iter_calls(form):
+        d = form.__dict__
+        hit = d.get("_arg_ordered")
+        if hit is not None:
+            PROFILE.form_cache_hits += 1
+            return hit
+        PROFILE.form_cache_misses += 1
+        result = True
+        for call in _calls(form):
             if call.pred in TRIGGER_ADJACENT_PREDICATES:
                 if not self._trigger_adjacent(call):
-                    return False
+                    result = False
+                    break
             if call.pred in LEFT_TO_RIGHT_PREDICATES:
                 if not self._left_to_right(call):
-                    return False
-        return True
+                    result = False
+                    break
+        d["_arg_ordered"] = result
+        return result
 
     @staticmethod
     def _trigger_adjacent(call: Call) -> bool:
@@ -95,8 +261,8 @@ class ArgumentOrderingCheck(Check):
         """
         if call.trigger is None or len(call.args) < 2:
             return True
-        first_span = span_of(call.args[0])
-        second_span = span_of(call.args[1])
+        first_span = _span(call.args[0])
+        second_span = _span(call.args[1])
         if first_span is None or second_span is None:
             return True
         if first_span[0] <= call.trigger:
@@ -107,8 +273,8 @@ class ArgumentOrderingCheck(Check):
     def _left_to_right(call: Call) -> bool:
         if len(call.args) < 2:
             return True
-        left_span = span_of(call.args[0])
-        right_span = span_of(call.args[1])
+        left_span = _span(call.args[0])
+        right_span = _span(call.args[1])
         if left_span is None or right_span is None:
             return True
         return left_span[0] < right_span[0]
@@ -154,15 +320,51 @@ DEFAULT_ORDERING_BLOCKLIST: tuple[NestingRule, ...] = (
 
 
 class PredicateOrderingCheck(Check):
-    """Remove LFs containing blocklisted predicate nestings."""
+    """Remove LFs containing blocklisted predicate nestings.
+
+    Nesting is pure structure, and :class:`NestingRule` is frozen content,
+    so verdicts memoize per node in a sid table addressed by the
+    blocklist's digest.
+    """
 
     name = "Predicate Ordering"
 
     def __init__(self, blocklist: tuple[NestingRule, ...] = DEFAULT_ORDERING_BLOCKLIST):
         self.blocklist = blocklist
+        payload = repr(("Nesting",) + tuple(
+            (rule.outer, rule.inner, rule.position, rule.transitive)
+            for rule in blocklist
+        ))
+        self._fp = sha1(payload.encode("utf-8")).hexdigest()
+        self._memo = _memo_table(self._fp)
+
+    def fingerprint(self) -> str:
+        return self._fp
 
     def ordered(self, form: Sem) -> bool:
-        return not any(self._violates(call) for call in iter_calls(form))
+        sid, grounded = sid_for_term(form)
+        if not grounded:
+            return not any(self._violates(call) for call in _calls(form))
+        if type(form) is not Call:
+            return True
+        return self._ordered_sid(form, sid)
+
+    def _ordered_sid(self, node: Call, sid: int) -> bool:
+        memo = self._memo
+        hit = memo.get(sid)
+        if hit is not None:
+            PROFILE.nesting_memo_hits += 1
+            return hit
+        PROFILE.nesting_memo_misses += 1
+        result = not self._violates(node)
+        if result:
+            arg_sids = _KEY_OF[sid][2]
+            for arg, arg_sid in zip(node.args, arg_sids):
+                if type(arg) is Call and not self._ordered_sid(arg, arg_sid):
+                    result = False
+                    break
+        memo[sid] = result
+        return result
 
     def _violates(self, call: Call) -> bool:
         for rule in self.blocklist:
@@ -172,7 +374,7 @@ class PredicateOrderingCheck(Check):
                 if rule.position is not None and position != rule.position:
                     continue
                 if rule.transitive:
-                    if any(sub.pred == rule.inner for sub in iter_calls(arg)):
+                    if any(sub.pred == rule.inner for sub in _calls(arg)):
                         return True
                 elif isinstance(arg, Call) and arg.pred == rule.inner:
                     return True
@@ -187,14 +389,24 @@ class DistributivityCheck(Check):
 
     The chart flags LFs built from the distributed coordination rule; when
     any unflagged LF survives, all flagged ones are dropped (§4.2: "sage
-    always selects the non-distributive logical form version").
+    always selects the non-distributive logical form version").  Flags are
+    provenance, so the verdict caches on the node, never on a sid.
     """
 
     name = "Distributivity"
 
     @staticmethod
     def _is_distributed(form: Sem) -> bool:
-        return any("distributed" in call.flags for call in iter_calls(form))
+        d = form.__dict__
+        hit = d.get("_distributed")
+        if hit is not None:
+            PROFILE.form_cache_hits += 1
+            return hit
+        PROFILE.form_cache_misses += 1
+        hit = d["_distributed"] = any(
+            "distributed" in call.flags for call in _calls(form)
+        )
+        return hit
 
     def filter(self, forms: list[Sem]) -> list[Sem]:
         non_distributed = [form for form in forms if not self._is_distributed(form)]
@@ -204,14 +416,60 @@ class DistributivityCheck(Check):
 class AssociativityCheck(Check):
     """Collapse LFs that differ only by associative regrouping.
 
-    LFs are bucketed by a regrouping-invariant signature and each bucket is
-    confirmed with VF2 graph isomorphism over the flattened trees, keeping
-    one representative per equivalence class.
+    Equivalence-class membership is one canonical sid per form
+    (:func:`repro.lf.graph.canonical_sid` — exact for these rooted trees),
+    so the filter is a set probe per form instead of the O(n²) VF2 runs it
+    replaced.  ``REPRO_WINNOW_ORACLE=1`` re-runs the legacy
+    bucket-then-VF2 path per sentence and asserts agreement.
     """
 
     name = "Associativity"
 
     def filter(self, forms: list[Sem]) -> list[Sem]:
+        if len(forms) <= 1:
+            return list(forms)
+        kept: list[Sem] = []
+        seen: set = set()
+        for form in forms:
+            key = self._class_key(form)
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(form)
+        if os.environ.get(ORACLE_ENV):
+            self._check_oracle(forms, kept)
+        return kept
+
+    @staticmethod
+    def _class_key(form: Sem):
+        sid, grounded = sid_for_term(form)
+        if grounded:
+            hit = _CANON_SID.get(sid)
+            if hit is not None:
+                PROFILE.canon_memo_hits += 1
+                return hit
+            PROFILE.canon_memo_misses += 1
+            return canon_of_sid(sid)
+        # Binder-bearing forms never reach the winnow pipeline; for them
+        # the regrouping-invariant string is the same equivalence (non-Call
+        # subtrees compare as leaf labels either way).
+        return canonical_signature(form)
+
+    def _check_oracle(self, forms: list[Sem], kept: list[Sem]) -> None:
+        """Replay the legacy VF2 path and assert it kept the same forms."""
+        legacy = self._filter_vf2(forms)
+        if [id(form) for form in legacy] != [id(form) for form in kept]:
+            raise AssertionError(
+                "associativity canonical form disagrees with the VF2 "
+                f"oracle: kept {[canonical_signature(f) for f in kept]} "
+                f"vs oracle {[canonical_signature(f) for f in legacy]}"
+            )
+
+    @staticmethod
+    def _filter_vf2(forms: list[Sem]) -> list[Sem]:
+        """The pre-canonical implementation: signature buckets confirmed
+        pairwise with VF2, candidates ordered cheapest-signature-first so
+        the ``any`` scan short-circuits on the smallest graphs."""
         buckets: dict[str, list[Sem]] = {}
         order: list[str] = []
         for form in forms:
@@ -222,10 +480,18 @@ class AssociativityCheck(Check):
             buckets[key].append(form)
         representatives: list[Sem] = []
         for key in order:
-            bucket = buckets[key]
             kept: list[Sem] = []
-            for form in bucket:
-                if any(isomorphic(form, existing) for existing in kept):
+            for form in buckets[key]:
+                candidates = sorted(
+                    kept, key=lambda f: len(canonical_signature(f))
+                )
+                matched = False
+                for existing in candidates:
+                    PROFILE.oracle_calls += 1
+                    if isomorphic(form, existing):
+                        matched = True
+                        break
+                if matched:
                     continue
                 kept.append(form)
             representatives.extend(kept)
@@ -260,3 +526,12 @@ class CheckSuite:
             self.distributivity,
             self.associativity,
         ]
+
+    def fingerprint(self) -> str:
+        """Content digest over every check's configuration, in order.
+
+        Keys the :class:`~repro.core.stages.WinnowStage` result cache:
+        editing any check's rules moves every sentence to a fresh slot.
+        """
+        payload = "|".join(check.fingerprint() for check in self.in_order())
+        return sha1(payload.encode("utf-8")).hexdigest()

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..ccg.semantics import Sem, iter_consts
+from ..ccg.semantics import Sem, consts_of
 from .checks import Check, CheckSuite
+from .profile import PROFILE
 
 STAGE_BASE = "Base"
 STAGE_FINAL = "Final Selection"
@@ -41,6 +42,8 @@ class WinnowTrace:
 def winnow(sentence: str, forms: list[Sem], suite: CheckSuite | None = None) -> WinnowTrace:
     """Apply the §4.2 checks in order, recording the count after each."""
     suite = suite or CheckSuite.default()
+    PROFILE.winnows += 1
+    PROFILE.forms_in += len(forms)
     trace = WinnowTrace(sentence=sentence, base_forms=list(forms))
     trace.counts[STAGE_BASE] = len(forms)
     current = list(forms)
@@ -55,6 +58,7 @@ def winnow(sentence: str, forms: list[Sem], suite: CheckSuite | None = None) -> 
     current = final_selection(current)
     trace.counts[STAGE_FINAL] = len(current)
     trace.survivors = current
+    PROFILE.forms_survived += len(current)
     return trace
 
 
@@ -70,7 +74,7 @@ def final_selection(forms: list[Sem]) -> list[Sem]:
     """
     if len(forms) <= 1:
         return list(forms)
-    counts = [sum(1 for _ in iter_consts(form)) for form in forms]
+    counts = [len(consts_of(form)) for form in forms]
     best = max(counts)
     kept = [form for form, count in zip(forms, counts) if count == best]
     return sorted(kept, key=Sem.sort_key)

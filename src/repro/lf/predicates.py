@@ -97,6 +97,9 @@ class ConstantClasses:
 
     def __init__(self) -> None:
         self._classes: dict[str, str] = {}
+        #: Bumped on every mutation so content fingerprints (and the memo
+        #: tables keyed on them) self-invalidate when a class registers.
+        self.generation = 0
         for name in _FIELD_CONSTANTS:
             self._classes[name] = FIELD
         for name in _MESSAGE_CONSTANTS:
@@ -108,6 +111,14 @@ class ConstantClasses:
 
     def register(self, name: str, klass: str) -> None:
         self._classes[name] = klass
+        self.generation += 1
+
+    def fingerprint(self) -> str:
+        """Content digest of the class map (memo/cache key material)."""
+        import hashlib
+
+        payload = repr(sorted(self._classes.items()))
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()
 
     def class_of(self, term: Sem) -> str:
         if isinstance(term, Const):

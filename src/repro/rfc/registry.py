@@ -230,6 +230,7 @@ class ProtocolRegistry:
         self._rewrites_by_original: dict[str, Rewrite] | None = None
         self._journal = None
         self._parse_cache: ParseCache | None = None
+        self._winnow_cache: ParseCache | None = None
         self._compiled_cache: CompiledProgramCache | None = None
         self._lock = threading.RLock()
         if bundled:
@@ -415,6 +416,32 @@ class ProtocolRegistry:
                     self._parse_cache = ParseCache()
             return self._parse_cache
 
+    def winnow_cache(self) -> ParseCache:
+        """The shared winnow-result cache (whole :class:`~repro.
+        disambiguation.winnow.WinnowTrace` objects by content address).
+
+        Keys are built by :meth:`~repro.core.stages.WinnowStage.cache_key`
+        as ``(suite fingerprint, grammar substrate fingerprint, field,
+        sentence, LF-set digest)`` — deliberately backend-free, so engines
+        on different parser backends over the same grammar serve each
+        other's winnow results.  With a cache directory configured the
+        cache is disk-backed (:class:`~repro.cache.persistent.
+        PersistentWinnowCache`): a warm-booting process replays every
+        previously winnowed sentence without running a single check."""
+        with self._lock:
+            if self._winnow_cache is not None:
+                return self._winnow_cache
+        store = self.cache_store()
+        with self._lock:
+            if self._winnow_cache is None:
+                if store is not None:
+                    from ..cache.persistent import PersistentWinnowCache
+
+                    self._winnow_cache = PersistentWinnowCache(store)
+                else:
+                    self._winnow_cache = ParseCache()
+            return self._winnow_cache
+
     def compiled_cache(self) -> CompiledProgramCache:
         """The shared compiled-program cache (see :class:`CompiledProgramCache`).
 
@@ -541,6 +568,8 @@ class ProtocolRegistry:
             self._rewrites_by_original = None
             if self._parse_cache is not None:
                 self._parse_cache.clear()
+            if self._winnow_cache is not None:
+                self._winnow_cache.clear()
             if self._compiled_cache is not None:
                 self._compiled_cache.clear()
 
@@ -559,6 +588,8 @@ class ProtocolRegistry:
         self._lock = threading.RLock()
         if self._parse_cache is not None:
             self._parse_cache._lock = threading.Lock()
+        if self._winnow_cache is not None:
+            self._winnow_cache._lock = threading.Lock()
         if self._compiled_cache is not None:
             self._compiled_cache._lock = threading.Lock()
         if self._cache_store is not None:

@@ -13,9 +13,11 @@ import pytest
 from repro.cache import (
     COMPILED_NAMESPACE,
     PARSE_NAMESPACE,
+    WINNOW_NAMESPACE,
     CacheStore,
     PersistentCompiledCache,
     PersistentParseCache,
+    PersistentWinnowCache,
 )
 from repro.ccg.chart import ParseResult
 from repro.ccg.semantics import Call, Const
@@ -235,6 +237,74 @@ class TestPersistentParseCache:
         assert store.entry_count(PARSE_NAMESPACE) == 0
 
 
+class TestPersistentWinnowCache:
+    @staticmethod
+    def _winnow_value():
+        from repro.disambiguation import winnow
+
+        forms = [
+            Call("Is", (Const("checksum", span=(0, 1)),
+                        Const("0", span=(2, 3)))),
+            Call("Is", (Const("0", span=(2, 3)),
+                        Const("checksum", span=(0, 1)))),
+        ]
+        return winnow("the checksum is 0", forms)
+
+    WKEY = ("suite-fp", "substrate-fp", "checksum", "the checksum is 0",
+            "lf-digest")
+
+    def test_trace_round_trips_across_instances(self, tmp_path):
+        value = self._winnow_value()
+        first = PersistentWinnowCache(CacheStore(tmp_path))
+        first.put(self.WKEY, value)
+        # A second cache over the same directory — a fresh process in
+        # miniature: the whole WinnowTrace (stage counts and survivors)
+        # must come back from disk alone.
+        second = PersistentWinnowCache(CacheStore(tmp_path))
+        got = second.get(self.WKEY)
+        assert got is not None
+        assert got.counts == value.counts
+        assert [repr(f) for f in got.survivors] \
+            == [repr(f) for f in value.survivors]
+        assert second.stats()["disk_hits"] == 1
+        assert second.store.entry_count(WINNOW_NAMESPACE) == 1
+
+    def test_corrupt_disk_entry_degrades_to_miss(self, tmp_path):
+        from repro.cache.persistent import _key_string
+
+        store = CacheStore(tmp_path)
+        cache = PersistentWinnowCache(store)
+        cache.put(self.WKEY, self._winnow_value())
+        cache.clear()
+        store.put(WINNOW_NAMESPACE, _key_string(self.WKEY),
+                  b"not a winnow entry")
+        assert cache.get(self.WKEY) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_warm_boot_recomputes_no_winnow(self, tmp_path):
+        """Two registry instances over one store: the second's corpus run
+        must answer every winnow from disk — zero recomputes, the
+        cross-process warm-boot contract ``scripts/ci.sh`` gates via
+        ``python -m repro cache stats``."""
+        from repro.core import Sage
+
+        def sweep(registry):
+            corpus = registry.load_corpus("IGMP")
+            sage = Sage(mode="revised", protocol_registry=registry)
+            return sage.process_corpus(corpus)
+
+        cold = ProtocolRegistry(cache_dir=tmp_path)
+        first = sweep(cold)
+        assert cold.winnow_cache().stats()["misses"] > 0  # actually winnowed
+
+        warm = ProtocolRegistry(cache_dir=tmp_path)
+        second = sweep(warm)
+        stats = warm.winnow_cache().stats()
+        assert stats["misses"] == 0
+        assert stats["disk_hits"] > 0
+        assert second.by_status() == first.by_status()
+
+
 class TestPersistentCompiledCache:
     def test_source_round_trips_across_instances(self, tmp_path):
         first = PersistentCompiledCache(CacheStore(tmp_path))
@@ -258,15 +328,18 @@ class TestRegistryPromotion:
         registry = ProtocolRegistry()
         assert registry.cache_store() is None
         assert type(registry.parse_cache()) is ParseCache
+        assert type(registry.winnow_cache()) is ParseCache
         assert type(registry.compiled_cache()) is CompiledProgramCache
 
-    def test_cache_dir_promotes_both_caches(self, tmp_path):
+    def test_cache_dir_promotes_all_caches(self, tmp_path):
         registry = ProtocolRegistry(cache_dir=tmp_path)
         assert registry.cache_store() is not None
         assert isinstance(registry.parse_cache(), PersistentParseCache)
+        assert isinstance(registry.winnow_cache(), PersistentWinnowCache)
         assert isinstance(registry.compiled_cache(), PersistentCompiledCache)
-        # Both promoted caches share the registry's one store.
+        # All promoted caches share the registry's one store.
         assert registry.parse_cache().store is registry.compiled_cache().store
+        assert registry.winnow_cache().store is registry.parse_cache().store
 
     def test_env_var_pickup(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

@@ -159,6 +159,116 @@ class TestGraphs:
         assert canonical_signature(one) == canonical_signature(two)
 
 
+class TestMemoInvalidation:
+    """The content-addressed check memos must follow configuration changes.
+
+    Verdicts are memoized in process-global tables keyed by each check's
+    content fingerprint; mutating a check's configuration (registering a
+    constant class) must move it to a fresh table, never serve a stale
+    verdict.
+    """
+
+    def test_type_verdict_follows_class_registration(self):
+        from repro.lf.predicates import FIELD
+
+        check = TypeCheck()
+        form = call("Action", const("frobnicate"), const("checksum"))
+        # Unknown verbs class as CONCEPT, which @Action tolerates...
+        assert check.well_typed(form)
+        fp_before = check.fingerprint()
+        # ...but registering the constant as a known non-function must
+        # flip the verdict — a stale memo would keep saying True.
+        check.classes.register("frobnicate", FIELD)
+        assert check.fingerprint() != fp_before
+        assert not check.well_typed(form)
+
+    def test_suite_fingerprint_tracks_class_registration(self):
+        from repro.lf.predicates import FUNCTION
+
+        suite = CheckSuite.default()
+        fp_before = suite.fingerprint()
+        suite.type_check.classes.register("frobnicate", FUNCTION)
+        assert suite.fingerprint() != fp_before
+
+    def test_winnow_stage_cache_invalidates_on_suite_change(self):
+        from types import SimpleNamespace
+
+        from repro.core.stages import WinnowStage
+        from repro.lf.predicates import FUNCTION
+        from repro.rfc.registry import ParseCache
+
+        stage = WinnowStage(cache=ParseCache())
+        parsed = SimpleNamespace(
+            spec=SimpleNamespace(field="checksum", text="the checksum is 0"),
+            logical_forms=[call("Is", const("checksum", (0, 1)),
+                                const("0", (2, 3)))],
+        )
+        first = stage.run(parsed)
+        assert stage.run(parsed) is first  # served from the result cache
+        key_before = stage.cache_key(parsed)
+        stage.suite.type_check.classes.register("frobnicate", FUNCTION)
+        assert stage.cache_key(parsed) != key_before
+        assert stage.run(parsed) is not first  # stale entry unreachable
+
+    def test_reset_winnow_state_clears_tables_in_place(self):
+        from repro.disambiguation import reset_winnow_state
+
+        check = TypeCheck()
+        form = call("Is", const("checksum"), const("0"))
+        assert check.well_typed(form)
+        table = check._refresh()
+        assert table  # the verdict was memoized
+        reset_winnow_state()
+        # Cleared in place: the check's bound table is the same object,
+        # empty, and keeps answering after recomputation.
+        assert check._refresh() is table
+        assert not table
+        assert check.well_typed(form)
+
+
+class TestCorpusAssociativityPairs:
+    def test_canonical_matches_vf2_on_real_parse_ambiguity(self):
+        """Canonical signatures agree with VF2 on the corpus's own LF
+        pairs — the associativity regroupings Figure 3 is about, not just
+        synthetic hypothesis terms."""
+        from itertools import combinations
+
+        from repro.rfc.registry import ProtocolRegistry
+
+        registry = ProtocolRegistry()
+        corpus = registry.load_corpus("ICMP")
+        chunker = registry.chunker()
+        parser = registry.parser()
+        pairs = equivalent = 0
+        for spec in corpus.sentences:
+            forms = parser.parse(
+                chunker.chunk_text(spec.text)).logical_forms[:12]
+            for a, b in combinations(forms, 2):
+                same_class = (canonical_signature(a)
+                              == canonical_signature(b))
+                assert same_class == isomorphic(a, b), spec.text
+                pairs += 1
+                equivalent += same_class
+        assert pairs > 100  # the corpus is genuinely ambiguous
+        assert equivalent > 0  # ...including real regrouping pairs
+
+
+class TestOracleFlag:
+    def test_oracle_replay_agrees_with_canonical_fast_path(self, monkeypatch):
+        from repro.disambiguation.checks import ORACLE_ENV
+        from repro.disambiguation.profile import PROFILE
+
+        monkeypatch.setenv(ORACLE_ENV, "1")
+        check = AssociativityCheck()
+        left = call("Of", call("Of", const("a"), const("b")), const("c"))
+        right = call("Of", const("a"), call("Of", const("b"), const("c")))
+        other = call("And", const("x"), const("y"))
+        before = PROFILE.oracle_calls
+        kept = check.filter([left, right, other])  # raises on disagreement
+        assert len(kept) == 2
+        assert PROFILE.oracle_calls > before
+
+
 class TestWinnowDriver:
     def test_trace_records_all_stages(self):
         forms = [call("Is", const("checksum", (0, 1)), const("0", (2, 3)))]

@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ccg.semantics import Call, Const, signature
-from repro.disambiguation import CheckSuite, winnow
+from repro.disambiguation import AssociativityCheck, CheckSuite, winnow
 from repro.disambiguation.winnow import final_selection
 from repro.framework import icmp
 from repro.framework.addressing import ip_to_int
@@ -64,6 +64,56 @@ class TestLFInvariants:
         selected = final_selection(forms)
         assert selected
         assert all(any(f is g for g in forms) for f in selected)
+
+
+def scramble(term, rng):
+    """A random isomorphism-preserving rewrite of ``term``.
+
+    Shuffles commutative (And) children and re-nests associative (Of/And)
+    chains — exactly the regroupings §4.2's associativity check must treat
+    as one reading, and nothing more.
+    """
+    if not isinstance(term, Call):
+        return term
+    args = [scramble(arg, rng) for arg in term.args]
+    if term.pred == "And" and len(args) > 1:
+        rng.shuffle(args)
+    if term.pred in ("Of", "And") and len(args) > 2 and rng.random() < 0.7:
+        i = rng.randrange(len(args) - 1)
+        args[i:i + 2] = [Call(term.pred, (args[i], args[i + 1]))]
+    return Call(term.pred, tuple(args), trigger=term.trigger,
+                flags=term.flags)
+
+
+class TestCanonicalOracle:
+    """The canonical signature is *exactly* VF2 isomorphism.
+
+    The winnow hot path replaced per-pair ``nx.is_isomorphic`` with a
+    one-pass canonical form per LF; these properties pin the two to the
+    same equivalence relation — both directions, so the canonical form
+    neither merges distinct readings nor splits equivalent ones.
+    """
+
+    @given(terms(), terms())
+    @settings(max_examples=150, deadline=None)
+    def test_canonical_equality_iff_isomorphic(self, a, b):
+        assert (canonical_signature(a) == canonical_signature(b)) \
+            == isomorphic(a, b)
+
+    @given(terms(), st.randoms(use_true_random=False))
+    @settings(max_examples=150, deadline=None)
+    def test_regrouped_term_stays_in_class(self, term, rng):
+        regrouped = scramble(term, rng)
+        assert isomorphic(term, regrouped)
+        assert canonical_signature(term) == canonical_signature(regrouped)
+
+    @given(st.lists(terms(), min_size=1, max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_associativity_filter_keeps_one_per_vf2_class(self, forms):
+        kept = AssociativityCheck().filter(list(forms))
+        for form in forms:
+            assert sum(1 for survivor in kept
+                       if isomorphic(form, survivor)) == 1
 
 
 class TestWireInvariants:
